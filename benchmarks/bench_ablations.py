@@ -1,0 +1,172 @@
+"""E14 — ablations of the paper's design choices (DESIGN.md section 5).
+
+(a) Count estimator (1): n_bar_i - 1 + 1/p vs the naive sum of n_bar_i.
+(b) p-halving re-randomization vs naively keeping n_bar_i.
+(c) Frequency estimator (4) vs the biased estimator (2).
+(d) Virtual sites: per-site space with and without the n_bar/k cap.
+(e) Rank tree vs flat blocks: coordinator summaries per chunk.
+"""
+
+import statistics
+
+import pytest
+
+from repro import (
+    RandomizedCountScheme,
+    RandomizedFrequencyScheme,
+    RandomizedRankScheme,
+    Simulation,
+)
+from repro.workloads import (
+    random_permutation_values,
+    single_site,
+    uniform_sites,
+    with_items,
+    zipf_items,
+)
+
+from _common import save_table
+
+N, K = 40_000, 16
+EPS = 0.05
+RUNS = 12
+
+
+def mean_abs_error(values, truth):
+    return sum(abs(v - truth) for v in values) / len(values)
+
+
+def ablation_count_estimator():
+    """(a): the -1 + 1/p correction removes a systematic undercount."""
+    corrected, naive = [], []
+    for seed in range(RUNS):
+        sim = Simulation(RandomizedCountScheme(EPS), K, seed=seed)
+        sim.run(uniform_sites(N, K, seed=100))
+        corrected.append(sim.coordinator.estimate())
+        naive.append(float(sum(sim.coordinator.last_update.values())))
+    return (
+        ["count estimator (eq 1)", "corrected vs naive sum of n_bar_i",
+         f"{statistics.mean(corrected) - N:+.0f}",
+         f"{statistics.mean(naive) - N:+.0f}"],
+        statistics.mean(corrected) - N,
+        statistics.mean(naive) - N,
+    )
+
+
+def ablation_halving_adjustment():
+    """(b): skipping the geometric walk biases the estimate upward —
+    stale n_bar_i values get credited with the larger new 1/p."""
+    adjusted, frozen = [], []
+    for seed in range(RUNS):
+        for flag, out in ((True, adjusted), (False, frozen)):
+            sim = Simulation(
+                RandomizedCountScheme(EPS, adjust_on_halving=flag), K, seed=seed
+            )
+            sim.run(single_site(N, K, site_id=2))
+            out.append(sim.coordinator.estimate())
+    return (
+        ["p-halving re-randomization", "on vs off (single-site stream)",
+         f"{statistics.mean(adjusted) - N:+.0f}",
+         f"{statistics.mean(frozen) - N:+.0f}"],
+        statistics.mean(adjusted) - N,
+        statistics.mean(frozen) - N,
+    )
+
+
+def ablation_frequency_estimator():
+    """(c): estimator (2) drops the -d/p branch and is biased upward on
+    items whose counters exist (no negative mass compensates)."""
+    universe = 60
+    stream = [(t % K, t % universe) for t in range(N)]
+    corrected, biased = [], []
+    for seed in range(RUNS):
+        for flag, out in ((True, corrected), (False, biased)):
+            sim = Simulation(
+                RandomizedFrequencyScheme(EPS, sample_correction=flag),
+                K,
+                seed=seed,
+            )
+            sim.run(stream)
+            total = sum(
+                sim.coordinator.estimate_frequency(j) for j in range(universe)
+            )
+            out.append(total)
+    return (
+        ["frequency estimator (eq 4 vs eq 2)", "total mass error, 60 items",
+         f"{statistics.mean(corrected) - N:+.0f}",
+         f"{statistics.mean(biased) - N:+.0f}"],
+        statistics.mean(corrected) - N,
+        statistics.mean(biased) - N,
+    )
+
+
+def ablation_virtual_sites():
+    """(d): the n_bar/k cap bounds site space under skewed arrivals."""
+    items = zipf_items(200, seed=7)
+    stream = list(with_items(single_site(N, K, site_id=0), items))
+    spaces = {}
+    for flag in (True, False):
+        sim = Simulation(
+            RandomizedFrequencyScheme(EPS, virtual_sites=flag), K, seed=3,
+            space_sample_interval=64,
+        )
+        sim.run(stream)
+        spaces[flag] = sim.space.max_words_per_site[0]
+    return (
+        ["virtual sites", "hot-site space words, on vs off",
+         spaces[True], spaces[False]],
+        spaces[True],
+        spaces[False],
+    )
+
+
+def ablation_rank_tree():
+    """(e): the binary tree caps retained summaries per chunk at h+1."""
+    values = random_permutation_values(N, seed=8)
+    sites = [s for s, _ in uniform_sites(N, K, seed=9)]
+    stream = list(zip(sites, values))
+    nodes = {}
+    for flat in (False, True):
+        sim = Simulation(RandomizedRankScheme(EPS, flat_tree=flat), K, seed=4)
+        sim.run(stream)
+        nodes[flat] = max(
+            len(c.nodes) for c in sim.coordinator.chunks.values()
+        )
+    return (
+        ["rank binary tree", "max summaries/chunk, tree vs flat",
+         nodes[False], nodes[True]],
+        nodes[False],
+        nodes[True],
+    )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablations(benchmark):
+    def build():
+        return [
+            ablation_count_estimator(),
+            ablation_halving_adjustment(),
+            ablation_frequency_estimator(),
+            ablation_virtual_sites(),
+            ablation_rank_tree(),
+        ]
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [r[0] for r in results]
+    save_table(
+        "ablations",
+        ["design choice", "metric", "paper design", "ablated"],
+        rows,
+        title=f"E14 ablations: N={N:,}, k={K}, eps={EPS} "
+        f"(means over {RUNS} seeds where applicable)",
+    )
+    (count_row, count_good, count_naive) = results[0]
+    assert abs(count_good) < abs(count_naive)  # (a) correction helps
+    (_, adj_good, adj_off) = results[1]
+    assert abs(adj_good) < abs(adj_off)  # (b) geometric walk debiases
+    (_, freq_good, freq_biased) = results[2]
+    assert abs(freq_good) < abs(freq_biased)  # (c) eq (4) beats eq (2)
+    (_, vs_on, vs_off) = results[3]
+    assert vs_on < vs_off  # (d) space cap works
+    (_, tree_nodes, flat_nodes) = results[4]
+    assert tree_nodes < flat_nodes  # (e) canonical decomposition compact

@@ -1,0 +1,84 @@
+"""E5 — correctness guarantees (Theorems 2.1, 3.1, 4.1).
+
+Continuous success rates: fraction of checkpoints where each tracker's
+estimate sits within eps*n (for the paper's single-copy constant
+probability) across all three problems.
+"""
+
+import pytest
+
+from repro import (
+    RandomizedCountScheme,
+    RandomizedFrequencyScheme,
+    RandomizedRankScheme,
+)
+from repro.analysis import (
+    evaluate_count_accuracy,
+    evaluate_frequency_accuracy,
+    evaluate_rank_accuracy,
+)
+from repro.workloads import (
+    random_permutation_values,
+    uniform_sites,
+    with_items,
+    zipf_items,
+)
+
+from _common import save_table
+
+N, K, EPS = 60_000, 25, 0.05
+
+
+def build_rows():
+    rows = []
+    count_report, _ = evaluate_count_accuracy(
+        RandomizedCountScheme(EPS), K, uniform_sites(N, K, seed=20),
+        eps=2 * EPS, checkpoint_every=N // 100,
+    )
+    rows.append(
+        ["count (Thm 2.1)", count_report.checkpoints,
+         f"{count_report.success_rate:.3f}",
+         f"{count_report.mean_relative_error:.4f}",
+         f"{count_report.max_relative_error:.4f}"]
+    )
+    freq_stream = with_items(
+        uniform_sites(N, K, seed=21), zipf_items(500, alpha=1.3, seed=22)
+    )
+    freq_report, _ = evaluate_frequency_accuracy(
+        RandomizedFrequencyScheme(EPS), K, freq_stream, eps=2 * EPS,
+        track_items=[0, 1, 2, 5, 20], checkpoint_every=N // 40,
+    )
+    rows.append(
+        ["frequency (Thm 3.1)", freq_report.checkpoints,
+         f"{freq_report.success_rate:.3f}",
+         f"{freq_report.mean_relative_error:.4f}",
+         f"{freq_report.max_relative_error:.4f}"]
+    )
+    values = random_permutation_values(N, seed=23)
+    sites = [s for s, _ in uniform_sites(N, K, seed=24)]
+    rank_report, _ = evaluate_rank_accuracy(
+        RandomizedRankScheme(EPS), K, zip(sites, values), eps=2 * EPS,
+        query_points=[N // 4, N // 2, 3 * N // 4], checkpoint_every=N // 40,
+    )
+    rows.append(
+        ["rank (Thm 4.1)", rank_report.checkpoints,
+         f"{rank_report.success_rate:.3f}",
+         f"{rank_report.mean_relative_error:.4f}",
+         f"{rank_report.max_relative_error:.4f}"]
+    )
+    return rows
+
+
+@pytest.mark.benchmark(group="accuracy")
+def test_accuracy_guarantees(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    save_table(
+        "accuracy",
+        ["problem", "checkpoints", "success@2eps", "mean err/n", "max err/n"],
+        rows,
+        title=f"Continuous tracking accuracy: N={N:,}, k={K}, eps={EPS} "
+        f"(paper: constant probability per time instance, single copy)",
+    )
+    for row in rows:
+        assert float(row[2]) >= 0.85, row
+        assert float(row[3]) <= EPS, row

@@ -1,0 +1,60 @@
+"""E13 — median boosting (Section 2.1's all-times guarantee).
+
+A single tracker copy is correct at a fixed time with constant
+probability; m independent copies with a median vote push the continuous
+success rate toward 1 at m-times the communication.  Sweeps m and reports
+the measured continuous success rate and cost.
+"""
+
+import pytest
+
+from repro import MedianBoostedScheme, RandomizedCountScheme, Simulation
+from repro.analysis import evaluate_count_accuracy
+from repro.workloads import uniform_sites
+
+from _common import save_table
+
+N, K, EPS = 50_000, 16, 0.05
+COPIES = (1, 3, 7)
+
+
+def build_rows():
+    rows = []
+    success = {}
+    words = {}
+    for m in COPIES:
+        if m == 1:
+            scheme = RandomizedCountScheme(EPS)
+        else:
+            scheme = MedianBoostedScheme(RandomizedCountScheme(EPS), m)
+        report, sim = evaluate_count_accuracy(
+            scheme, K, uniform_sites(N, K, seed=90), eps=1.5 * EPS,
+            checkpoint_every=N // 200,
+        )
+        success[m] = report.success_rate
+        words[m] = sim.comm.total_words
+        rows.append(
+            [
+                m,
+                f"{report.success_rate:.4f}",
+                f"{report.max_relative_error:.4f}",
+                sim.comm.total_words,
+            ]
+        )
+    return rows, success, words
+
+
+@pytest.mark.benchmark(group="boosting")
+def test_median_boosting(benchmark):
+    rows, success, words = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    save_table(
+        "boosting",
+        ["copies m", "success@1.5eps (200 checkpoints)", "max err/n", "words"],
+        rows,
+        title=f"E13 median boosting: N={N:,}, k={K}, eps={EPS}",
+    )
+    # More copies => no worse continuous success; 7 copies near-perfect.
+    assert success[7] >= success[1]
+    assert success[7] >= 0.99
+    # Cost scales ~linearly with m.
+    assert 4 < words[7] / words[1] < 10

@@ -1,0 +1,118 @@
+"""E16/E17 — extension studies beyond the paper's evaluation.
+
+E16: sliding-window count tracking (the related-work setting [5]):
+accuracy and communication of the EH-snapshot protocol across window
+sizes, including the zero-message decay property.
+
+E17: robustness under lossy uplinks (the paper assumes reliable
+channels): end-of-stream error of each tracker as the drop rate grows —
+absolute-value protocols self-heal; the rank tracker is repaired by its
+tree redundancy at the cost of a small positive bias.
+"""
+
+import pytest
+
+from repro import (
+    DeterministicCountScheme,
+    RandomizedCountScheme,
+    RandomizedRankScheme,
+    Simulation,
+)
+from repro.core.window import WindowedCountScheme
+from repro.workloads import random_permutation_values, uniform_sites
+
+from _common import save_table
+
+
+def build_window_rows():
+    k, eps, n = 8, 0.1, 40_000
+    rows = []
+    for window in (500, 2_000, 8_000):
+        sim = Simulation(WindowedCountScheme(window, eps), k, seed=25)
+        for t in range(n):
+            sim.process(t % k, t)
+        estimate = sim.coordinator.estimate(n - 1)
+        before = sim.comm.total_messages
+        decayed = sim.coordinator.estimate(n - 1 + 2 * window)
+        rows.append(
+            [
+                window,
+                estimate,
+                f"{abs(estimate - window) / window:.3f}",
+                sim.comm.total_messages,
+                sim.comm.total_words,
+                decayed,
+                sim.comm.total_messages - before,
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_window_tracking(benchmark):
+    rows = benchmark.pedantic(build_window_rows, rounds=1, iterations=1)
+    save_table(
+        "extension_window",
+        ["window W", "estimate", "rel err", "messages", "words",
+         "estimate after 2W idle", "msgs spent on decay"],
+        rows,
+        title="E16 sliding-window count (k=8, eps=0.1, n=40,000, 1 event "
+        "per tick): truth = W",
+    )
+    for row in rows:
+        assert float(row[2]) <= 0.25  # window estimate accurate
+        assert row[5] == 0.0  # fully decayed after 2W idle
+        assert row[6] == 0  # decay costs zero messages
+
+
+def build_fault_rows():
+    n, k, eps = 40_000, 16, 0.05
+    values = random_permutation_values(n, seed=26)
+    sites = [s for s, _ in uniform_sites(n, k, seed=27)]
+    rows = []
+    errors = {}
+    for rate in (0.0, 0.1, 0.25):
+        det = Simulation(
+            DeterministicCountScheme(eps), k, seed=28, uplink_drop_rate=rate
+        )
+        det.run(uniform_sites(n, k, seed=27))
+        rand = Simulation(
+            RandomizedCountScheme(eps), k, seed=28, uplink_drop_rate=rate
+        )
+        rand.run(uniform_sites(n, k, seed=27))
+        rank = Simulation(
+            RandomizedRankScheme(eps), k, seed=28, uplink_drop_rate=rate
+        )
+        rank.run(zip(sites, values))
+        det_err = abs(det.coordinator.estimate() - n) / n
+        rand_err = abs(rand.coordinator.estimate() - n) / n
+        rank_err = abs(rank.coordinator.estimate_rank(n // 2) - n // 2) / n
+        errors[rate] = (det_err, rand_err, rank_err)
+        rows.append(
+            [
+                rate,
+                f"{det_err:.4f}",
+                f"{rand_err:.4f}",
+                f"{rank_err:.4f}",
+                rank.network.dropped_uplink_messages,
+            ]
+        )
+    return rows, errors
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_fault_tolerance(benchmark):
+    rows, errors = benchmark.pedantic(build_fault_rows, rounds=1, iterations=1)
+    save_table(
+        "extension_faults",
+        ["uplink drop rate", "det count err", "rand count err",
+         "rank median err", "dropped msgs (rank run)"],
+        rows,
+        title="E17 robustness under lossy uplinks (n=40,000, k=16, eps=0.05)",
+    )
+    # Even at 25% loss every tracker stays within a few eps of truth —
+    # absolute-value reports self-heal; the rank tree provides redundancy.
+    det_err, rand_err, rank_err = errors[0.25]
+    assert det_err <= 4 * 0.05
+    assert rand_err <= 6 * 0.05
+    assert rank_err <= 6 * 0.05

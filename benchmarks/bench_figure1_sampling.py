@@ -1,0 +1,62 @@
+"""E11 — Figure 1 / Claim A.1: the sampling problem.
+
+Figure 1 depicts two normal distributions N(z(p - alpha), sigma^2) and
+N(z(p + alpha), sigma^2) whose overlap makes the optimal threshold test
+fail with probability ~1/2 when z = o(k).  We regenerate the quantities
+behind the figure: means, the crossing threshold x0, and the error of the
+optimal test — under both the normal approximation and the exact
+hypergeometric law — across a sweep of probe counts z.
+"""
+
+import pytest
+
+from repro.lowerbounds import figure1_curve, normal_error
+
+from _common import save_table
+
+K = 1024
+Z_VALUES = (2, 8, 32, 128, 512, 1024)
+
+
+def build_rows():
+    rows = []
+    curve = figure1_curve(K, Z_VALUES)
+    for (z, approx, exact) in curve:
+        fig = normal_error(K, z)
+        rows.append(
+            [
+                z,
+                f"{fig.mu1:.1f}",
+                f"{fig.mu2:.1f}",
+                f"{fig.x0:.1f}",
+                f"{fig.sigma1:.2f}",
+                f"{approx:.3f}",
+                f"{exact:.3f}",
+            ]
+        )
+    return rows, curve
+
+
+@pytest.mark.benchmark(group="lowerbounds")
+def test_figure1_sampling_problem(benchmark):
+    rows, curve = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    save_table(
+        "figure1_sampling",
+        ["z", "mu1", "mu2", "x0", "sigma", "normal err", "exact err"],
+        rows,
+        title=f"E11 Figure 1 quantities (k={K}): error of the optimal test "
+        "vs probes z",
+    )
+    errors = [exact for _, _, exact in curve]
+    # Error near 1/2 for z = o(k) (Claim A.1's failure bound is
+    # asymptotic; at z=2 the exact error is already > 0.45).
+    assert errors[0] > 0.45
+    assert errors[1] > 0.4
+    # ...monotonically improving with z...
+    assert all(b <= a + 1e-9 for a, b in zip(errors, errors[1:]))
+    # ...and only dropping below 0.2 once z = Omega(k).
+    below = [z for (z, _, e) in curve if e < 0.2]
+    assert all(z >= K // 8 for z in below)
+    # Normal approximation tracks the hypergeometric truth.
+    for (_, approx, exact) in curve:
+        assert abs(approx - exact) < 0.08

@@ -1,0 +1,52 @@
+"""E10 — Lemma 2.2 / Theorem 2.4: the 1-bit problem needs Omega(k).
+
+For each k, finds the minimum number of probed sites that reaches 0.8
+success at distinguishing s = k/2 + sqrt(k) from k/2 - sqrt(k), exactly
+(hypergeometric) and empirically.  The required probes grow linearly in
+k — the engine of the sqrt(k)/eps * log N communication lower bound.
+"""
+
+import pytest
+
+from repro.lowerbounds import (
+    exact_probe_success,
+    min_probes_for_success,
+    threshold_probe_success,
+)
+
+from _common import save_table
+
+KS = (64, 144, 256, 576, 1024)
+
+
+def build_rows():
+    rows = []
+    fractions = []
+    for k in KS:
+        z = min_probes_for_success(k, target=0.8)
+        empirical = threshold_probe_success(k, z, trials=3000, seed=70)
+        half = exact_probe_success(k, max(1, z // 4))
+        fractions.append(z / k)
+        rows.append(
+            [k, z, f"{z / k:.3f}", f"{empirical:.3f}", f"{half:.3f}"]
+        )
+    return rows, fractions
+
+
+@pytest.mark.benchmark(group="lowerbounds")
+def test_onebit_lower_bound(benchmark):
+    rows, fractions = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    save_table(
+        "lowerbound_onebit",
+        ["k", "min probes z*", "z*/k", "empirical success @ z*",
+         "success @ z*/4"],
+        rows,
+        title="E10 Lemma 2.2: probes needed for 0.8 success on the 1-bit "
+        "problem (z*/k flat => z* = Omega(k))",
+    )
+    # The required fraction of sites stays essentially constant in k.
+    assert max(fractions) / min(fractions) < 1.3
+    # Probing a quarter of z* must be clearly insufficient.
+    assert all(float(r[4]) < 0.75 for r in rows)
+    # Empirical threshold test matches the exact computation at z*.
+    assert all(float(r[3]) > 0.75 for r in rows)

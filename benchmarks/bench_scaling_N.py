@@ -1,0 +1,50 @@
+"""E8 — communication scaling in log N.
+
+Geometric sweep of the stream length: every tracker's cost must grow
+*logarithmically* in N (rounds), i.e. the increments per doubling of N
+are roughly constant.
+"""
+
+import pytest
+
+from repro import DeterministicCountScheme, RandomizedCountScheme
+from repro.workloads import uniform_sites
+
+from _common import run_sim, save_table
+
+K = 36
+EPS = 0.02
+NS = (25_000, 50_000, 100_000, 200_000)
+
+
+def build_rows():
+    rows = []
+    rand_series = []
+    for n in NS:
+        stream = list(uniform_sites(n, K, seed=50))
+        det = run_sim(DeterministicCountScheme(EPS), stream, K, seed=51)
+        rand = run_sim(RandomizedCountScheme(EPS), stream, K, seed=51)
+        rand_series.append(rand.comm.total_words)
+        rows.append([n, det.comm.total_words, rand.comm.total_words])
+    return rows, rand_series
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_in_N(benchmark):
+    rows, rand_series = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    increments = [
+        b - a for a, b in zip(rand_series, rand_series[1:])
+    ]
+    rows.append(["per-doubling increments", "-", str(increments)])
+    save_table(
+        "scaling_N",
+        ["N", "det words", "rand words"],
+        rows,
+        title=f"E8 log N scaling: k={K}, eps={EPS} "
+        "(cost per doubling of N should be ~flat)",
+    )
+    # Logarithmic growth: 8x more data costs < 3.5x more words...
+    assert rand_series[-1] / rand_series[0] < 3.5
+    # ...and per-doubling increments are within a small factor of each
+    # other (they approach the per-round steady-state cost).
+    assert max(increments) / max(1, min(increments)) < 4.0

@@ -1,0 +1,75 @@
+"""E6 — the sqrt(k) separation (communication vs number of sites).
+
+Sweeps k at fixed eps and N for count tracking; fits the growth exponent
+of each algorithm's cost in k and reports the det/rand ratio, which the
+paper predicts grows like sqrt(k) (up to log-factor drift at fixed N).
+"""
+
+import math
+
+import pytest
+
+from repro import DeterministicCountScheme, RandomizedCountScheme
+from repro.workloads import uniform_sites
+
+from _common import run_sim, save_table
+
+N = 150_000
+EPS = 0.01
+KS = (9, 25, 64, 100, 196)
+
+
+def fit_exponent(ks, ys):
+    """Least-squares slope of log y on log k."""
+    xs = [math.log(k) for k in ks]
+    ls = [math.log(y) for y in ys]
+    mean_x = sum(xs) / len(xs)
+    mean_l = sum(ls) / len(ls)
+    num = sum((x - mean_x) * (l - mean_l) for x, l in zip(xs, ls))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den
+
+
+def build_rows():
+    rows = []
+    det_words = []
+    rand_words = []
+    for k in KS:
+        stream = list(uniform_sites(N, k, seed=30))
+        det = run_sim(DeterministicCountScheme(EPS), stream, k, seed=31)
+        rand = run_sim(RandomizedCountScheme(EPS), stream, k, seed=31)
+        det_words.append(det.comm.total_words)
+        rand_words.append(rand.comm.total_words)
+        rows.append(
+            [
+                k,
+                det.comm.total_words,
+                rand.comm.total_words,
+                f"{det.comm.total_words / rand.comm.total_words:.2f}",
+                f"{math.sqrt(k):.1f}",
+            ]
+        )
+    return rows, det_words, rand_words
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_in_k(benchmark):
+    rows, det_words, rand_words = benchmark.pedantic(
+        build_rows, rounds=1, iterations=1
+    )
+    det_exp = fit_exponent(KS, det_words)
+    rand_exp = fit_exponent(KS, rand_words)
+    rows.append(["fit k^a", f"a={det_exp:.2f}", f"a={rand_exp:.2f}", "-", "-"])
+    save_table(
+        "scaling_k",
+        ["k", "det words", "rand words", "det/rand", "sqrt(k)"],
+        rows,
+        title=f"E6 sqrt(k) separation: N={N:,}, eps={EPS}",
+    )
+    # Deterministic grows distinctly faster in k than randomized
+    # (theory: exponent 1 vs 1/2, minus shared log-factor drift).
+    assert det_exp - rand_exp > 0.2
+    # The separation widens across the sweep (ratios wobble by up to
+    # sqrt(2) because p is quantized to inverse powers of two).
+    ratios = [float(r[3]) for r in rows[:-1]]
+    assert ratios[-1] > 1.8 * ratios[0]

@@ -1,0 +1,72 @@
+"""E1 — Table 1, count-tracking rows.
+
+Regenerates the count block of Table 1: communication and per-site space
+of the trivial deterministic tracker vs the paper's randomized tracker,
+with the theory formulas printed alongside.  Shape assertions: the
+randomized tracker ships fewer words, uses O(1) site space, and the
+det/rand ratio grows with k (the sqrt(k) separation).
+"""
+
+import pytest
+
+from repro import DeterministicCountScheme, RandomizedCountScheme
+from repro.analysis import det_count_comm, rand_count_comm
+from repro.workloads import uniform_sites
+
+from _common import run_sim, save_table
+
+N = 200_000
+EPS = 0.01
+KS = (25, 100)
+
+
+def build_rows():
+    rows = []
+    ratios = {}
+    for k in KS:
+        stream = list(uniform_sites(N, k, seed=1))
+        det = run_sim(DeterministicCountScheme(EPS), stream, k, seed=2)
+        rand = run_sim(RandomizedCountScheme(EPS), stream, k, seed=2)
+        rows.append(
+            [
+                k,
+                "trivial (det)",
+                det.comm.total_words,
+                round(det_count_comm(k, EPS, N)),
+                det.space.max_site_words,
+                "O(1)",
+                f"{abs(det.coordinator.estimate() - N) / N:.4f}",
+            ]
+        )
+        rows.append(
+            [
+                k,
+                "new (randomized)",
+                rand.comm.total_words,
+                round(rand_count_comm(k, EPS, N)),
+                rand.space.max_site_words,
+                "O(1)",
+                f"{abs(rand.coordinator.estimate() - N) / N:.4f}",
+            ]
+        )
+        ratios[k] = det.comm.total_words / rand.comm.total_words
+    return rows, ratios
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_count(benchmark):
+    rows, ratios = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    save_table(
+        "table1_count",
+        ["k", "algorithm", "words", "theory words", "site space", "space bound", "final err"],
+        rows,
+        title=f"Table 1 (count rows): N={N:,}, eps={EPS}",
+    )
+    # Shape: randomized cheaper at every k; separation grows with k.
+    for k in KS:
+        assert ratios[k] > 1.0
+    assert ratios[100] > ratios[25]
+    # O(1) site space for both.
+    assert all(r[4] <= 8 for r in rows)
+    # Tracking accuracy at the end of the stream.
+    assert all(float(r[6]) <= 3 * EPS for r in rows)

@@ -1,0 +1,74 @@
+"""E2 — Table 1, frequency-tracking rows.
+
+Deterministic [29]-style tracker vs the paper's randomized tracker on a
+Zipf workload: communication words, per-site space (the randomized
+tracker must undercut the deterministic O(1/eps) space), and head-item
+accuracy.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import DeterministicFrequencyScheme, RandomizedFrequencyScheme
+from repro.analysis import (
+    det_frequency_comm,
+    rand_frequency_comm,
+    rand_frequency_space,
+)
+from repro.workloads import uniform_sites, with_items, zipf_items
+
+from _common import run_sim, save_table
+
+N = 150_000
+EPS = 0.01
+K = 64
+
+
+def build_rows():
+    stream = list(
+        with_items(uniform_sites(N, K, seed=3), zipf_items(2_000, alpha=1.2, seed=4))
+    )
+    truth = Counter(j for _, j in stream)
+
+    def head_error(sim):
+        return max(
+            abs(sim.coordinator.estimate_frequency(j) - truth[j]) / N
+            for j in range(10)
+        )
+
+    det = run_sim(DeterministicFrequencyScheme(EPS), stream, K, seed=5)
+    rand = run_sim(RandomizedFrequencyScheme(EPS), stream, K, seed=5)
+    rows = [
+        [
+            "[29] (det)",
+            det.comm.total_words,
+            round(det_frequency_comm(K, EPS, N)),
+            det.space.max_site_words,
+            round(8 / EPS),
+            f"{head_error(det):.4f}",
+        ],
+        [
+            "new (randomized)",
+            rand.comm.total_words,
+            round(rand_frequency_comm(K, EPS, N)),
+            rand.space.max_site_words,
+            round(rand_frequency_space(K, EPS)),
+            f"{head_error(rand):.4f}",
+        ],
+    ]
+    return rows, det, rand
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_frequency(benchmark):
+    rows, det, rand = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    save_table(
+        "table1_frequency",
+        ["algorithm", "words", "theory words", "site space", "space bound", "head err"],
+        rows,
+        title=f"Table 1 (frequency rows): N={N:,}, k={K}, eps={EPS}, Zipf(1.2)",
+    )
+    assert rand.comm.total_words < det.comm.total_words / 2
+    assert rand.space.max_site_words < det.space.max_site_words
+    assert all(float(r[5]) <= 3 * EPS for r in rows)

@@ -1,0 +1,69 @@
+"""E4 — Table 1, sampling row.
+
+The continuous sampling baseline [9]: O((1/eps^2 + k) log N) words and
+O(1) site space, answering count, frequency AND rank from one sample.
+Shape assertions: it loses to the paper's algorithms when k << 1/eps^2
+and wins over the deterministic tracker when k >> 1/eps^2.
+"""
+
+import pytest
+
+from repro import (
+    DeterministicCountScheme,
+    DistributedSamplingScheme,
+    RandomizedCountScheme,
+)
+from repro.analysis import sampling_comm
+from repro.workloads import uniform_sites
+
+from _common import run_sim, save_table
+
+N = 120_000
+
+
+def build_rows():
+    rows = []
+    outcomes = {}
+    for label, k, eps in [
+        ("k << 1/eps^2", 16, 0.01),  # 16 << 10,000
+        ("k >> 1/eps^2", 400, 0.2),  # 400 >> 25
+    ]:
+        stream = list(uniform_sites(N, k, seed=12))
+        samp = run_sim(DistributedSamplingScheme(eps), stream, k, seed=13)
+        rand = run_sim(RandomizedCountScheme(eps), stream, k, seed=13)
+        det = run_sim(DeterministicCountScheme(eps), stream, k, seed=13)
+        rows.append(
+            [
+                label,
+                k,
+                eps,
+                samp.comm.total_words,
+                round(sampling_comm(k, eps, N)),
+                rand.comm.total_words,
+                det.comm.total_words,
+                samp.space.max_site_words,
+            ]
+        )
+        outcomes[label] = (
+            samp.comm.total_words,
+            rand.comm.total_words,
+            det.comm.total_words,
+        )
+    return rows, outcomes
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_sampling(benchmark):
+    rows, outcomes = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    save_table(
+        "table1_sampling",
+        ["regime", "k", "eps", "sampling words", "theory", "rand words",
+         "det words", "site space"],
+        rows,
+        title=f"Table 1 (sampling row [9]): N={N:,}",
+    )
+    samp, rand, det = outcomes["k << 1/eps^2"]
+    assert rand < samp  # the paper's regime: randomized tracking wins
+    samp, rand, det = outcomes["k >> 1/eps^2"]
+    assert samp < det  # sampling regime: sampling beats deterministic
+    assert all(r[7] <= 3 for r in rows)  # O(1) site space

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Service monitoring scenario: continuous distributed latency quantiles.
+
+k application servers each measure request latencies; the dashboard must
+continuously display the median and tail (p90/p99) latency over *all*
+requests, within eps*n rank error — the rank-tracking problem (Section 4).
+
+Latencies are drawn from a log-normal-ish mixture: most requests are
+fast, a minority hit a slow path.  We compare the paper's randomized rank
+tracker against the snapshot baseline and the sampling baseline.
+
+Usage:  python examples/latency_quantiles.py
+"""
+
+import bisect
+
+from repro import (
+    DeterministicRankScheme,
+    DistributedSamplingScheme,
+    RandomizedRankScheme,
+    Simulation,
+)
+from repro.analysis import render_table
+from repro.runtime.rng import derive_rng
+
+SERVERS = 25
+REQUESTS = 120_000
+EPS = 0.02
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+def latency_stream(n: int, k: int, seed: int = 0):
+    """(server, latency_ms) pairs: 90% fast path, 10% slow path."""
+    rng = derive_rng(seed, "latencies")
+    for _ in range(n):
+        server = rng.randrange(k)
+        if rng.random() < 0.9:
+            latency = rng.lognormvariate(3.0, 0.4)  # ~20ms typical
+        else:
+            latency = rng.lognormvariate(5.5, 0.6)  # ~250ms slow path
+        yield server, latency
+
+
+def main() -> None:
+    stream = list(latency_stream(REQUESTS, SERVERS, seed=2))
+    sorted_latencies = sorted(v for _, v in stream)
+
+    def true_quantile(phi: float) -> float:
+        return sorted_latencies[int(phi * (REQUESTS - 1))]
+
+    rows = []
+    for scheme in (
+        RandomizedRankScheme(EPS),
+        DeterministicRankScheme(EPS),
+        DistributedSamplingScheme(EPS),
+    ):
+        sim = Simulation(scheme, SERVERS, seed=6)
+        sim.run(stream)
+        cells = [scheme.name]
+        for phi in QUANTILES:
+            estimate = sim.coordinator.quantile(phi)
+            true_rank = bisect.bisect_left(sorted_latencies, estimate)
+            rank_err = abs(true_rank - phi * REQUESTS) / REQUESTS
+            cells.append(f"{estimate:7.1f}ms ({rank_err:.1%})")
+        cells.extend([sim.comm.total_messages, sim.comm.total_words])
+        rows.append(cells)
+
+    truth_row = ["(exact)"] + [
+        f"{true_quantile(phi):7.1f}ms" for phi in QUANTILES
+    ] + ["-", "-"]
+
+    print(
+        render_table(
+            ["scheme", "p50 (rank err)", "p90 (rank err)", "p99 (rank err)",
+             "messages", "words"],
+            [truth_row] + rows,
+            title=(
+                f"Latency quantiles: {SERVERS} servers, {REQUESTS:,} requests, "
+                f"eps={EPS}"
+            ),
+        )
+    )
+    print(
+        "\nRank errors should all be below eps = 2% — the randomized tracker"
+        "\nachieves this with far fewer shipped words than the snapshot baseline."
+    )
+
+
+if __name__ == "__main__":
+    main()

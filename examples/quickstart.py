@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: track a distributed count with sqrt(k) less communication.
+
+Runs the paper's randomized count tracker (Theorem 2.1) and the trivial
+deterministic baseline side by side on the same stream, then prints the
+estimate quality and the communication bill of each.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro import DeterministicCountScheme, RandomizedCountScheme, Simulation
+from repro.analysis import render_table
+from repro.workloads import uniform_sites
+
+N = 200_000  # total stream length across all sites
+K = 100  # number of distributed sites
+EPS = 0.01  # target relative error
+
+
+def main() -> None:
+    rows = []
+    for scheme in (RandomizedCountScheme(EPS), DeterministicCountScheme(EPS)):
+        sim = Simulation(scheme, K, seed=7)
+        sim.run(uniform_sites(N, K, seed=11))
+        estimate = sim.coordinator.estimate()
+        rows.append(
+            [
+                scheme.name,
+                estimate,
+                abs(estimate - N) / N,
+                sim.comm.total_messages,
+                sim.comm.total_words,
+                sim.space.max_site_words,
+            ]
+        )
+    print(
+        render_table(
+            ["scheme", "estimate", "rel. error", "messages", "words", "site space"],
+            rows,
+            title=f"Count tracking: n={N:,}, k={K}, eps={EPS}",
+        )
+    )
+    rand_words, det_words = rows[0][4], rows[1][4]
+    print(
+        f"\nRandomization saves a factor {det_words / rand_words:.1f} in words "
+        f"(theory: up to sqrt(k) = {K ** 0.5:.0f} as N grows)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Wireless sensor network scenario: continuous event counting.
+
+The paper motivates count tracking with power-limited distributed systems
+such as sensor networks: every message a sensor radios to the base
+station costs battery.  Here 60 sensors observe events at wildly
+different rates (some sensors sit on a busy road, others in a quiet
+field), and the base station must always know the total event count
+within 2%.
+
+We compare the battery bill (messages sent) of three strategies and show
+the tracker's estimate staying inside the error envelope over time.
+
+Usage:  python examples/sensor_network.py
+"""
+
+from repro import (
+    DeterministicCountScheme,
+    DistributedSamplingScheme,
+    RandomizedCountScheme,
+    Simulation,
+)
+from repro.analysis import render_table
+from repro.workloads import skewed_sites
+
+SENSORS = 60
+EVENTS = 150_000
+EPS = 0.02
+
+
+def main() -> None:
+    # Zipf-skewed arrival: sensor 0 sees far more events than sensor 59.
+    stream = list(skewed_sites(EVENTS, SENSORS, alpha=1.0, seed=5))
+
+    rows = []
+    checkpoints_table = []
+    for scheme in (
+        RandomizedCountScheme(EPS),
+        DeterministicCountScheme(EPS),
+        DistributedSamplingScheme(EPS),
+    ):
+        sim = Simulation(scheme, SENSORS, seed=3)
+        trace = []
+        sim.run(
+            stream,
+            checkpoint_every=EVENTS // 6,
+            on_checkpoint=lambda s, t, tr=trace: tr.append(
+                (t, s.coordinator.estimate())
+            ),
+        )
+        rows.append(
+            [
+                scheme.name,
+                sim.comm.uplink_messages,
+                sim.comm.total_messages,
+                sim.comm.total_words,
+                abs(sim.coordinator.estimate() - EVENTS) / EVENTS,
+            ]
+        )
+        checkpoints_table.append((scheme.name, trace))
+
+    print(
+        render_table(
+            ["strategy", "radio sends", "total msgs", "words", "final error"],
+            rows,
+            title=f"Sensor network: {SENSORS} sensors, {EVENTS:,} events, eps={EPS}",
+        )
+    )
+
+    print("\nTracking over time (estimate vs truth):")
+    header = ["events"] + [name for name, _ in checkpoints_table]
+    time_rows = []
+    for i in range(6):
+        t = checkpoints_table[0][1][i][0]
+        row = [t] + [trace[i][1] for _, trace in checkpoints_table]
+        time_rows.append(row)
+    print(render_table(header, time_rows))
+    print("\nEvery estimate above should sit within 2-3% of the events column.")
+
+
+if __name__ == "__main__":
+    main()

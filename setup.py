@@ -1,0 +1,10 @@
+"""Setup shim: legacy layout so editable installs work offline.
+
+(This environment has no network and no `wheel` package, so PEP 517
+editable installs are unavailable; `setup.py` + `setup.cfg` keeps
+`pip install -e .` working everywhere.)
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Theory formulas, accuracy evaluation, and table rendering."""
+
+from .stats import (
+    AccuracyReport,
+    evaluate_count_accuracy,
+    evaluate_frequency_accuracy,
+    evaluate_rank_accuracy,
+    repeat_success_rate,
+)
+from .tables import format_number, render_table
+from .theory import (
+    cormode05_rank_comm,
+    det_count_comm,
+    det_frequency_comm,
+    det_rank_comm,
+    improvement_factor,
+    rand_count_comm,
+    rand_frequency_comm,
+    rand_frequency_space,
+    rand_rank_comm,
+    rand_rank_space,
+    sampling_comm,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "evaluate_count_accuracy",
+    "evaluate_frequency_accuracy",
+    "evaluate_rank_accuracy",
+    "repeat_success_rate",
+    "format_number",
+    "render_table",
+    "cormode05_rank_comm",
+    "det_count_comm",
+    "det_frequency_comm",
+    "det_rank_comm",
+    "improvement_factor",
+    "rand_count_comm",
+    "rand_frequency_comm",
+    "rand_frequency_space",
+    "rand_rank_comm",
+    "rand_rank_space",
+    "sampling_comm",
+]

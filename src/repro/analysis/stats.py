@@ -1,0 +1,132 @@
+"""Accuracy evaluation: run a scheme against ground truth.
+
+The paper's guarantees are of the form "at any time, the estimate is
+within eps*n with probability >= 0.9".  These helpers drive a simulation
+while maintaining exact truth, sample the estimate at checkpoints, and
+report success rates and error profiles.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+
+from ..runtime import Simulation
+
+__all__ = [
+    "AccuracyReport",
+    "evaluate_count_accuracy",
+    "evaluate_frequency_accuracy",
+    "evaluate_rank_accuracy",
+    "repeat_success_rate",
+]
+
+
+@dataclass
+class AccuracyReport:
+    """Error profile of one tracking run."""
+
+    checkpoints: int = 0
+    within_eps: int = 0
+    errors: list = field(default_factory=list)  # |err| / n per checkpoint
+
+    @property
+    def success_rate(self) -> float:
+        return self.within_eps / self.checkpoints if self.checkpoints else 1.0
+
+    @property
+    def mean_relative_error(self) -> float:
+        return sum(self.errors) / len(self.errors) if self.errors else 0.0
+
+    @property
+    def max_relative_error(self) -> float:
+        return max(self.errors) if self.errors else 0.0
+
+
+def evaluate_count_accuracy(
+    scheme, k: int, stream, eps: float, checkpoint_every: int = 500
+) -> tuple:
+    """Run a count tracker; compare estimate() to the true count."""
+    sim = Simulation(scheme, k)
+    report = AccuracyReport()
+    truth = 0
+    for site_id, item in stream:
+        sim.process(site_id, item)
+        truth += 1
+        if truth % checkpoint_every == 0:
+            estimate = sim.coordinator.estimate()
+            rel = abs(estimate - truth) / truth
+            report.checkpoints += 1
+            report.errors.append(rel)
+            if rel <= eps:
+                report.within_eps += 1
+    return report, sim
+
+
+def evaluate_frequency_accuracy(
+    scheme,
+    k: int,
+    stream,
+    eps: float,
+    track_items,
+    checkpoint_every: int = 500,
+) -> tuple:
+    """Run a frequency tracker; compare per-item estimates to truth.
+
+    ``track_items`` are the query items checked at every checkpoint;
+    the error unit is eps * n (n = current total count) per the paper.
+    """
+    sim = Simulation(scheme, k)
+    report = AccuracyReport()
+    truth = {}
+    n = 0
+    for site_id, item in stream:
+        sim.process(site_id, item)
+        truth[item] = truth.get(item, 0) + 1
+        n += 1
+        if n % checkpoint_every == 0:
+            for q in track_items:
+                estimate = sim.coordinator.estimate_frequency(q)
+                rel = abs(estimate - truth.get(q, 0)) / n
+                report.checkpoints += 1
+                report.errors.append(rel)
+                if rel <= eps:
+                    report.within_eps += 1
+    return report, sim
+
+
+def evaluate_rank_accuracy(
+    scheme,
+    k: int,
+    stream,
+    eps: float,
+    query_points,
+    checkpoint_every: int = 1000,
+) -> tuple:
+    """Run a rank tracker; compare estimate_rank to the exact rank."""
+    sim = Simulation(scheme, k)
+    report = AccuracyReport()
+    seen = []
+    n = 0
+    for site_id, value in stream:
+        sim.process(site_id, value)
+        bisect.insort(seen, value)
+        n += 1
+        if n % checkpoint_every == 0:
+            for q in query_points:
+                true_rank = bisect.bisect_left(seen, q)
+                estimate = sim.coordinator.estimate_rank(q)
+                rel = abs(estimate - true_rank) / n
+                report.checkpoints += 1
+                report.errors.append(rel)
+                if rel <= eps:
+                    report.within_eps += 1
+    return report, sim
+
+
+def repeat_success_rate(run_once, repetitions: int) -> float:
+    """Fraction of ``repetitions`` independent runs where ``run_once(seed)``
+    returns True.  Used for fixed-time-instance probability claims."""
+    wins = sum(1 for seed in range(repetitions) if run_once(seed))
+    return wins / repetitions

@@ -1,0 +1,40 @@
+"""Fixed-width table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "format_number"]
+
+
+def format_number(value) -> str:
+    """Compact human formatting: ints as ints, floats to 3 sig figs."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(headers, rows, title: str = "") -> str:
+    """Render rows (lists of cells) under headers as a fixed-width table."""
+    cells = [[format_number(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

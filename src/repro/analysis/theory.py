@@ -1,0 +1,91 @@
+"""Closed-form cost formulas from Table 1 of the paper.
+
+All formulas are stated with constant 1 (the paper gives asymptotics);
+benchmarks print them next to measured numbers so the *shape* (scaling in
+k, eps, N and the sqrt(k) separations) can be compared, not absolute
+constants.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "det_count_comm",
+    "rand_count_comm",
+    "det_frequency_comm",
+    "rand_frequency_comm",
+    "det_rank_comm",
+    "rand_rank_comm",
+    "sampling_comm",
+    "rand_frequency_space",
+    "rand_rank_space",
+    "cormode05_rank_comm",
+    "improvement_factor",
+]
+
+
+def _log(x: float) -> float:
+    return math.log2(max(2.0, x))
+
+
+def det_count_comm(k: int, eps: float, n: int) -> float:
+    """Theta(k/eps * log N): the trivial deterministic tracker."""
+    return k / eps * _log(n)
+
+
+def rand_count_comm(k: int, eps: float, n: int) -> float:
+    """Theta(sqrt(k)/eps * log N): Theorem 2.1 (plus the k log N term)."""
+    return (math.sqrt(k) / eps + k) * _log(n)
+
+
+def det_frequency_comm(k: int, eps: float, n: int) -> float:
+    """Theta(k/eps * log N): the deterministic optimum [29]."""
+    return k / eps * _log(n)
+
+
+def rand_frequency_comm(k: int, eps: float, n: int) -> float:
+    """O(sqrt(k)/eps * log N): Theorem 3.1."""
+    return (math.sqrt(k) / eps + k) * _log(n)
+
+
+def det_rank_comm(k: int, eps: float, n: int) -> float:
+    """O(k/eps * log N * log^2(1/eps)): the deterministic bound of [29]."""
+    return k / eps * _log(n) * _log(1.0 / eps) ** 2
+
+
+def rand_rank_comm(k: int, eps: float, n: int) -> float:
+    """O(sqrt(k)/eps * log N * log^1.5(1/(eps sqrt(k)))): Theorem 4.1."""
+    h = max(1.0, _log(1.0 / (eps * math.sqrt(k))))
+    return (math.sqrt(k) / eps + k) * _log(n) * h**1.5
+
+
+def cormode05_rank_comm(k: int, eps: float, n: int) -> float:
+    """O(k/eps^2 * log N): the Cormode et al. [6] baseline."""
+    return k / eps**2 * _log(n)
+
+
+def sampling_comm(k: int, eps: float, n: int) -> float:
+    """O((1/eps^2 + k) * log N): continuous sampling [9]."""
+    return (1.0 / eps**2 + k) * _log(n)
+
+
+def rand_frequency_space(k: int, eps: float) -> float:
+    """O(1/(eps sqrt(k))) words per site (Theorem 3.1)."""
+    return 1.0 / (eps * math.sqrt(k))
+
+
+def rand_rank_space(k: int, eps: float) -> float:
+    """O(1/(eps sqrt(k)) * log^1.5(1/eps) * log^0.5(1/(eps sqrt(k))))."""
+    h = max(1.0, _log(1.0 / (eps * math.sqrt(k))))
+    return (
+        1.0
+        / (eps * math.sqrt(k))
+        * _log(1.0 / eps) ** 1.5
+        * math.sqrt(h)
+    )
+
+
+def improvement_factor(k: int) -> float:
+    """The headline sqrt(k) separation between det and randomized."""
+    return math.sqrt(k)

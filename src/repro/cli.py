@@ -1,0 +1,177 @@
+"""Command-line runner: simulate any scheme on any workload.
+
+Examples::
+
+    python -m repro count --scheme randomized -k 64 -n 100000 --eps 0.01
+    python -m repro frequency --scheme deterministic --workload zipf
+    python -m repro rank --scheme sampling --workload sorted -n 50000
+    python -m repro count --compare          # all count schemes, one table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    Cormode05RankScheme,
+    DeterministicCountScheme,
+    DeterministicFrequencyScheme,
+    DeterministicRankScheme,
+    DistributedSamplingScheme,
+    RandomizedCountScheme,
+    RandomizedFrequencyScheme,
+    RandomizedRankScheme,
+    Simulation,
+)
+from .analysis import render_table
+from .workloads import (
+    bursty_sites,
+    random_permutation_values,
+    round_robin,
+    single_site,
+    skewed_sites,
+    sorted_values,
+    uniform_sites,
+    with_items,
+    zipf_items,
+)
+
+SCHEMES = {
+    "count": {
+        "randomized": RandomizedCountScheme,
+        "deterministic": DeterministicCountScheme,
+        "sampling": DistributedSamplingScheme,
+    },
+    "frequency": {
+        "randomized": RandomizedFrequencyScheme,
+        "deterministic": DeterministicFrequencyScheme,
+        "sampling": DistributedSamplingScheme,
+    },
+    "rank": {
+        "randomized": RandomizedRankScheme,
+        "deterministic": DeterministicRankScheme,
+        "cormode05": Cormode05RankScheme,
+        "sampling": DistributedSamplingScheme,
+    },
+}
+
+ARRIVALS = {
+    "uniform": lambda n, k, seed: uniform_sites(n, k, seed=seed),
+    "round-robin": lambda n, k, seed: round_robin(n, k),
+    "single-site": lambda n, k, seed: single_site(n, k, site_id=0),
+    "skewed": lambda n, k, seed: skewed_sites(n, k, alpha=1.2, seed=seed),
+    "bursty": lambda n, k, seed: bursty_sites(n, k, burst=200, seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed tracking simulator (PODS 2012 reproduction)",
+    )
+    parser.add_argument(
+        "problem", choices=sorted(SCHEMES), help="which function to track"
+    )
+    parser.add_argument(
+        "--scheme",
+        default="randomized",
+        help="scheme name (see --list-schemes), default: randomized",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="run every scheme for the problem and print one table",
+    )
+    parser.add_argument("-n", type=int, default=100_000, help="stream length")
+    parser.add_argument("-k", type=int, default=25, help="number of sites")
+    parser.add_argument("--eps", type=float, default=0.02, help="error target")
+    parser.add_argument(
+        "--workload",
+        default="uniform",
+        choices=sorted(ARRIVALS) + ["zipf", "sorted", "permutation"],
+        help="arrival pattern (count) or item law (frequency/rank)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--list-schemes", action="store_true", help="list schemes and exit"
+    )
+    return parser
+
+
+def make_stream(problem: str, workload: str, n: int, k: int, seed: int):
+    """Build the (site, item) stream for the chosen problem/workload."""
+    if problem == "count":
+        arrivals = ARRIVALS.get(workload, ARRIVALS["uniform"])
+        return list(arrivals(n, k, seed))
+    if problem == "frequency":
+        source = zipf_items(max(10, n // 100), alpha=1.2, seed=seed + 1)
+        if workload == "uniform":
+            source = zipf_items(max(10, n // 100), alpha=1.2, seed=seed + 1)
+        return list(with_items(uniform_sites(n, k, seed=seed), source))
+    # rank
+    if workload == "sorted":
+        values = sorted_values(n)
+    else:
+        values = random_permutation_values(n, seed=seed + 2)
+    sites = [s for s, _ in uniform_sites(n, k, seed=seed)]
+    return list(zip(sites, values))
+
+
+def describe(problem: str, sim: Simulation, n: int) -> list:
+    """One summary row for a finished simulation."""
+    coordinator = sim.coordinator
+    if problem == "count":
+        estimate = coordinator.estimate()
+        accuracy = f"{abs(estimate - n) / n:.4f}"
+    elif problem == "frequency":
+        accuracy = f"top item: {coordinator.top_items(1)}"
+    else:
+        estimate = coordinator.estimate_rank(n // 2)
+        accuracy = f"rank(median)={estimate:.0f}"
+    return [
+        sim.scheme.name,
+        sim.comm.total_messages,
+        sim.comm.total_words,
+        sim.space.max_site_words,
+        accuracy,
+    ]
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    schemes = SCHEMES[args.problem]
+    if args.list_schemes:
+        for name in sorted(schemes):
+            print(name)
+        return 0
+    if not args.compare and args.scheme not in schemes:
+        parser.error(
+            f"unknown scheme {args.scheme!r} for {args.problem} "
+            f"(choose from {sorted(schemes)})"
+        )
+
+    stream = make_stream(args.problem, args.workload, args.n, args.k, args.seed)
+    chosen = sorted(schemes) if args.compare else [args.scheme]
+    rows = []
+    for name in chosen:
+        scheme = schemes[name](args.eps)
+        sim = Simulation(scheme, args.k, seed=args.seed)
+        sim.run(stream)
+        rows.append(describe(args.problem, sim, args.n))
+    print(
+        render_table(
+            ["scheme", "messages", "words", "site space", "result"],
+            rows,
+            title=(
+                f"{args.problem}: n={args.n:,}, k={args.k}, eps={args.eps}, "
+                f"workload={args.workload}"
+            ),
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The paper's tracking protocols: count, frequency, rank, sampling."""
+
+from .boosting import MedianBoostedScheme, copies_for_confidence
+from .count import DeterministicCountScheme, RandomizedCountScheme
+from .frequency import DeterministicFrequencyScheme, RandomizedFrequencyScheme
+from .rank import (
+    Cormode05RankScheme,
+    DeterministicRankScheme,
+    RandomizedRankScheme,
+)
+from .rounds import (
+    GlobalCountTracker,
+    LocalDoubler,
+    floor_pow2,
+    report_probability,
+)
+from .sampling import DistributedSamplingScheme
+from .window import WindowedCountScheme
+
+__all__ = [
+    "MedianBoostedScheme",
+    "copies_for_confidence",
+    "DeterministicCountScheme",
+    "RandomizedCountScheme",
+    "DeterministicFrequencyScheme",
+    "RandomizedFrequencyScheme",
+    "Cormode05RankScheme",
+    "DeterministicRankScheme",
+    "RandomizedRankScheme",
+    "GlobalCountTracker",
+    "LocalDoubler",
+    "floor_pow2",
+    "report_probability",
+    "DistributedSamplingScheme",
+    "WindowedCountScheme",
+]

@@ -1,0 +1,142 @@
+"""Median boosting: run m independent copies, answer with the median.
+
+Section 2.1: a single copy of the randomized tracker is correct at any one
+time instance with constant probability.  Running
+``m = O(log(log N / (delta * eps)))`` independent copies and taking the
+median of their estimates yields correctness at *all* times with
+probability ``1 - delta`` (the estimate only needs to be re-validated at
+the ``O(1/eps * log N)`` times n grows by a ``1+eps`` factor).
+
+The wrapper multiplexes the copies over one network: every inner message
+is tagged with its copy index (the tag rides along free — in a real
+deployment it is ``O(log m)`` bits folded into the message header).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+from ..runtime import Coordinator, Message, Network, Site, TrackingScheme
+
+__all__ = ["MedianBoostedScheme", "copies_for_confidence"]
+
+MSG_BOOST = "boost"
+
+
+def copies_for_confidence(delta: float, eps: float, n_max: int) -> int:
+    """Number of copies for a 1-delta guarantee over the whole horizon.
+
+    ``O(log(log N / (delta * eps)))`` with a small explicit constant;
+    always odd so the median is well-defined.
+    """
+    instants = max(2.0, math.log(max(2, n_max)) / eps)
+    m = int(math.ceil(4 * math.log(instants / delta)))
+    return m + 1 if m % 2 == 0 else m
+
+
+class _TaggedChannel:
+    """Network facade handed to inner protocol components.
+
+    Wraps every inner message as ``(copy_index, inner_message)`` so the
+    outer wrapper can demultiplex; preserves word counts exactly.
+    """
+
+    def __init__(self, network: Network, index: int):
+        self._network = network
+        self._index = index
+        self.num_sites = network.num_sites
+        self.one_way = network.one_way
+        self.stats = network.stats
+
+    def _wrap(self, message: Message) -> Message:
+        return Message(MSG_BOOST, (self._index, message), message.words)
+
+    def send_to_coordinator(self, site_id: int, message: Message) -> None:
+        self._network.send_to_coordinator(site_id, self._wrap(message))
+
+    def send_to_site(self, site_id: int, message: Message) -> None:
+        self._network.send_to_site(site_id, self._wrap(message))
+
+    def broadcast(self, message: Message) -> None:
+        self._network.broadcast(self._wrap(message))
+
+
+class BoostedSite(Site):
+    """Feeds every element to all inner sites; routes replies by tag."""
+
+    def __init__(self, site_id: int, network: Network, inner_sites):
+        super().__init__(site_id, network)
+        self.inner = inner_sites
+
+    def on_element(self, item) -> None:
+        for site in self.inner:
+            site.on_element(item)
+
+    def on_message(self, message: Message) -> None:
+        index, inner_message = message.payload
+        self.inner[index].on_message(inner_message)
+
+    def space_words(self) -> int:
+        return sum(site.space_words() for site in self.inner)
+
+
+class BoostedCoordinator(Coordinator):
+    """Demultiplexes to inner coordinators; queries take the median."""
+
+    def __init__(self, network: Network, inner_coordinators):
+        super().__init__(network)
+        self.inner = inner_coordinators
+
+    def on_message(self, site_id: int, message: Message) -> None:
+        index, inner_message = message.payload
+        self.inner[index].on_message(site_id, inner_message)
+
+    def _median_over(self, fn):
+        return statistics.median(fn(c) for c in self.inner)
+
+    def estimate(self) -> float:
+        return self._median_over(lambda c: c.estimate())
+
+    def estimate_frequency(self, item) -> float:
+        return self._median_over(lambda c: c.estimate_frequency(item))
+
+    def estimate_rank(self, x) -> float:
+        return self._median_over(lambda c: c.estimate_rank(x))
+
+    def space_words(self) -> int:
+        return sum(c.space_words() for c in self.inner)
+
+
+class MedianBoostedScheme(TrackingScheme):
+    """Run ``copies`` independent instances of ``base``; answer medians.
+
+    Works for any scheme whose coordinator exposes ``estimate``,
+    ``estimate_frequency`` or ``estimate_rank``.  Communication and space
+    are exactly ``copies`` times the base scheme's.
+    """
+
+    def __init__(self, base: TrackingScheme, copies: int):
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        self.base = base
+        self.copies = copies
+        self.name = f"{base.name}+median{copies}"
+
+    def make_coordinator(self, network, k, seed):
+        inner = [
+            self.base.make_coordinator(
+                _TaggedChannel(network, i), k, seed * 1_000_003 + i
+            )
+            for i in range(self.copies)
+        ]
+        return BoostedCoordinator(network, inner)
+
+    def make_site(self, network, site_id, k, seed):
+        inner = [
+            self.base.make_site(
+                _TaggedChannel(network, i), site_id, k, seed * 1_000_003 + i
+            )
+            for i in range(self.copies)
+        ]
+        return BoostedSite(site_id, network, inner)

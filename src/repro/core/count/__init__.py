@@ -1,0 +1,6 @@
+"""Count-tracking protocols (Section 2 of the paper)."""
+
+from .deterministic import DeterministicCountScheme
+from .randomized import RandomizedCountScheme
+
+__all__ = ["DeterministicCountScheme", "RandomizedCountScheme"]

@@ -1,0 +1,6 @@
+"""Frequency (heavy hitters) tracking protocols (Section 3)."""
+
+from .deterministic import DeterministicFrequencyScheme
+from .randomized import RandomizedFrequencyScheme
+
+__all__ = ["DeterministicFrequencyScheme", "RandomizedFrequencyScheme"]

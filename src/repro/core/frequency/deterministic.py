@@ -1,0 +1,178 @@
+"""Deterministic frequency tracking ([29]-style baseline).
+
+The optimal deterministic protocol shape: within each round (rounds are
+the shared ``n_bar`` doublings), a site reports an item's local count
+whenever it has grown by ``Delta = Theta(eps * n_bar / k)`` since the last
+report.  For any fixed item, each site's unreported remainder is below
+``Delta``, so the coordinator's sum undercounts by at most
+``k * Delta + (MG slack) <= eps * n`` and never overcounts.
+
+Local counts come from a Misra–Gries summary with ``O(1/eps)`` counters,
+keeping per-site space at ``O(1/eps)`` words as in [29].  Communication is
+``O(k/eps)`` words per round — ``Theta(k/eps * log N)`` total, the
+deterministic optimum the paper's randomized algorithm beats by sqrt(k).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...runtime import Coordinator, Message, Network, Site, TrackingScheme
+from ...sketch.misra_gries import MisraGries
+from ..rounds import GlobalCountTracker, LocalDoubler
+
+__all__ = [
+    "DeterministicFrequencyScheme",
+    "DeterministicFrequencyCoordinator",
+    "DeterministicFrequencySite",
+]
+
+MSG_DOUBLE = "double"
+MSG_SET = "set"  # site -> coord: (item, reported local count), 2 words
+MSG_ROUND = "round"  # coord -> all: new n_bar
+
+
+class DeterministicFrequencySite(Site):
+    """MG-backed local counting with Delta-threshold reporting."""
+
+    def __init__(self, site_id, network, k, eps, exact_counts=False):
+        super().__init__(site_id, network)
+        self.k = k
+        self.eps = eps
+        self.exact_counts = exact_counts
+        self.doubler = LocalDoubler()
+        self.n_bar = 0
+        capacity = max(1, int(math.ceil(8.0 / eps)))
+        self.mg = None if exact_counts else MisraGries(capacity)
+        self.exact = {} if exact_counts else None
+        self.reported = {}
+        self._since_prune = 0
+
+    @property
+    def delta(self) -> int:
+        """Current reporting threshold Delta = eps * n_bar / (8k), >= 1."""
+        return max(1, int(self.eps * self.n_bar / (8 * self.k)))
+
+    def _local_count(self, item) -> int:
+        if self.exact_counts:
+            return self.exact.get(item, 0)
+        return self.mg.estimate(item)
+
+    def on_element(self, item) -> None:
+        report = self.doubler.increment()
+        if report is not None:
+            self.send(MSG_DOUBLE, report)
+
+        if self.exact_counts:
+            self.exact[item] = self.exact.get(item, 0) + 1
+        else:
+            self.mg.add(item)
+        count = self._local_count(item)
+        if count - self.reported.get(item, 0) >= self.delta:
+            self.reported[item] = count
+            self.send(MSG_SET, (item, count), words=2)
+
+        # Keep the reported map from outgrowing the MG summary: entries
+        # for evicted items are dropped (the coordinator keeps the stale
+        # value, which never overcounts).
+        self._since_prune += 1
+        if not self.exact_counts and self._since_prune >= 4 * self.mg.capacity:
+            self._since_prune = 0
+            if len(self.reported) > 2 * self.mg.capacity:
+                tracked = self.mg.counters
+                self.reported = {
+                    j: c for j, c in self.reported.items() if j in tracked
+                }
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == MSG_ROUND:
+            self.n_bar = message.payload
+
+    def space_words(self) -> int:
+        if self.exact_counts:
+            local = 2 * len(self.exact)
+        else:
+            local = self.mg.space_words()
+        return local + 2 * len(self.reported) + self.doubler.space_words() + 2
+
+
+class DeterministicFrequencyCoordinator(Coordinator):
+    """Sums the last reported local count per (site, item)."""
+
+    def __init__(self, network, k, eps):
+        super().__init__(network)
+        self.k = k
+        self.eps = eps
+        self.tracker = GlobalCountTracker()
+        self.last = {}  # (site_id, item) -> reported count
+        self.total = {}  # item -> sum over sites
+
+    def on_message(self, site_id: int, message: Message) -> None:
+        if message.kind == MSG_SET:
+            item, value = message.payload
+            key = (site_id, item)
+            self.total[item] = (
+                self.total.get(item, 0) + value - self.last.get(key, 0)
+            )
+            self.last[key] = value
+        elif message.kind == MSG_DOUBLE:
+            n_bar = self.tracker.update(site_id, message.payload)
+            if n_bar is not None:
+                self.broadcast(MSG_ROUND, n_bar)
+
+    def estimate_frequency(self, item) -> float:
+        """Estimated frequency; in [f - eps*n, f] (never overcounts)."""
+        return float(self.total.get(item, 0))
+
+    def heavy_hitters(self, phi: float) -> dict:
+        threshold = phi * max(1, self.tracker.n_prime)
+        return {
+            j: float(c) for j, c in self.total.items() if c >= threshold
+        }
+
+    def top_items(self, m: int) -> list:
+        """The m items with the largest estimated frequencies
+        ((item, estimate) pairs, best first; see [3])."""
+        scored = sorted(self.total.items(), key=lambda t: -t[1])
+        return [(j, float(c)) for j, c in scored[:m]]
+
+    @property
+    def n_bar(self) -> int:
+        return self.tracker.n_bar
+
+    def space_words(self) -> int:
+        return (
+            2 * len(self.last)
+            + 2 * len(self.total)
+            + self.tracker.space_words()
+        )
+
+
+class DeterministicFrequencyScheme(TrackingScheme):
+    """Factory for the deterministic baseline.
+
+    Parameters
+    ----------
+    epsilon:
+        Additive error target as a fraction of n.
+    exact_counts:
+        Keep exact per-item local counts instead of Misra–Gries
+        (unbounded space; useful to isolate the sketching error).
+    """
+
+    name = "frequency/deterministic"
+    one_way_capable = False
+
+    def __init__(self, epsilon: float, exact_counts: bool = False):
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        self.epsilon = epsilon
+        self.exact_counts = exact_counts
+
+    def make_coordinator(self, network, k, seed):
+        return DeterministicFrequencyCoordinator(network, k, self.epsilon)
+
+    def make_site(self, network, site_id, k, seed):
+        return DeterministicFrequencySite(
+            site_id, network, k, self.epsilon, self.exact_counts
+        )

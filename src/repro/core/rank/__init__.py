@@ -1,0 +1,11 @@
+"""Rank (quantile) tracking protocols (Section 4)."""
+
+from .cormode05 import Cormode05RankScheme
+from .deterministic import DeterministicRankScheme
+from .randomized import RandomizedRankScheme
+
+__all__ = [
+    "Cormode05RankScheme",
+    "DeterministicRankScheme",
+    "RandomizedRankScheme",
+]

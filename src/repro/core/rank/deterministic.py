@@ -1,0 +1,50 @@
+"""Deterministic rank tracking baseline (snapshot protocol).
+
+**Substitution note.**  The deterministic optimum of [29] reaches
+``O(k/eps * log N * log^2(1/eps))`` communication through a hierarchical
+slack-allocation argument that is a full paper of machinery on its own.
+What we reproduce as the deterministic comparator is the natural snapshot
+protocol of Cormode et al. [6] — the prior art the paper itself cites at
+``O(k/eps^2 * log N)``: every ``Delta = Theta(eps * n_bar / k)`` local
+arrivals, a site ships an ``eps/4``-spaced quantile snapshot of its local
+stream (size ``O(1/eps)``), and the coordinator sums interpolated local
+ranks.  This gives a *correct* deterministic tracker whose measured cost
+upper-bounds the [29] optimum; benchmark tables print the [29] theory
+formula alongside so both separations are visible.
+
+Naive alternatives that try to reach ``k/eps`` by shipping only changed
+summary entries degrade to ``Omega(n)`` messages on random-order inputs
+(every insertion perturbs all higher positions) — we verified this
+experimentally; it is exactly the failure mode [29]'s hierarchy exists to
+avoid, and why we keep the snapshot protocol as the honest baseline.
+"""
+
+from __future__ import annotations
+
+from ...runtime import TrackingScheme
+from .cormode05 import _SnapshotCoordinator, _SnapshotSite
+
+__all__ = ["DeterministicRankScheme"]
+
+
+class DeterministicRankScheme(TrackingScheme):
+    """Factory for the deterministic snapshot baseline.
+
+    Identical protocol to :class:`Cormode05RankScheme`; kept as a named
+    scheme so benchmark tables can show the deterministic comparator row
+    with the [29] theory bound printed next to the measured [6] cost.
+    """
+
+    name = "rank/deterministic"
+    one_way_capable = False
+
+    def __init__(self, epsilon: float):
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        self.epsilon = epsilon
+
+    def make_coordinator(self, network, k, seed):
+        return _SnapshotCoordinator(network, k, self.epsilon)
+
+    def make_site(self, network, site_id, k, seed):
+        return _SnapshotSite(site_id, network, k, self.epsilon)

@@ -1,0 +1,29 @@
+"""Shared helpers for rank/quantile coordinators."""
+
+from __future__ import annotations
+
+__all__ = ["quantile_from_rank_fn"]
+
+
+def quantile_from_rank_fn(candidates, rank_fn, target: float):
+    """Smallest candidate whose cumulative mass reaches ``target``.
+
+    ``candidates`` must be sorted ascending.  ``rank_fn(x)`` estimates
+    the mass strictly below ``x`` and must be monotone non-decreasing
+    (every rank estimator here is: all are sums of indicator counts).
+    The mass *up to and including* candidate ``i`` is evaluated as the
+    rank of the next candidate (infinite for the last), which keeps the
+    search correct for weighted summaries where one candidate may carry
+    arbitrary mass.  Binary search, O(log |C|) rank calls.
+    """
+    if not candidates:
+        raise ValueError("no candidate values to search")
+    lo, hi = 0, len(candidates) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        mass_through_mid = rank_fn(candidates[mid + 1])
+        if mass_through_mid >= target:
+            hi = mid
+        else:
+            lo = mid + 1
+    return candidates[lo]

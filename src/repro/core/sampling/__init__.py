@@ -1,0 +1,5 @@
+"""Continuous distributed sampling baseline (Cormode et al. [9])."""
+
+from .distributed_sampler import DistributedSamplingScheme
+
+__all__ = ["DistributedSamplingScheme"]

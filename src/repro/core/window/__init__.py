@@ -1,0 +1,5 @@
+"""Sliding-window tracking extension (related-work setting [5])."""
+
+from .count import WindowedCountScheme
+
+__all__ = ["WindowedCountScheme"]

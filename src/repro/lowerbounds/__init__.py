@@ -1,0 +1,30 @@
+"""Lower-bound constructions and experiments (Sections 2.2, 3.2, App. A)."""
+
+from .one_bit import (
+    OneBitInstance,
+    exact_probe_success,
+    min_probes_for_success,
+    sample_instance,
+    threshold_probe_success,
+)
+from .one_way import OneWayThresholdScheme, measure_on_mu
+from .sampling_problem import (
+    TwoNormals,
+    figure1_curve,
+    hypergeometric_error,
+    normal_error,
+)
+
+__all__ = [
+    "OneBitInstance",
+    "exact_probe_success",
+    "min_probes_for_success",
+    "sample_instance",
+    "threshold_probe_success",
+    "OneWayThresholdScheme",
+    "measure_on_mu",
+    "TwoNormals",
+    "figure1_curve",
+    "hypergeometric_error",
+    "normal_error",
+]

@@ -1,0 +1,123 @@
+"""The 1-bit problem (Definition 2.1) and probing strategies (Lemma 2.2).
+
+``s`` is ``k/2 + sqrt(k)`` or ``k/2 - sqrt(k)`` with equal probability;
+``s`` random sites hold bit 1.  The coordinator must identify ``s`` with
+probability >= 0.8.  Lemma 2.2 shows any protocol needs ``Omega(k)``
+communication; the essence is that probing ``z = o(k)`` random sites
+cannot distinguish the two hypergeometric distributions.
+
+This module provides the instance sampler, the optimal threshold test on
+``z`` probes, and exact/empirical success probabilities, regenerating the
+quantities behind Figure 1 and Claim A.1.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..runtime.rng import derive_rng
+
+__all__ = [
+    "OneBitInstance",
+    "sample_instance",
+    "threshold_probe_success",
+    "exact_probe_success",
+    "min_probes_for_success",
+]
+
+
+@dataclass(frozen=True)
+class OneBitInstance:
+    """One draw of the Definition 2.1 input."""
+
+    k: int
+    s: int  # number of 1-bits (k/2 + sqrt(k) or k/2 - sqrt(k))
+    high: bool  # True iff s = k/2 + sqrt(k)
+    bits: tuple
+
+
+def sample_instance(k: int, rng: random.Random) -> OneBitInstance:
+    """Draw an instance: pick s, then the random subset of 1-sites."""
+    if k < 4:
+        raise ValueError("need k >= 4")
+    sqrt_k = int(math.floor(math.sqrt(k)))
+    high = rng.random() < 0.5
+    s = k // 2 + sqrt_k if high else k // 2 - sqrt_k
+    ones = set(rng.sample(range(k), s))
+    bits = tuple(1 if i in ones else 0 for i in range(k))
+    return OneBitInstance(k=k, s=s, high=high, bits=bits)
+
+
+def threshold_probe_success(
+    k: int, z: int, trials: int = 2000, seed: int = 0
+) -> float:
+    """Empirical success rate of the optimal z-probe threshold test.
+
+    Probes ``z`` distinct random sites, counts ones ``X``, and guesses
+    "high" iff ``X > z/2`` (the symmetric likelihood threshold; ties are
+    broken by a fair coin).
+    """
+    if not 1 <= z <= k:
+        raise ValueError("z must be in [1, k]")
+    rng = derive_rng(seed, "one-bit-trials", k, z)
+    wins = 0
+    for _ in range(trials):
+        inst = sample_instance(k, rng)
+        probed = rng.sample(range(k), z)
+        x = sum(inst.bits[i] for i in probed)
+        if 2 * x == z:
+            guess_high = rng.random() < 0.5
+        else:
+            guess_high = 2 * x > z
+        if guess_high == inst.high:
+            wins += 1
+    return wins / trials
+
+
+def exact_probe_success(k: int, z: int) -> float:
+    """Exact success probability of the threshold test via the
+    hypergeometric pmf (no Monte Carlo noise)."""
+    if not 1 <= z <= k:
+        raise ValueError("z must be in [1, k]")
+    sqrt_k = int(math.floor(math.sqrt(k)))
+    s_high = k // 2 + sqrt_k
+    s_low = k // 2 - sqrt_k
+
+    def pmf(s: int, x: int) -> float:
+        if x < 0 or x > z or x > s or z - x > k - s:
+            return 0.0
+        return (
+            math.comb(s, x) * math.comb(k - s, z - x) / math.comb(k, z)
+        )
+
+    success = 0.0
+    for x in range(z + 1):
+        p_high = pmf(s_high, x)
+        p_low = pmf(s_low, x)
+        if 2 * x > z:
+            success += 0.5 * p_high
+        elif 2 * x < z:
+            success += 0.5 * p_low
+        else:
+            success += 0.25 * (p_high + p_low)
+    return success
+
+
+def min_probes_for_success(k: int, target: float = 0.8) -> int:
+    """Smallest z whose exact success probability reaches ``target``.
+
+    Claim A.1 predicts this grows as Omega(k); the Figure 1 benchmark
+    reports ``min_probes / k`` across k to exhibit the linear scaling.
+    """
+    lo, hi = 1, k
+    if exact_probe_success(k, hi) < target:
+        return k  # even probing everything barely suffices; cap at k
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if exact_probe_success(k, mid) >= target:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

@@ -1,0 +1,123 @@
+"""One-way communication experiments (Theorems 2.2 and 2.3).
+
+Theorem 2.2: with only site-to-coordinator messages, *any* randomized
+count tracker needs ``Omega(k/eps log N)`` messages — randomization does
+not help without the downlink.  The proof observes that a one-way site's
+behaviour is a fixed (possibly random) sequence of local-count
+thresholds, and the hard distribution mu forces ~k/2 sites to fire a
+threshold every ``(1+eps)`` growth of n.
+
+``OneWayThresholdScheme`` is exactly such a protocol family: each site
+independently reports when its local count crosses its next threshold
+(geometric thresholds, optionally with randomized jitter).  Running it on
+draws from mu measures the Theorem 2.2 cost; running the paper's two-way
+tracker on the same draws exhibits the sqrt(k) separation that one-way
+protocols cannot achieve.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..runtime import Coordinator, Message, Network, Simulation, Site, TrackingScheme
+from ..runtime.rng import derive_rng
+from ..workloads.adversarial import theorem22_distribution
+
+__all__ = ["OneWayThresholdScheme", "measure_on_mu"]
+
+MSG_VALUE = "value"
+
+
+class _ThresholdSite(Site):
+    """Fires when the local count crosses the next (1+eps)^i threshold.
+
+    With ``jitter=True`` each threshold is multiplied by an independent
+    uniform factor in [1, 1+eps) — a representative *randomized* one-way
+    strategy; Theorem 2.2 shows no such strategy can do better than the
+    deterministic spacing.
+    """
+
+    def __init__(self, site_id, network, eps, seed, jitter):
+        super().__init__(site_id, network)
+        self.eps = eps
+        self.rng = derive_rng(seed, "one-way-site", site_id)
+        self.jitter = jitter
+        self.n = 0
+        self.next_threshold = self._draw(1.0)
+
+    def _draw(self, base: float) -> float:
+        factor = 1 + self.rng.random() * self.eps if self.jitter else 1.0
+        return base * factor
+
+    def on_element(self, item) -> None:
+        self.n += 1
+        if self.n >= self.next_threshold:
+            self.send(MSG_VALUE, self.n)
+            self.next_threshold = self._draw(self.n * (1 + self.eps))
+
+    def space_words(self) -> int:
+        return 2
+
+
+class _ThresholdCoordinator(Coordinator):
+    def __init__(self, network):
+        super().__init__(network)
+        self.last = {}
+        self._total = 0
+
+    def on_message(self, site_id: int, message: Message) -> None:
+        if message.kind == MSG_VALUE:
+            self._total += message.payload - self.last.get(site_id, 0)
+            self.last[site_id] = message.payload
+
+    def estimate(self) -> float:
+        return float(self._total)
+
+    def space_words(self) -> int:
+        return len(self.last) + 1
+
+
+class OneWayThresholdScheme(TrackingScheme):
+    """One-way count tracking with (optionally randomized) thresholds."""
+
+    name = "count/one-way-threshold"
+    one_way_capable = True
+
+    def __init__(self, epsilon: float, jitter: bool = False):
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        self.epsilon = epsilon
+        self.jitter = jitter
+        if jitter:
+            self.name = "count/one-way-jittered"
+
+    def make_coordinator(self, network, k, seed):
+        return _ThresholdCoordinator(network)
+
+    def make_site(self, network, site_id, k, seed):
+        return _ThresholdSite(site_id, network, self.epsilon, seed, self.jitter)
+
+
+def measure_on_mu(scheme, k: int, n: int, draws: int, seed: int = 0,
+                  one_way: bool = False) -> dict:
+    """Average cost of ``scheme`` over draws from the mu distribution.
+
+    Returns mean messages/words per draw plus the worst relative error
+    observed at the end of each draw (sanity: the protocol must actually
+    track).
+    """
+    total_messages = 0
+    total_words = 0
+    worst_error = 0.0
+    for d in range(draws):
+        sim = Simulation(scheme, k, seed=seed + 7919 * d, one_way=one_way)
+        sim.run(theorem22_distribution(n, k, seed=seed + 104729 * d))
+        total_messages += sim.comm.total_messages
+        total_words += sim.comm.total_words
+        estimate = sim.coordinator.estimate()
+        worst_error = max(worst_error, abs(estimate - n) / n)
+    return {
+        "mean_messages": total_messages / draws,
+        "mean_words": total_words / draws,
+        "worst_final_error": worst_error,
+    }

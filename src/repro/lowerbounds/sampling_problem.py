@@ -1,0 +1,96 @@
+"""The sampling problem of Appendix A and the Figure 1 construction.
+
+After the protocol's first phase, the coordinator must decide whether
+``s' = k/2 + sqrt(k)`` or ``k/2 - sqrt(k)`` sites (out of ``k'``) hold
+bit 1 by probing ``z`` of them.  The probe count ``X`` follows one of two
+hypergeometric distributions; Figure 1 approximates them by normals
+``N(z(p - alpha), sigma^2)`` and ``N(z(p + alpha), sigma^2)`` and the
+optimal test thresholds at their crossing ``x0``.  The total error is
+``(Phi(-l1/sigma1) + Phi(-l2/sigma2)) / 2``, which stays near 1/2 unless
+``z = Omega(k)``.
+
+This module computes both the normal-approximation error curve and the
+exact hypergeometric error, regenerating Figure 1's quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "normal_error",
+    "hypergeometric_error",
+    "figure1_curve",
+    "TwoNormals",
+]
+
+
+def _phi(x: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True)
+class TwoNormals:
+    """The Figure 1 picture: two normals and the optimal threshold."""
+
+    mu1: float
+    mu2: float
+    sigma1: float
+    sigma2: float
+    x0: float
+    error: float
+
+
+def normal_error(k: int, z: int) -> TwoNormals:
+    """Error of the optimal test under the normal approximation.
+
+    ``p = 1/2``, ``alpha = 1/sqrt(k)``; the two means are ``z(p -/+
+    alpha)`` with common ``sigma = sqrt(z p (1-p))``.  Equal variances
+    put the threshold halfway: ``x0 = z p``.
+    """
+    p = 0.5
+    alpha = 1.0 / math.sqrt(k)
+    mu1 = z * (p - alpha)
+    mu2 = z * (p + alpha)
+    sigma = math.sqrt(z * p * (1 - p))
+    x0 = z * p
+    l1 = x0 - mu1
+    l2 = mu2 - x0
+    error = 0.5 * (_phi(-l1 / sigma) + _phi(-l2 / sigma))
+    return TwoNormals(
+        mu1=mu1, mu2=mu2, sigma1=sigma, sigma2=sigma, x0=x0, error=error
+    )
+
+
+def hypergeometric_error(k: int, z: int) -> float:
+    """Exact error of the optimal (likelihood-ratio) test on z probes."""
+    sqrt_k = int(math.floor(math.sqrt(k)))
+    s1 = k // 2 - sqrt_k
+    s2 = k // 2 + sqrt_k
+
+    def pmf(s: int, x: int) -> float:
+        if x < 0 or x > z or x > s or z - x > k - s:
+            return 0.0
+        return math.comb(s, x) * math.comb(k - s, z - x) / math.comb(k, z)
+
+    # The optimal test picks, for each outcome x, the likelier hypothesis.
+    error = 0.0
+    for x in range(z + 1):
+        error += 0.5 * min(pmf(s1, x), pmf(s2, x))
+    return error
+
+
+def figure1_curve(k: int, z_values) -> list:
+    """(z, normal error, exact error) triples across probe counts z.
+
+    The paper's claim: for z = o(k) both errors stay near 1/2 (failure
+    probability >= 0.49); driving the error below 0.3 needs z = Omega(k).
+    """
+    rows = []
+    for z in z_values:
+        approx = normal_error(k, z).error
+        exact = hypergeometric_error(k, z)
+        rows.append((z, approx, exact))
+    return rows

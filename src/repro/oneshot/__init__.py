@@ -1,0 +1,14 @@
+"""One-shot (k-party, single round) protocols — Section 1.3.
+
+The paper observes that continuous tracking is only a Theta(log N)
+factor harder than the one-shot versions of the frequency and rank
+problems ([13, 14]), and *much* harder for count (whose one-shot version
+is trivially exact at k words).  These implementations regenerate that
+comparison (experiment E15).
+"""
+
+from .count import one_shot_count
+from .frequency import OneShotFrequency
+from .rank import OneShotRank
+
+__all__ = ["one_shot_count", "OneShotFrequency", "OneShotRank"]

@@ -1,0 +1,31 @@
+"""One-shot distributed count (Section 1.3).
+
+In the k-party communication model the count problem is trivial: every
+site ships its exact counter once — ``k`` messages, zero error.  The
+point of implementing it is the paper's comparison: *tracking* the count
+continuously costs ``Theta(sqrt(k)/eps * log N)``, i.e. the tracking
+problem is genuinely harder than its one-shot version (for count, much
+harder — the one-shot cost has no 1/eps or log N at all).
+"""
+
+from __future__ import annotations
+
+__all__ = ["one_shot_count"]
+
+
+def one_shot_count(local_counts) -> tuple:
+    """Solve one-shot count exactly.
+
+    Parameters
+    ----------
+    local_counts:
+        Sequence of per-site counters ``n_i``.
+
+    Returns
+    -------
+    (estimate, words):
+        The exact total and the communication cost in words (one word
+        per site).
+    """
+    counts = list(local_counts)
+    return float(sum(counts)), len(counts)

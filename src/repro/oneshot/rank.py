@@ -1,0 +1,87 @@
+"""One-shot distributed rank/quantile estimation ([13], Section 1.3).
+
+Each site holds a static set of values; the coordinator wants any rank
+within ``eps * n``.  The sampling algorithm of Huang et al. [13]:
+each site sorts its data and ships a *systematic sample with a random
+offset* — every ``s``-th element starting from a uniformly random
+position, with spacing ``s = Theta(eps * n / sqrt(k))``.
+
+For a query x, site i's local rank is estimated as ``s * c_i + r_i``
+where ``c_i`` is the number of shipped values below x (the random offset
+makes the within-stride residual uniform, hence the estimator unbiased
+up to rounding, with variance ``s^2/12``).  Summing k sites:
+variance ``k * s^2 / 12 = (eps n)^2 / 12`` — error ``eps*n`` w.c.p.
+Communication: ``n / s = sqrt(k)/eps`` values plus ``k`` words for the
+local counts.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+
+__all__ = ["OneShotRank"]
+
+
+class OneShotRank:
+    """One round of the [13]-style systematic-sampling protocol."""
+
+    def __init__(self, eps: float, rng: random.Random):
+        if not 0.0 < eps < 1.0:
+            raise ValueError("eps must be in (0, 1)")
+        self.eps = eps
+        self.rng = rng
+        self._samples = []  # per site: (sorted sample list, spacing, count)
+        self.words = 0
+        self.n = 0
+        self.k = 0
+
+    def run(self, site_datasets) -> "OneShotRank":
+        """Execute the protocol over per-site value lists."""
+        datasets = [sorted(d) for d in site_datasets]
+        self.k = len(datasets)
+        self.n = sum(len(d) for d in datasets)
+        self.words = self.k  # local counts
+        if self.n == 0:
+            return self
+        spacing = max(1, int(self.eps * self.n / math.sqrt(self.k)))
+        for values in datasets:
+            if not values:
+                self._samples.append(([], spacing, 0))
+                continue
+            offset = self.rng.randrange(spacing)
+            sample = values[offset::spacing]
+            self.words += len(sample)
+            self._samples.append((sample, spacing, len(values)))
+        return self
+
+    def estimate_rank(self, x) -> float:
+        """Estimate of |{v < x}| over the union of all sites."""
+        rank = 0.0
+        for sample, spacing, count in self._samples:
+            if count == 0:
+                continue
+            below = bisect.bisect_left(sample, x)
+            # below strides are fully below x; the random offset puts the
+            # expected residual at (spacing - 1) / 2 per crossed stride.
+            est = below * spacing
+            rank += min(float(count), est)
+        return rank
+
+    def quantile(self, phi: float):
+        """A value whose global rank is ~phi * n."""
+        candidates = sorted(
+            v for sample, _, _ in self._samples for v in sample
+        )
+        if not candidates:
+            raise ValueError("no data")
+        target = min(max(phi, 0.0), 1.0) * self.n
+        lo, hi = 0, len(candidates) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.estimate_rank(candidates[mid]) + 1 >= target:
+                hi = mid
+            else:
+                lo = mid + 1
+        return candidates[lo]

@@ -1,0 +1,36 @@
+"""Distributed-tracking runtime: sites, coordinator, network, simulation.
+
+This package is the substrate on which every protocol in the library runs.
+It implements the paper's model of computation: ``k`` sites receiving
+streams, a coordinator with a two-way channel to each site, instant
+synchronous message delivery, and communication measured in messages and
+words (a broadcast costs ``k`` messages).
+"""
+
+from .coordinator import Coordinator
+from .metrics import CommStats, SpaceStats
+from .network import Network, OneWayViolation
+from .protocol import BROADCAST, DOWNLINK, UPLINK, Message
+from .rng import coin, derive_rng, geometric_failures, trailing_level
+from .scheme import TrackingScheme
+from .simulation import Simulation
+from .site import Site
+
+__all__ = [
+    "Coordinator",
+    "CommStats",
+    "SpaceStats",
+    "Network",
+    "OneWayViolation",
+    "Message",
+    "UPLINK",
+    "DOWNLINK",
+    "BROADCAST",
+    "coin",
+    "derive_rng",
+    "geometric_failures",
+    "trailing_level",
+    "TrackingScheme",
+    "Simulation",
+    "Site",
+]

@@ -1,0 +1,40 @@
+"""Abstract base class for protocol coordinators."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .network import Network
+from .protocol import Message
+
+__all__ = ["Coordinator"]
+
+
+class Coordinator(ABC):
+    """The central party that continuously maintains the tracked function.
+
+    Subclasses implement :meth:`on_message` plus one or more query methods
+    (``estimate()``, ``estimate_frequency(item)``, ``estimate_rank(x)``,
+    ...), and report their memory footprint through :meth:`space_words`.
+    """
+
+    def __init__(self, network: Network):
+        self.network = network
+
+    @abstractmethod
+    def on_message(self, site_id: int, message: Message) -> None:
+        """Handle a message arriving from site ``site_id``."""
+
+    def space_words(self) -> int:
+        """Coordinator working-space footprint, in words (optional)."""
+        return 0
+
+    # -- helpers ------------------------------------------------------------
+
+    def send_to(self, site_id: int, kind: str, payload=None, words: int = 1) -> None:
+        """Send a message to one site."""
+        self.network.send_to_site(site_id, Message(kind, payload, words))
+
+    def broadcast(self, kind: str, payload=None, words: int = 1) -> None:
+        """Send a message to every site (costs k messages)."""
+        self.network.broadcast(Message(kind, payload, words))

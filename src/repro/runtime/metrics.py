@@ -1,0 +1,93 @@
+"""Communication and space accounting.
+
+``CommStats`` counts every message routed through the :class:`Network`,
+split by direction.  A broadcast is charged ``k`` messages and ``k * words``
+words, exactly as in the paper's model ("broadcasting a message costs k
+times the communication for a single message").
+
+``SpaceStats`` records per-site space samples (in words) taken by the
+simulation loop, keeping the running maximum per site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CommStats", "SpaceStats"]
+
+
+@dataclass
+class CommStats:
+    """Running totals of messages and words, split by direction."""
+
+    uplink_messages: int = 0
+    uplink_words: int = 0
+    downlink_messages: int = 0
+    downlink_words: int = 0
+    broadcast_messages: int = 0
+    broadcast_words: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        return self.uplink_messages + self.downlink_messages + self.broadcast_messages
+
+    @property
+    def total_words(self) -> int:
+        return self.uplink_words + self.downlink_words + self.broadcast_words
+
+    def record_uplink(self, words: int) -> None:
+        self.uplink_messages += 1
+        self.uplink_words += words
+
+    def record_downlink(self, words: int) -> None:
+        self.downlink_messages += 1
+        self.downlink_words += words
+
+    def record_broadcast(self, words: int, k: int) -> None:
+        self.broadcast_messages += k
+        self.broadcast_words += words * k
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, handy for tables and asserts."""
+        return {
+            "uplink_messages": self.uplink_messages,
+            "uplink_words": self.uplink_words,
+            "downlink_messages": self.downlink_messages,
+            "downlink_words": self.downlink_words,
+            "broadcast_messages": self.broadcast_messages,
+            "broadcast_words": self.broadcast_words,
+            "total_messages": self.total_messages,
+            "total_words": self.total_words,
+        }
+
+
+@dataclass
+class SpaceStats:
+    """Per-site space high-water marks, in words."""
+
+    max_words_per_site: dict = field(default_factory=dict)
+    coordinator_max_words: int = 0
+
+    def record_site(self, site_id: int, words: int) -> None:
+        cur = self.max_words_per_site.get(site_id, 0)
+        if words > cur:
+            self.max_words_per_site[site_id] = words
+
+    def record_coordinator(self, words: int) -> None:
+        if words > self.coordinator_max_words:
+            self.coordinator_max_words = words
+
+    @property
+    def max_site_words(self) -> int:
+        """The largest space ever used by any single site."""
+        if not self.max_words_per_site:
+            return 0
+        return max(self.max_words_per_site.values())
+
+    @property
+    def mean_site_words(self) -> float:
+        """Mean over sites of each site's high-water mark."""
+        if not self.max_words_per_site:
+            return 0.0
+        vals = self.max_words_per_site.values()
+        return sum(vals) / len(vals)

@@ -1,0 +1,121 @@
+"""The communication channel between the coordinator and the sites.
+
+The network delivers messages synchronously (the paper assumes instant
+communication: "no element will arrive until all parties have decided not
+to send more messages"), and charges every message to a :class:`CommStats`
+ledger.  It can be restricted to one-way (site -> coordinator) traffic to
+reproduce the Theorem 2.2 setting.
+
+Fault injection: ``uplink_drop_rate`` silently discards that fraction of
+site-to-coordinator messages *after* charging them (the sender paid for
+the send; the network lost it).  The paper assumes reliable channels —
+this knob exists to study robustness: protocols in this library report
+absolute values (counter snapshots), so dropped reports are repaired by
+the next report, while shipped summaries (rank) lose their mass.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .metrics import CommStats
+from .protocol import Message
+
+__all__ = ["Network", "OneWayViolation"]
+
+_MAX_DEPTH = 10_000
+
+
+class OneWayViolation(RuntimeError):
+    """Raised when a coordinator tries to talk on a one-way network."""
+
+
+class Network:
+    """Routes messages between one coordinator and ``k`` sites.
+
+    Delivery is synchronous and re-entrant: a message handler may itself
+    send messages, which are delivered before the original call returns.
+    A depth guard catches accidental infinite chatter.
+    """
+
+    def __init__(
+        self,
+        num_sites: int,
+        one_way: bool = False,
+        uplink_drop_rate: float = 0.0,
+        drop_seed: int = 0,
+    ):
+        if num_sites < 1:
+            raise ValueError("need at least one site")
+        if not 0.0 <= uplink_drop_rate < 1.0:
+            raise ValueError("uplink_drop_rate must be in [0, 1)")
+        self.num_sites = num_sites
+        self.one_way = one_way
+        self.uplink_drop_rate = uplink_drop_rate
+        self.dropped_uplink_messages = 0
+        self._drop_rng = random.Random(drop_seed)
+        self.stats = CommStats()
+        self._coordinator = None
+        self._sites = {}
+        self._depth = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def bind(self, coordinator, sites) -> None:
+        """Attach the coordinator and the site list after construction."""
+        if len(sites) != self.num_sites:
+            raise ValueError(
+                f"expected {self.num_sites} sites, got {len(sites)}"
+            )
+        self._coordinator = coordinator
+        self._sites = {site.site_id: site for site in sites}
+        if len(self._sites) != self.num_sites:
+            raise ValueError("duplicate site ids")
+
+    # -- delivery --------------------------------------------------------
+
+    def _enter(self):
+        self._depth += 1
+        if self._depth > _MAX_DEPTH:
+            raise RuntimeError("message recursion too deep; protocol loop?")
+
+    def _exit(self):
+        self._depth -= 1
+
+    def send_to_coordinator(self, site_id: int, message: Message) -> None:
+        """Deliver a site's message to the coordinator (uplink)."""
+        self.stats.record_uplink(message.words)
+        if (
+            self.uplink_drop_rate > 0.0
+            and self._drop_rng.random() < self.uplink_drop_rate
+        ):
+            self.dropped_uplink_messages += 1
+            return
+        self._enter()
+        try:
+            self._coordinator.on_message(site_id, message)
+        finally:
+            self._exit()
+
+    def send_to_site(self, site_id: int, message: Message) -> None:
+        """Deliver a coordinator message to one site (downlink)."""
+        if self.one_way:
+            raise OneWayViolation("downlink disabled on a one-way network")
+        self.stats.record_downlink(message.words)
+        self._enter()
+        try:
+            self._sites[site_id].on_message(message)
+        finally:
+            self._exit()
+
+    def broadcast(self, message: Message) -> None:
+        """Deliver a coordinator message to every site; costs k messages."""
+        if self.one_way:
+            raise OneWayViolation("broadcast disabled on a one-way network")
+        self.stats.record_broadcast(message.words, self.num_sites)
+        self._enter()
+        try:
+            for site_id in sorted(self._sites):
+                self._sites[site_id].on_message(message)
+        finally:
+            self._exit()

@@ -1,0 +1,41 @@
+"""Message types exchanged between sites and the coordinator.
+
+The paper's cost model charges communication in *words*: any counter value
+below N, or one stream element, fits in a single word.  Each ``Message``
+therefore carries an explicit word count; senders are responsible for
+setting it to the number of words a real implementation would ship.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "UPLINK", "DOWNLINK", "BROADCAST"]
+
+UPLINK = "uplink"  # site -> coordinator
+DOWNLINK = "downlink"  # coordinator -> one site
+BROADCAST = "broadcast"  # coordinator -> all sites (costs k messages)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single protocol message.
+
+    Parameters
+    ----------
+    kind:
+        Protocol-specific tag, e.g. ``"update"`` or ``"round"``.
+    payload:
+        Arbitrary immutable content (tuples preferred).
+    words:
+        Size charged by the accounting model, in words.  Defaults to 1.
+    """
+
+    kind: str
+    payload: Any = None
+    words: int = 1
+
+    def __post_init__(self):
+        if self.words < 0:
+            raise ValueError("message size cannot be negative")

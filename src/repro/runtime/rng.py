@@ -1,0 +1,73 @@
+"""Seeded, splittable random-number utilities.
+
+Every protocol component in this library draws randomness from a
+``random.Random`` instance derived deterministically from a root seed and a
+string path (e.g. ``("site", 3)``).  This makes whole simulations
+reproducible while keeping per-component streams independent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+
+__all__ = ["derive_rng", "geometric_failures", "coin", "trailing_level"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(root_seed: int, path: tuple) -> int:
+    """Hash a root seed and a path of labels into a 64-bit child seed."""
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(root_seed).encode())
+    for part in path:
+        h.update(b"/")
+        h.update(str(part).encode())
+    return int.from_bytes(h.digest(), "big") & _MASK64
+
+
+def derive_rng(root_seed: int, *path) -> random.Random:
+    """Return a ``random.Random`` seeded from ``root_seed`` and ``path``.
+
+    The same ``(root_seed, path)`` always yields the same stream, and
+    distinct paths yield (cryptographically) independent streams.
+    """
+    return random.Random(_mix(root_seed, tuple(path)))
+
+
+def coin(rng: random.Random, p: float) -> bool:
+    """Flip a coin that lands heads with probability ``p``."""
+    if p >= 1.0:
+        return True
+    if p <= 0.0:
+        return False
+    return rng.random() < p
+
+
+def geometric_failures(rng: random.Random, p: float) -> int:
+    """Number of failed Bernoulli(p) trials before the first success.
+
+    Sampled in O(1) by inversion.  ``p`` must be in (0, 1].  For ``p == 1``
+    the answer is always 0.
+    """
+    if p >= 1.0:
+        return 0
+    if p <= 0.0:
+        raise ValueError("geometric_failures requires p > 0")
+    u = rng.random()
+    # Guard against log(0); u == 0.0 has probability ~2^-53 anyway.
+    if u <= 0.0:
+        u = 5e-324
+    return int(math.log(u) / math.log1p(-p))
+
+
+def trailing_level(rng: random.Random) -> int:
+    """Sample a geometric "level": the number of fair-coin heads in a row.
+
+    ``P(level >= j) = 2^{-j}``, used by binary-Bernoulli samplers.
+    """
+    level = 0
+    while rng.random() < 0.5:
+        level += 1
+    return level

@@ -1,0 +1,46 @@
+"""Abstract base class for protocol sites."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .network import Network
+from .protocol import Message
+
+__all__ = ["Site"]
+
+
+class Site(ABC):
+    """One of the ``k`` distributed sites receiving a local stream.
+
+    Subclasses implement :meth:`on_element` (a new stream element arrived
+    locally) and :meth:`on_message` (the coordinator sent us something),
+    and report their memory footprint through :meth:`space_words`.
+    """
+
+    def __init__(self, site_id: int, network: Network):
+        self.site_id = site_id
+        self.network = network
+
+    # -- protocol hooks ---------------------------------------------------
+
+    @abstractmethod
+    def on_element(self, item) -> None:
+        """Process one element of the local stream."""
+
+    def on_message(self, message: Message) -> None:
+        """Handle a message from the coordinator.  Default: ignore."""
+
+    # -- accounting --------------------------------------------------------
+
+    @abstractmethod
+    def space_words(self) -> int:
+        """Current working-space footprint, in words."""
+
+    # -- helpers ------------------------------------------------------------
+
+    def send(self, kind: str, payload=None, words: int = 1) -> None:
+        """Send a message to the coordinator."""
+        self.network.send_to_coordinator(
+            self.site_id, Message(kind, payload, words)
+        )

@@ -1,0 +1,21 @@
+"""Streaming summaries used as substrates by the tracking protocols."""
+
+from .bernoulli import BernoulliSampler, LevelSampler
+from .gk import GKSummary
+from .mergeable_quantile import QuantileSketchBuilder, QuantileSummary
+from .misra_gries import MisraGries
+from .reservoir import ReservoirSampler
+from .space_saving import SpaceSaving
+from .sticky_sampling import StickySampler
+
+__all__ = [
+    "BernoulliSampler",
+    "LevelSampler",
+    "GKSummary",
+    "QuantileSketchBuilder",
+    "QuantileSummary",
+    "MisraGries",
+    "ReservoirSampler",
+    "SpaceSaving",
+    "StickySampler",
+]

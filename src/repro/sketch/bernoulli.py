@@ -1,0 +1,94 @@
+"""Bernoulli and binary-Bernoulli (level) samplers.
+
+``BernoulliSampler`` keeps each element independently with probability
+``p`` — the residual-block estimator of the rank tracker and the ``d``
+stream of the frequency tracker both use it.
+
+``LevelSampler`` assigns each element a geometric level
+(``P(level >= j) = 2^-j``) and keeps elements at or above a moving
+threshold — the engine of the distributed sampling baseline [9].
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..runtime.rng import coin, trailing_level
+
+__all__ = ["BernoulliSampler", "LevelSampler"]
+
+
+class BernoulliSampler:
+    """Keep each offered element independently with probability ``p``."""
+
+    def __init__(self, p: float, rng: random.Random):
+        if not 0.0 < p <= 1.0:
+            raise ValueError("p must be in (0, 1]")
+        self.p = p
+        self.rng = rng
+        self.sample: list = []
+        self.n = 0
+
+    def offer(self, item) -> bool:
+        """Return True (and retain) with probability ``p``."""
+        self.n += 1
+        if coin(self.rng, self.p):
+            self.sample.append(item)
+            return True
+        return False
+
+    def estimate_count(self) -> float:
+        """Unbiased estimate of the number of offered elements."""
+        return len(self.sample) / self.p
+
+    def space_words(self) -> int:
+        return len(self.sample) + 2
+
+
+class LevelSampler:
+    """Binary-Bernoulli sampler with an adjustable level threshold.
+
+    Elements are stored as ``(item, level)``.  ``raise_level`` discards
+    elements below the new threshold; surviving elements are a Bernoulli
+    ``2^-level`` sample of everything offered.
+    """
+
+    def __init__(self, rng: random.Random, level: int = 0):
+        self.rng = rng
+        self.level = level
+        self.sample: list = []
+        self.n = 0
+
+    def draw_level(self) -> int:
+        """Sample the geometric level for a fresh element."""
+        return trailing_level(self.rng)
+
+    def offer(self, item) -> int:
+        """Assign a level; retain if it clears the threshold.
+
+        Returns the assigned level (callers forward qualifying elements).
+        """
+        self.n += 1
+        lvl = self.draw_level()
+        if lvl >= self.level:
+            self.sample.append((item, lvl))
+        return lvl
+
+    def admit(self, item, lvl: int) -> None:
+        """Store an element whose level was drawn elsewhere."""
+        if lvl >= self.level:
+            self.sample.append((item, lvl))
+
+    def raise_level(self, new_level: int) -> None:
+        """Increase the threshold, subsampling the retained set."""
+        if new_level < self.level:
+            raise ValueError("level can only increase")
+        self.level = new_level
+        self.sample = [(x, l) for (x, l) in self.sample if l >= new_level]
+
+    def estimate_count(self) -> float:
+        """Unbiased estimate of the number of offered elements."""
+        return len(self.sample) * float(2**self.level)
+
+    def space_words(self) -> int:
+        return 2 * len(self.sample) + 2

@@ -1,0 +1,106 @@
+"""Exponential histogram (Datar–Gionis–Indyk–Motwani) for window counts.
+
+Maintains a (1+eps)-approximate count of how many events fell in the
+last ``window`` time units, using ``O((1/eps) log(eps * W))`` buckets of
+power-of-two sizes.  The classic sliding-window substrate; used by the
+windowed count tracker (`repro.core.window`), our implementation of the
+related-work setting the paper cites as [5].
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+__all__ = ["ExponentialHistogram"]
+
+
+class ExponentialHistogram:
+    """Approximate count of events within a sliding time window.
+
+    Parameters
+    ----------
+    window:
+        Window length in time units (events older than ``now - window``
+        no longer count).
+    eps:
+        Relative error target; at most ``ceil(1/eps) + 1`` buckets of
+        each power-of-two size are kept, so the oldest (half-counted)
+        bucket is at most an eps-fraction of the window count.
+    """
+
+    def __init__(self, window: int, eps: float):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < eps < 1.0:
+            raise ValueError("eps must be in (0, 1)")
+        self.window = window
+        self.eps = eps
+        self.cap = int(math.ceil(1.0 / eps)) + 1
+        # Buckets newest-first: (newest timestamp in bucket, size).
+        self.buckets: deque = deque()
+        self.last_time = None
+
+    def add(self, timestamp) -> None:
+        """Record one event at ``timestamp`` (non-decreasing)."""
+        if self.last_time is not None and timestamp < self.last_time:
+            raise ValueError("timestamps must be non-decreasing")
+        self.last_time = timestamp
+        self.expire(timestamp)
+        self.buckets.appendleft([timestamp, 1])
+        # Cascade merges: more than cap buckets of a size -> merge the
+        # two oldest of that size into one of double size.
+        size = 1
+        while True:
+            idx = [i for i, b in enumerate(self.buckets) if b[1] == size]
+            if len(idx) <= self.cap:
+                break
+            second_oldest, oldest = idx[-2], idx[-1]
+            merged_time = self.buckets[second_oldest][0]
+            self.buckets[second_oldest] = [merged_time, 2 * size]
+            del self.buckets[oldest]
+            size *= 2
+
+    def expire(self, now) -> None:
+        """Drop buckets entirely older than the window."""
+        cutoff = now - self.window
+        while self.buckets and self.buckets[-1][0] <= cutoff:
+            self.buckets.pop()
+
+    def estimate(self, now=None) -> float:
+        """Approximate number of events in ``(now - window, now]``.
+
+        The oldest surviving bucket straddles the boundary; counting
+        half of it bounds the relative error by ``eps``.
+        """
+        if now is None:
+            now = self.last_time
+        if now is None or not self.buckets:
+            return 0.0
+        self.expire(now)
+        if not self.buckets:
+            return 0.0
+        total = sum(size for _, size in self.buckets)
+        oldest = self.buckets[-1][1]
+        return total - oldest / 2.0
+
+    def snapshot(self) -> tuple:
+        """Immutable copy of the bucket list, for shipping."""
+        return tuple((t, s) for t, s in self.buckets)
+
+    @staticmethod
+    def estimate_from_snapshot(snapshot, now, window) -> float:
+        """Evaluate a shipped snapshot at a (possibly later) time.
+
+        Expiry is computable from the bucket timestamps alone, so a
+        coordinator can age a site's snapshot without extra messages.
+        """
+        cutoff = now - window
+        alive = [(t, s) for t, s in snapshot if t > cutoff]
+        if not alive:
+            return 0.0
+        total = sum(s for _, s in alive)
+        return total - alive[-1][1] / 2.0
+
+    def space_words(self) -> int:
+        return 2 * len(self.buckets) + 3

@@ -1,0 +1,110 @@
+"""Greenwald–Khanna epsilon-approximate quantile summary [12].
+
+Deterministic streaming summary answering any rank query within
+``eps * n``.  Entries are ``(value, g, delta)`` tuples with the classic
+invariants: ``sum(g)`` over the prefix gives the minimum rank of an entry,
+``g + delta <= floor(2 * eps * n)`` after compression.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+__all__ = ["GKSummary"]
+
+
+class GKSummary:
+    """Greenwald–Khanna summary with error parameter ``eps``."""
+
+    def __init__(self, eps: float):
+        if not 0.0 < eps < 1.0:
+            raise ValueError("eps must be in (0, 1)")
+        self.eps = eps
+        # Parallel arrays sorted by value: values[i], g[i], delta[i].
+        self.values: list = []
+        self.g: list = []
+        self.delta: list = []
+        self.n = 0
+        self._since_compress = 0
+
+    # -- updates -----------------------------------------------------------
+
+    def add(self, value) -> None:
+        """Insert one element."""
+        self.n += 1
+        idx = bisect.bisect_left(self.values, value)
+        if idx == 0 or idx == len(self.values):
+            delta = 0
+        else:
+            delta = max(0, int(math.floor(2 * self.eps * self.n)) - 1)
+        self.values.insert(idx, value)
+        self.g.insert(idx, 1)
+        self.delta.insert(idx, delta)
+        self._since_compress += 1
+        if self._since_compress >= max(1, int(1.0 / (2 * self.eps))):
+            self.compress()
+            self._since_compress = 0
+
+    def compress(self) -> None:
+        """Merge adjacent entries while invariants allow."""
+        if len(self.values) < 3:
+            return
+        cap = int(math.floor(2 * self.eps * self.n))
+        values, g, delta = self.values, self.g, self.delta
+        # Sweep right-to-left, merging entry i into i+1 when legal.
+        i = len(values) - 2
+        while i >= 1:
+            if g[i] + g[i + 1] + delta[i + 1] <= cap:
+                g[i + 1] += g[i]
+                del values[i], g[i], delta[i]
+            i -= 1
+
+    # -- queries -----------------------------------------------------------
+
+    def rank(self, x) -> float:
+        """Estimate the rank of ``x`` (number of elements < x).
+
+        Guaranteed within ``eps * n``: for x in (v_{i-1}, v_i] the true
+        rank lies in [rmin_{i-1} - 1, rmin_i + delta_i - 1]; we return the
+        midpoint, whose error is (g_i + delta_i)/2 <= eps * n.
+        """
+        if not self.values:
+            return 0.0
+        if x <= self.values[0]:
+            return 0.0
+        if x > self.values[-1]:
+            return float(self.n)
+        prev_rmin = 0
+        rmin = 0
+        for i, v in enumerate(self.values):
+            rmin += self.g[i]
+            if v >= x:
+                lower = prev_rmin - 1
+                upper = rmin + self.delta[i] - 1
+                return max(0.0, (lower + upper) / 2.0)
+            prev_rmin = rmin
+        return float(self.n)
+
+    def quantile(self, phi: float):
+        """Return a value whose rank is within ``eps * n`` of ``phi * n``."""
+        if not self.values:
+            raise ValueError("summary is empty")
+        phi = min(max(phi, 0.0), 1.0)
+        target = phi * self.n
+        bound = self.eps * self.n
+        rmin = 0
+        for i, v in enumerate(self.values):
+            rmin += self.g[i]
+            rmax = rmin + self.delta[i]
+            if target - bound <= rmin and rmax <= target + bound:
+                return v
+            if rmin >= target:
+                return v
+        return self.values[-1]
+
+    def space_words(self) -> int:
+        return 3 * len(self.values) + 2
+
+    def __len__(self) -> int:
+        return len(self.values)

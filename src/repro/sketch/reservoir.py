@@ -1,0 +1,32 @@
+"""Classic reservoir sampling (Vitter's algorithm R)."""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["ReservoirSampler"]
+
+
+class ReservoirSampler:
+    """Uniform sample without replacement of fixed size over a stream."""
+
+    def __init__(self, size: int, rng: random.Random):
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self.rng = rng
+        self.sample: list = []
+        self.n = 0
+
+    def add(self, item) -> None:
+        """Offer one stream element to the reservoir."""
+        self.n += 1
+        if len(self.sample) < self.size:
+            self.sample.append(item)
+            return
+        j = self.rng.randrange(self.n)
+        if j < self.size:
+            self.sample[j] = item
+
+    def space_words(self) -> int:
+        return len(self.sample) + 2

@@ -1,0 +1,69 @@
+"""SpaceSaving frequent-items summary (Metwally et al. [19]).
+
+Keeps ``capacity`` (item, count, overestimate) triples.  Reported counts
+*overestimate* the truth by at most ``n / capacity``; the per-item
+``error`` field gives an item-specific bound.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SpaceSaving"]
+
+
+class SpaceSaving:
+    """Deterministic heavy-hitters summary with bounded overcount."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.counts: dict = {}
+        self.errors: dict = {}
+        self.n = 0
+
+    def add(self, item, count: int = 1) -> None:
+        """Process ``count`` occurrences of ``item``."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.n += count
+        if item in self.counts:
+            self.counts[item] += count
+            return
+        if len(self.counts) < self.capacity:
+            self.counts[item] = count
+            self.errors[item] = 0
+            return
+        # Evict the current minimum and inherit its count as error.
+        victim = min(self.counts, key=self.counts.get)
+        floor = self.counts.pop(victim)
+        self.errors.pop(victim)
+        self.counts[item] = floor + count
+        self.errors[item] = floor
+
+    def estimate(self, item) -> int:
+        """Upper bound on the frequency of ``item``.
+
+        True frequency lies in ``[estimate - error(item), estimate]``.
+        """
+        return self.counts.get(item, 0)
+
+    def guaranteed_count(self, item) -> int:
+        """Lower bound on the frequency of ``item``."""
+        if item not in self.counts:
+            return 0
+        return self.counts[item] - self.errors[item]
+
+    def error_bound(self) -> float:
+        """Worst-case overcount for any stored item."""
+        return self.n / self.capacity
+
+    def heavy_hitters(self, threshold: float):
+        """All stored items whose estimate reaches ``threshold``.
+
+        Contains every item with true frequency >= threshold (no false
+        negatives among sufficiently heavy items).
+        """
+        return {j: c for j, c in self.counts.items() if c >= threshold}
+
+    def space_words(self) -> int:
+        return 3 * len(self.counts) + 2

@@ -1,0 +1,60 @@
+"""Sticky sampling counter list (Manku–Motwani [18]).
+
+This is the per-site summary used inside the paper's frequency tracker
+(Section 3.1): when an item arrives, an existing counter is always
+incremented; a *new* counter is created only with probability ``p``.  The
+expected number of counters after ``n`` arrivals is at most ``p * n``
+(each distinct item contributes at most a geometric number of misses).
+
+A created counter starts at 1 and counts *exactly* from that point on, so
+``count = (true occurrences) - (occurrences missed before creation)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..runtime.rng import coin
+
+__all__ = ["StickySampler"]
+
+
+class StickySampler:
+    """Probabilistic counter list with creation probability ``p``."""
+
+    def __init__(self, p: float, rng: random.Random):
+        if not 0.0 < p <= 1.0:
+            raise ValueError("p must be in (0, 1]")
+        self.p = p
+        self.rng = rng
+        self.counters: dict = {}
+        self.n = 0
+
+    def add(self, item) -> tuple:
+        """Process one occurrence of ``item``.
+
+        Returns ``(created, count)`` where ``created`` says whether a new
+        counter was inserted by this arrival and ``count`` is the counter
+        value afterwards (``0`` if the item is still untracked).
+        """
+        self.n += 1
+        cur = self.counters.get(item)
+        if cur is not None:
+            self.counters[item] = cur + 1
+            return False, cur + 1
+        if coin(self.rng, self.p):
+            self.counters[item] = 1
+            return True, 1
+        return False, 0
+
+    def count(self, item) -> int:
+        """Counter value for ``item`` (0 if untracked)."""
+        return self.counters.get(item, 0)
+
+    def clear(self) -> None:
+        """Drop all counters (used at round boundaries)."""
+        self.counters.clear()
+        self.n = 0
+
+    def space_words(self) -> int:
+        return 2 * len(self.counters) + 2

@@ -1,0 +1,34 @@
+"""Workload generators: arrival patterns, item laws, adversarial inputs."""
+
+from .adversarial import theorem22_distribution, theorem24_stream
+from .generators import (
+    bursty_sites,
+    round_robin,
+    single_site,
+    skewed_sites,
+    uniform_sites,
+    with_items,
+)
+from .zipf import (
+    gaussian_values,
+    random_permutation_values,
+    sorted_values,
+    uniform_items,
+    zipf_items,
+)
+
+__all__ = [
+    "theorem22_distribution",
+    "theorem24_stream",
+    "bursty_sites",
+    "round_robin",
+    "single_site",
+    "skewed_sites",
+    "uniform_sites",
+    "with_items",
+    "gaussian_values",
+    "random_permutation_values",
+    "sorted_values",
+    "uniform_items",
+    "zipf_items",
+]

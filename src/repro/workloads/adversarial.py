@@ -1,0 +1,67 @@
+"""Hard input distributions from the paper's lower-bound proofs.
+
+``theorem22_distribution`` draws from the distribution mu of Theorem 2.2:
+with probability 1/2 all N elements arrive at one uniformly random site
+(case a); otherwise they arrive round-robin (case b).  Any *one-way*
+protocol must pay ``Omega(k/eps log N)`` messages against mu.
+
+``theorem24_stream`` builds the two-way lower-bound instance of
+Theorem 2.4: ``log(eps N / k)`` rounds, each of ``1/(2 eps sqrt(k))``
+subrounds; in each subround ``s = k/2 +- sqrt(k)`` random sites receive
+``2^i`` elements each, forcing the protocol to solve a fresh 1-bit
+instance (Definition 2.1) per subround.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from ..runtime.rng import derive_rng
+
+__all__ = ["theorem22_distribution", "theorem24_stream"]
+
+
+def theorem22_distribution(n: int, k: int, seed: int = 0, item=1) -> Iterator:
+    """One draw from the hard distribution mu of Theorem 2.2."""
+    rng = derive_rng(seed, "thm22")
+    if rng.random() < 0.5:
+        target = rng.randrange(k)
+        for _ in range(n):
+            yield target, item
+    else:
+        for t in range(n):
+            yield t % k, item
+
+
+def theorem24_stream(k: int, eps: float, rounds: int, seed: int = 0, item=1):
+    """The Theorem 2.4 adversarial stream.
+
+    Yields ``(site_id, item)`` pairs; also records, per subround, the
+    drawn value of ``s`` (k/2 + sqrt(k) or k/2 - sqrt(k)) in the returned
+    generator's ``.history`` — useful for validating that a tracker must
+    effectively answer each embedded 1-bit instance.
+
+    Returns (stream_list, history) where history is a list of
+    (round, subround, s) triples.
+    """
+    if k < 4:
+        raise ValueError("need k >= 4 for the s = k/2 +- sqrt(k) gadget")
+    rng = derive_rng(seed, "thm24")
+    sqrt_k = int(math.floor(math.sqrt(k)))
+    subrounds = max(1, int(1.0 / (2 * eps * math.sqrt(k))))
+    stream = []
+    history = []
+    for i in range(rounds):
+        per_site = 1 << i
+        for j in range(subrounds):
+            if rng.random() < 0.5:
+                s = k // 2 + sqrt_k
+            else:
+                s = k // 2 - sqrt_k
+            sites = rng.sample(range(k), s)
+            history.append((i, j, s))
+            for site in sites:
+                for _ in range(per_site):
+                    stream.append((site, item))
+    return stream, history

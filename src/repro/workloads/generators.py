@@ -1,0 +1,90 @@
+"""Arrival-pattern generators: who receives each element, and what it is.
+
+A *workload* is an iterable of ``(site_id, item)`` pairs.  Generators
+here compose an arrival pattern (round-robin, uniform, skewed, bursty)
+with an item source (see :mod:`repro.workloads.zipf` for item value
+distributions); for count-tracking the item payload is irrelevant and
+defaults to ``1``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, Optional
+
+from ..runtime.rng import derive_rng
+
+__all__ = [
+    "round_robin",
+    "uniform_sites",
+    "single_site",
+    "skewed_sites",
+    "bursty_sites",
+    "with_items",
+]
+
+
+def round_robin(n: int, k: int, item=1) -> Iterator:
+    """Element ``t`` goes to site ``t mod k`` (case (b) of Theorem 2.2)."""
+    for t in range(n):
+        yield t % k, item
+
+
+def uniform_sites(n: int, k: int, seed: int = 0, item=1) -> Iterator:
+    """Each element goes to an independently uniform site."""
+    rng = derive_rng(seed, "uniform-sites")
+    for _ in range(n):
+        yield rng.randrange(k), item
+
+
+def single_site(n: int, k: int, site_id: int = 0, item=1) -> Iterator:
+    """All elements arrive at one site (case (a) of Theorem 2.2)."""
+    if not 0 <= site_id < k:
+        raise ValueError("site_id out of range")
+    for _ in range(n):
+        yield site_id, item
+
+
+def skewed_sites(n: int, k: int, alpha: float = 1.0, seed: int = 0, item=1) -> Iterator:
+    """Zipf-skewed site choice: site i picked with weight (i+1)^-alpha."""
+    rng = derive_rng(seed, "skewed-sites")
+    weights = [(i + 1) ** (-alpha) for i in range(k)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    for _ in range(n):
+        u = rng.random()
+        lo = 0
+        hi = k - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] >= u:
+                hi = mid
+            else:
+                lo = mid + 1
+        yield lo, item
+
+
+def bursty_sites(
+    n: int, k: int, burst: int = 100, seed: int = 0, item=1
+) -> Iterator:
+    """Elements arrive in bursts: a random site takes ``burst`` in a row."""
+    rng = derive_rng(seed, "bursty-sites")
+    remaining = n
+    while remaining > 0:
+        site = rng.randrange(k)
+        take = min(burst, remaining)
+        for _ in range(take):
+            yield site, item
+        remaining -= take
+
+
+def with_items(
+    arrivals: Iterator, item_source: Callable[[int], object]
+) -> Iterator:
+    """Replace the item of each arrival with ``item_source(t)``."""
+    for t, (site_id, _) in enumerate(arrivals):
+        yield site_id, item_source(t)

@@ -1,0 +1,77 @@
+"""Item-value distributions for frequency and rank workloads."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator
+
+from ..runtime.rng import derive_rng
+
+__all__ = [
+    "zipf_items",
+    "uniform_items",
+    "random_permutation_values",
+    "sorted_values",
+    "gaussian_values",
+]
+
+
+def zipf_items(universe: int, alpha: float = 1.1, seed: int = 0) -> Callable[[int], int]:
+    """Item source drawing from a Zipf(alpha) law over ``universe`` items.
+
+    Item 0 is the heaviest.  Uses inverse-CDF sampling on the exact
+    finite Zipf weights (no scipy dependency on the hot path).
+    """
+    if universe < 1:
+        raise ValueError("universe must be >= 1")
+    rng = derive_rng(seed, "zipf-items")
+    weights = [(i + 1) ** (-alpha) for i in range(universe)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def source(_t: int) -> int:
+        u = rng.random()
+        lo, hi = 0, universe - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] >= u:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    return source
+
+
+def uniform_items(universe: int, seed: int = 0) -> Callable[[int], int]:
+    """Item source drawing uniformly from ``range(universe)``."""
+    rng = derive_rng(seed, "uniform-items")
+
+    def source(_t: int) -> int:
+        return rng.randrange(universe)
+
+    return source
+
+
+def random_permutation_values(n: int, seed: int = 0) -> list:
+    """Values 0..n-1 in random order (the standard rank workload)."""
+    rng = derive_rng(seed, "perm-values")
+    values = list(range(n))
+    rng.shuffle(values)
+    return values
+
+
+def sorted_values(n: int, descending: bool = False) -> list:
+    """Monotone value order — the adversarial-ish case for quantiles."""
+    values = list(range(n))
+    return values[::-1] if descending else values
+
+
+def gaussian_values(n: int, mu: float = 0.0, sigma: float = 1.0, seed: int = 0) -> list:
+    """IID normal values (latency-like rank workload)."""
+    rng = derive_rng(seed, "gauss-values")
+    return [rng.gauss(mu, sigma) for _ in range(n)]

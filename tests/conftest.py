@@ -1,0 +1,56 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+
+import pytest
+
+from repro.runtime import Simulation
+from repro.workloads import uniform_sites, with_items, zipf_items
+
+
+def run_count(scheme, n, k, seed=0, stream_seed=1, **sim_kwargs):
+    """Run a count scheme over a uniform stream; return the simulation."""
+    sim = Simulation(scheme, k, seed=seed, **sim_kwargs)
+    sim.run(uniform_sites(n, k, seed=stream_seed))
+    return sim
+
+
+def run_frequency(scheme, n, k, universe=200, alpha=1.2, seed=0, stream_seed=1):
+    """Run a frequency scheme over a Zipf stream.
+
+    Returns (sim, truth Counter).
+    """
+    items = zipf_items(universe, alpha=alpha, seed=stream_seed + 17)
+    stream = list(with_items(uniform_sites(n, k, seed=stream_seed), items))
+    sim = Simulation(scheme, k, seed=seed)
+    sim.run(stream)
+    truth = Counter(item for _, item in stream)
+    return sim, truth
+
+
+def run_rank(scheme, values, k, seed=0, stream_seed=1):
+    """Run a rank scheme over given values with uniform site choice.
+
+    Returns (sim, sorted values).
+    """
+    sites = [s for s, _ in uniform_sites(len(values), k, seed=stream_seed)]
+    sim = Simulation(scheme, k, seed=seed)
+    sim.run(zip(sites, values))
+    return sim, sorted(values)
+
+
+def true_rank(sorted_values, x) -> int:
+    return bisect.bisect_left(sorted_values, x)
+
+
+@pytest.fixture
+def small_k():
+    return 9
+
+
+@pytest.fixture
+def epsilon():
+    return 0.1

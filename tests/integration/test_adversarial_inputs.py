@@ -1,0 +1,69 @@
+"""Trackers under the paper's adversarial input constructions.
+
+The Theorem 2.4 stream embeds a fresh 1-bit instance per subround: in
+round i, s = k/2 +- sqrt(k) random sites receive 2^i elements each.  An
+*upper-bound* algorithm must stay accurate on this input too — the
+construction is hard for communication, not for correctness — and its
+message count must stay near the sqrt(k)/eps * log N shape.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    DeterministicCountScheme,
+    RandomizedCountScheme,
+    Simulation,
+)
+from repro.workloads import theorem22_distribution, theorem24_stream
+
+
+class TestTheorem24Stream:
+    def test_randomized_tracker_stays_accurate(self):
+        k, eps, rounds = 16, 0.05, 8
+        stream, history = theorem24_stream(k, eps, rounds, seed=42)
+        sim = Simulation(RandomizedCountScheme(eps), k, seed=1)
+        truth = 0
+        failures = 0
+        checks = 0
+        for idx, (site, item) in enumerate(stream):
+            sim.process(site, item)
+            truth += 1
+            if idx % max(1, len(stream) // 100) == 0 and truth > 100:
+                checks += 1
+                if abs(sim.coordinator.estimate() - truth) > 2 * eps * truth:
+                    failures += 1
+        assert checks >= 50
+        # Single copy: constant success probability per check.
+        assert failures / checks <= 0.25
+
+    def test_randomized_cheaper_than_det_on_adversarial_input(self):
+        k, eps, rounds = 64, 0.01, 6
+        stream, _ = theorem24_stream(k, eps, rounds, seed=7)
+        rand = Simulation(RandomizedCountScheme(eps), k, seed=2)
+        rand.run(stream)
+        det = Simulation(DeterministicCountScheme(eps), k, seed=2)
+        det.run(stream)
+        assert rand.comm.total_messages < det.comm.total_messages
+
+    def test_subround_structure_visible_to_tracker(self):
+        # Each subround delivers s * 2^i elements; the tracker's final
+        # estimate covers the full stream.
+        k, eps, rounds = 16, 0.1, 5
+        stream, history = theorem24_stream(k, eps, rounds, seed=3)
+        n = len(stream)
+        sim = Simulation(RandomizedCountScheme(eps), k, seed=4)
+        sim.run(stream)
+        assert abs(sim.coordinator.estimate() - n) <= 3 * eps * n
+
+
+class TestTheorem22Distribution:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_trackers_accurate_on_mu_draws(self, seed):
+        k, eps, n = 16, 0.05, 20_000
+        stream = list(theorem22_distribution(n, k, seed=seed))
+        for scheme in (RandomizedCountScheme(eps), DeterministicCountScheme(eps)):
+            sim = Simulation(scheme, k, seed=seed + 10)
+            sim.run(stream)
+            assert abs(sim.coordinator.estimate() - n) <= 3 * eps * n

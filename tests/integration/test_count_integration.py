@@ -1,0 +1,105 @@
+"""Integration tests: count tracking across workloads and over time.
+
+These exercise whole protocol stacks (round machinery + estimators +
+communication) against ground truth at many checkpoints, across the
+arrival patterns the paper's model allows.
+"""
+
+import pytest
+
+from repro import (
+    DeterministicCountScheme,
+    DistributedSamplingScheme,
+    MedianBoostedScheme,
+    RandomizedCountScheme,
+)
+from repro.analysis import evaluate_count_accuracy
+from repro.workloads import (
+    bursty_sites,
+    round_robin,
+    single_site,
+    skewed_sites,
+    uniform_sites,
+)
+
+N, K, EPS = 40_000, 16, 0.05
+
+
+def make_workloads(n, k):
+    return {
+        "uniform": uniform_sites(n, k, seed=11),
+        "round_robin": round_robin(n, k),
+        "single_site": single_site(n, k, site_id=3),
+        "skewed": skewed_sites(n, k, alpha=1.2, seed=12),
+        "bursty": bursty_sites(n, k, burst=250, seed=13),
+    }
+
+
+class TestRandomizedCountAcrossWorkloads:
+    @pytest.mark.parametrize("name", ["uniform", "round_robin", "single_site", "skewed", "bursty"])
+    def test_tracks_continuously(self, name):
+        stream = make_workloads(N, K)[name]
+        report, sim = evaluate_count_accuracy(
+            RandomizedCountScheme(EPS), K, stream, eps=2 * EPS,
+            checkpoint_every=N // 50,
+        )
+        # Single unboosted copy: constant success probability per the
+        # paper; 2*eps slack keeps the continuous success rate high.
+        assert report.success_rate >= 0.8, report.errors
+        assert report.mean_relative_error <= 2 * EPS
+
+    def test_boosted_succeeds_at_almost_all_times(self):
+        stream = uniform_sites(N, K, seed=21)
+        scheme = MedianBoostedScheme(RandomizedCountScheme(EPS), 7)
+        report, _ = evaluate_count_accuracy(
+            scheme, K, stream, eps=2 * EPS, checkpoint_every=N // 100
+        )
+        assert report.success_rate >= 0.98
+
+    def test_deterministic_never_fails(self):
+        stream = uniform_sites(N, K, seed=22)
+        report, _ = evaluate_count_accuracy(
+            DeterministicCountScheme(EPS), K, stream, eps=EPS,
+            checkpoint_every=N // 100,
+        )
+        assert report.success_rate == 1.0
+
+    def test_sampling_baseline_tracks(self):
+        stream = uniform_sites(N, K, seed=23)
+        report, _ = evaluate_count_accuracy(
+            DistributedSamplingScheme(EPS), K, stream, eps=3 * EPS,
+            checkpoint_every=N // 50,
+        )
+        assert report.success_rate >= 0.8
+
+
+class TestCommunicationComparisons:
+    def test_cost_ordering_small_eps(self):
+        # At eps = 0.01, k = 64: randomized < deterministic, and
+        # sampling (1/eps^2) is the most expensive of the three.
+        n, k, eps = 150_000, 64, 0.01
+        words = {}
+        for name, scheme in [
+            ("rand", RandomizedCountScheme(eps)),
+            ("det", DeterministicCountScheme(eps)),
+            ("sampling", DistributedSamplingScheme(eps)),
+        ]:
+            from repro import Simulation
+
+            sim = Simulation(scheme, k, seed=2, space_sample_interval=10**9)
+            sim.run(uniform_sites(n, k, seed=3))
+            words[name] = sim.comm.total_words
+        assert words["rand"] < words["det"]
+        assert words["det"] < words["sampling"]
+
+    def test_randomized_communication_near_theory(self):
+        from repro import Simulation
+        from repro.analysis import rand_count_comm
+
+        n, k, eps = 100_000, 25, 0.02
+        sim = Simulation(RandomizedCountScheme(eps), k, seed=4)
+        sim.run(uniform_sites(n, k, seed=5))
+        theory = rand_count_comm(k, eps, n)
+        measured = sim.comm.total_words
+        # Within a small constant factor of the Theorem 2.1 formula.
+        assert theory / 4 < measured < 8 * theory

@@ -1,0 +1,32 @@
+"""The shipped examples must run clean and print their tables."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = [
+    ("quickstart.py", ["Count tracking", "Randomization saves"]),
+    ("sensor_network.py", ["Sensor network", "Tracking over time"]),
+    ("network_heavy_hitters.py", ["Heavy hitters", "recall"]),
+    ("latency_quantiles.py", ["Latency quantiles", "p99"]),
+    ("lower_bound_tour.py", ["Theorem 2.2", "1-bit problem", "x0"]),
+    ("sliding_window.py", ["Sliding-window count", "window count ~ 0"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, expected):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    for needle in expected:
+        assert needle in result.stdout, f"missing {needle!r} in {script} output"

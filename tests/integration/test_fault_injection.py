@@ -1,0 +1,110 @@
+"""Fault injection: behaviour under lossy uplinks.
+
+The paper assumes reliable channels.  These tests document what happens
+when that assumption breaks: protocols whose reports are *absolute
+snapshots* (count, frequency counters) self-heal — a lost report is
+repaired by the next one — while protocols that ship *summaries whose
+mass is never re-sent* (rank) lose that mass proportionally.
+"""
+
+import pytest
+
+from repro import (
+    DeterministicCountScheme,
+    DeterministicFrequencyScheme,
+    RandomizedCountScheme,
+    RandomizedRankScheme,
+    Simulation,
+)
+from repro.workloads import random_permutation_values, uniform_sites
+
+N, K = 40_000, 16
+
+
+class TestNetworkDropKnob:
+    def test_validates_rate(self):
+        from repro.runtime import Network
+
+        with pytest.raises(ValueError):
+            Network(2, uplink_drop_rate=1.0)
+        with pytest.raises(ValueError):
+            Network(2, uplink_drop_rate=-0.1)
+
+    def test_drops_are_counted_and_charged(self):
+        sim = Simulation(
+            DeterministicCountScheme(0.05), K, seed=1, uplink_drop_rate=0.2
+        )
+        sim.run(uniform_sites(N, K, seed=2))
+        dropped = sim.network.dropped_uplink_messages
+        assert dropped > 0
+        # Charged regardless of loss: words reflect every send attempt.
+        assert sim.comm.uplink_messages > dropped
+
+    def test_zero_rate_is_lossless(self):
+        sim = Simulation(
+            DeterministicCountScheme(0.05), K, seed=1, uplink_drop_rate=0.0
+        )
+        sim.run(uniform_sites(5_000, K, seed=2))
+        assert sim.network.dropped_uplink_messages == 0
+
+
+class TestSelfHealingProtocols:
+    def test_deterministic_count_self_heals(self):
+        # Absolute counter reports: a lost report is repaired by the
+        # next (1+eps)-growth report, so the end-of-stream error stays
+        # close to the lossless guarantee.
+        eps, rate = 0.05, 0.2
+        sim = Simulation(
+            DeterministicCountScheme(eps), K, seed=3, uplink_drop_rate=rate
+        )
+        sim.run(uniform_sites(N, K, seed=4))
+        estimate = sim.coordinator.estimate()
+        assert estimate <= N
+        # Worst case adds ~one lost (1+eps) step per site on top of eps.
+        assert estimate >= (1 - 3 * eps) * N
+
+    def test_randomized_count_degrades_gracefully(self):
+        eps, rate = 0.05, 0.2
+        sim = Simulation(
+            RandomizedCountScheme(eps), K, seed=5, uplink_drop_rate=rate
+        )
+        sim.run(uniform_sites(N, K, seed=6))
+        estimate = sim.coordinator.estimate()
+        # Reports are absolute, so the estimator stays in the right
+        # ballpark despite 20% loss (some extra staleness noise).
+        assert abs(estimate - N) <= 6 * eps * N
+
+    def test_deterministic_frequency_self_heals(self):
+        eps, rate = 0.05, 0.2
+        sim = Simulation(
+            DeterministicFrequencyScheme(eps), K, seed=7, uplink_drop_rate=rate
+        )
+        stream = [(i % K, i % 10) for i in range(N)]
+        sim.run(stream)
+        truth = N // 10
+        est = sim.coordinator.estimate_frequency(0)
+        assert est <= truth
+        assert truth - est <= 3 * eps * N
+
+
+class TestRankTreeRedundancy:
+    def test_rank_tracker_tolerates_drops_via_tree_redundancy(self):
+        # Rank summaries are shipped once, so naively a dropped summary
+        # would lose its mass.  In practice the binary tree makes every
+        # element covered by h+1 node summaries: a received *parent*
+        # repairs a dropped leaf (canonical decomposition uses maximal
+        # received nodes).  The residue is a modest *positive* bias —
+        # the dropped leaf's Bernoulli samples linger in the pending
+        # list and double-count with the repairing parent.
+        eps, rate = 0.05, 0.25
+        values = random_permutation_values(N, seed=8)
+        sites = [s for s, _ in uniform_sites(N, K, seed=9)]
+        sim = Simulation(
+            RandomizedRankScheme(eps), K, seed=10, uplink_drop_rate=rate
+        )
+        sim.run(zip(sites, values))
+        total = sim.coordinator.estimate_total()
+        # Mass is essentially retained (no ~rate-sized loss)...
+        assert total > (1 - rate / 2) * N
+        # ...with a bounded double-counting bias on top.
+        assert total < (1 + rate / 2) * N

@@ -1,0 +1,112 @@
+"""Integration tests: frequency tracking on realistic item workloads."""
+
+import pytest
+
+from repro import (
+    DeterministicFrequencyScheme,
+    DistributedSamplingScheme,
+    RandomizedFrequencyScheme,
+    Simulation,
+)
+from repro.analysis import evaluate_frequency_accuracy
+from repro.workloads import (
+    skewed_sites,
+    uniform_sites,
+    with_items,
+    zipf_items,
+)
+
+N, K, EPS = 40_000, 16, 0.05
+
+
+def zipf_stream(n=N, k=K, alpha=1.3, seed=31):
+    return with_items(
+        uniform_sites(n, k, seed=seed), zipf_items(500, alpha=alpha, seed=seed + 1)
+    )
+
+
+class TestRandomizedFrequencyIntegration:
+    def test_continuous_tracking_head_items(self):
+        report, _ = evaluate_frequency_accuracy(
+            RandomizedFrequencyScheme(EPS), K, zipf_stream(), eps=2 * EPS,
+            track_items=[0, 1, 2, 5, 10],
+        )
+        assert report.success_rate >= 0.85
+
+    def test_skewed_site_arrivals(self):
+        stream = with_items(
+            skewed_sites(N, K, alpha=1.5, seed=32),
+            zipf_items(500, alpha=1.3, seed=33),
+        )
+        report, _ = evaluate_frequency_accuracy(
+            RandomizedFrequencyScheme(EPS), K, stream, eps=2 * EPS,
+            track_items=[0, 1, 2],
+        )
+        assert report.success_rate >= 0.85
+
+    def test_heavy_hitter_recall_and_precision(self):
+        from collections import Counter
+
+        stream = list(zipf_stream(alpha=1.6))
+        truth = Counter(j for _, j in stream)
+        n = len(stream)
+        sim = Simulation(RandomizedFrequencyScheme(0.02), K, seed=3)
+        sim.run(stream)
+        phi = 0.05
+        hh = sim.coordinator.heavy_hitters(phi)
+        true_heavy = {j for j, c in truth.items() if c >= (phi + 0.04) * n}
+        true_light = {j for j, c in truth.items() if c <= (phi - 0.04) * n}
+        assert true_heavy <= set(hh)  # recall of clearly-heavy items
+        assert not (set(hh) & true_light)  # no clearly-light item reported
+
+
+class TestFrequencyComparisons:
+    def test_all_schemes_agree_on_head_item(self):
+        from collections import Counter
+
+        stream = list(zipf_stream(alpha=1.5))
+        truth = Counter(j for _, j in stream)
+        n = len(stream)
+        for scheme in (
+            RandomizedFrequencyScheme(EPS),
+            DeterministicFrequencyScheme(EPS),
+            DistributedSamplingScheme(EPS),
+        ):
+            sim = Simulation(scheme, K, seed=7)
+            sim.run(stream)
+            est = sim.coordinator.estimate_frequency(0)
+            assert abs(est - truth[0]) <= 3 * EPS * n, scheme.name
+
+    def test_communication_ordering(self):
+        n, k, eps = 120_000, 64, 0.01
+        stream = list(
+            with_items(
+                uniform_sites(n, k, seed=41), zipf_items(1000, seed=42)
+            )
+        )
+        words = {}
+        for name, scheme in [
+            ("rand", RandomizedFrequencyScheme(eps)),
+            ("det", DeterministicFrequencyScheme(eps)),
+        ]:
+            sim = Simulation(scheme, k, seed=8, space_sample_interval=10**9)
+            sim.run(stream)
+            words[name] = sim.comm.total_words
+        assert words["rand"] < words["det"] / 2
+
+    def test_space_ordering_matches_table1(self):
+        # Table 1: randomized uses O(1/(eps sqrt(k))) per site vs the
+        # deterministic O(1/eps) — randomized should use less site space.
+        n, k, eps = 60_000, 64, 0.02
+        stream = list(
+            with_items(uniform_sites(n, k, seed=51), zipf_items(800, seed=52))
+        )
+        spaces = {}
+        for name, scheme in [
+            ("rand", RandomizedFrequencyScheme(eps)),
+            ("det", DeterministicFrequencyScheme(eps)),
+        ]:
+            sim = Simulation(scheme, k, seed=9, space_sample_interval=500)
+            sim.run(stream)
+            spaces[name] = sim.space.max_site_words
+        assert spaces["rand"] < spaces["det"]

@@ -1,0 +1,84 @@
+"""Property tests for communication-accounting invariants.
+
+Whatever a protocol does, the ledgers must stay consistent: totals equal
+the sums of the directional counters, broadcast messages are multiples
+of k, words are never negative, and boosting multiplies costs exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    MedianBoostedScheme,
+    RandomizedCountScheme,
+    RandomizedFrequencyScheme,
+    Simulation,
+)
+
+streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=6),
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+def ledger_invariants(sim: Simulation) -> None:
+    stats = sim.comm
+    assert stats.total_messages == (
+        stats.uplink_messages + stats.downlink_messages + stats.broadcast_messages
+    )
+    assert stats.total_words == (
+        stats.uplink_words + stats.downlink_words + stats.broadcast_words
+    )
+    assert stats.broadcast_messages % sim.num_sites == 0
+    assert stats.uplink_words >= 0
+    assert stats.broadcast_words >= 0
+
+
+class TestLedgerInvariants:
+    @given(stream=streams, seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=50, deadline=None)
+    def test_count_scheme_ledger(self, stream, seed):
+        sim = Simulation(RandomizedCountScheme(0.2), 5, seed=seed)
+        for s, _ in stream:
+            sim.process(s, 1)
+        ledger_invariants(sim)
+
+    @given(stream=streams, seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=50, deadline=None)
+    def test_frequency_scheme_ledger(self, stream, seed):
+        sim = Simulation(RandomizedFrequencyScheme(0.2), 5, seed=seed)
+        for s, j in stream:
+            sim.process(s, j)
+        ledger_invariants(sim)
+
+    @given(stream=streams, seed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_boosted_cost_at_least_each_copy(self, stream, seed):
+        # The boosted wrapper's ledger must dominate any single copy run
+        # with the same seed derivation (copies only add traffic).
+        boosted = Simulation(
+            MedianBoostedScheme(RandomizedCountScheme(0.2), 3), 5, seed=seed
+        )
+        for s, _ in stream:
+            boosted.process(s, 1)
+        ledger_invariants(boosted)
+        single = Simulation(RandomizedCountScheme(0.2), 5, seed=seed * 1_000_003)
+        for s, _ in stream:
+            single.process(s, 1)
+        assert boosted.comm.total_messages >= single.comm.total_messages
+
+    @given(stream=streams, seed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_space_samples_nonnegative(self, stream, seed):
+        sim = Simulation(
+            RandomizedFrequencyScheme(0.2), 5, seed=seed, space_sample_interval=7
+        )
+        for s, j in stream:
+            sim.process(s, j)
+        sim.sample_space()
+        assert all(v >= 0 for v in sim.space.max_words_per_site.values())
+        assert sim.space.coordinator_max_words >= 0

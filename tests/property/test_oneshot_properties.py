@@ -1,0 +1,92 @@
+"""Property-based tests for the one-shot protocols and accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oneshot import OneShotFrequency, OneShotRank, one_shot_count
+from repro.runtime.rng import derive_rng
+
+site_counts = st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=10)
+
+# Per-site item->count dicts over a small universe.
+site_datasets = st.lists(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=1, max_value=50),
+        max_size=10,
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+site_values = st.lists(
+    st.lists(st.integers(min_value=0, max_value=1000), max_size=150),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestOneShotCountProperties:
+    @given(counts=site_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_exact_and_k_words(self, counts):
+        estimate, words = one_shot_count(counts)
+        assert estimate == sum(counts)
+        assert words == len(counts)
+
+
+class TestOneShotFrequencyProperties:
+    @given(datasets=site_datasets, seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_estimates_nonnegative_and_bounded(self, datasets, seed):
+        proto = OneShotFrequency(0.2, derive_rng(seed, "osfp")).run(datasets)
+        n = proto.n
+        for item in range(16):
+            est = proto.estimate_frequency(item)
+            assert est >= 0.0
+            # A Horvitz-Thompson estimate never exceeds k/p-ish blowup;
+            # sanity bound: cannot exceed n / min inclusion probability,
+            # which for shipped pairs is f/pi <= f * (1/(f*p)) = 1/p.
+            assert est <= n + len(datasets) / max(
+                1e-9, min(1.0, (len(datasets) ** 0.5) / (0.2 * max(n, 1)))
+            )
+
+    @given(datasets=site_datasets, seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_words_bounded_by_data(self, datasets, seed):
+        proto = OneShotFrequency(0.2, derive_rng(seed, "osfp2")).run(datasets)
+        pairs = sum(len(d) for d in datasets)
+        assert proto.words <= len(datasets) + 2 * pairs
+
+    @given(datasets=site_datasets, seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_when_p_saturates(self, datasets, seed):
+        # With eps large and n small, p = min(1, sqrt(k)/(eps n)) is
+        # often 1: every pair ships and estimates are exact.
+        proto = OneShotFrequency(0.9, derive_rng(seed, "osfp3")).run(datasets)
+        import math
+
+        n = proto.n
+        if n and math.sqrt(len(datasets)) / (0.9 * n) >= 1.0:
+            truth = {}
+            for d in datasets:
+                for j, c in d.items():
+                    truth[j] = truth.get(j, 0) + c
+            for j, c in truth.items():
+                assert proto.estimate_frequency(j) == c
+
+
+class TestOneShotRankProperties:
+    @given(values=site_values, seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_rank_monotone_and_bounded(self, values, seed):
+        proto = OneShotRank(0.2, derive_rng(seed, "osrp")).run(values)
+        ranks = [proto.estimate_rank(x) for x in (0, 250, 500, 750, 1001)]
+        assert ranks == sorted(ranks)
+        assert all(0 <= r <= proto.n for r in ranks)
+
+    @given(values=site_values, seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_words_at_most_data(self, values, seed):
+        proto = OneShotRank(0.2, derive_rng(seed, "osrp2")).run(values)
+        assert proto.words <= proto.n + len(values)

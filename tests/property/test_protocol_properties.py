@@ -1,0 +1,200 @@
+"""Property-based tests for the tracking protocols.
+
+These drive whole simulations with hypothesis-generated arrival patterns
+and assert the invariants that must hold on *every* run: deterministic
+guarantees, accounting consistency, estimator sanity, and reproducibility.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DeterministicCountScheme,
+    DeterministicFrequencyScheme,
+    RandomizedCountScheme,
+    RandomizedFrequencyScheme,
+    RandomizedRankScheme,
+    Simulation,
+)
+
+# Streams as lists of site indices (k <= 6) with small payload alphabets.
+site_streams = st.lists(
+    st.integers(min_value=0, max_value=5), min_size=1, max_size=600
+)
+item_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=8),
+    ),
+    min_size=1,
+    max_size=600,
+)
+
+
+class TestDeterministicCountInvariants:
+    @given(sites=site_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_brackets_truth(self, sites):
+        eps = 0.1
+        sim = Simulation(DeterministicCountScheme(eps), 6)
+        n = 0
+        for s in sites:
+            sim.process(s, 1)
+            n += 1
+            est = sim.coordinator.estimate()
+            assert est <= n
+            assert est >= n / (1 + eps) - 6  # slack: one pre-report per site
+
+    @given(sites=site_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_one_way_only(self, sites):
+        sim = Simulation(DeterministicCountScheme(0.1), 6, one_way=True)
+        for s in sites:
+            sim.process(s, 1)
+        assert sim.comm.downlink_messages == 0
+
+
+class TestRandomizedCountInvariants:
+    @given(sites=site_streams, seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_nonnegative_and_finite(self, sites, seed):
+        sim = Simulation(RandomizedCountScheme(0.2), 6, seed=seed)
+        for s in sites:
+            sim.process(s, 1)
+            est = sim.coordinator.estimate()
+            assert est >= 0.0
+            assert est < 10 * len(sites) + 100
+
+    @given(sites=site_streams, seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_reproducible(self, sites, seed):
+        def run():
+            sim = Simulation(RandomizedCountScheme(0.2), 6, seed=seed)
+            for s in sites:
+                sim.process(s, 1)
+            return sim.coordinator.estimate(), sim.comm.total_messages
+
+        assert run() == run()
+
+    @given(sites=site_streams, seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_p_consistency_between_parties(self, sites, seed):
+        sim = Simulation(RandomizedCountScheme(0.2), 6, seed=seed)
+        for s in sites:
+            sim.process(s, 1)
+            assert all(site.p == sim.coordinator.p for site in sim.sites)
+
+    @given(sites=site_streams, seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_in_p_one_phase(self, sites, seed):
+        # With eps=0.2 and k=6, sqrt(k)/eps ~ 12.2: while n_bar stays
+        # below that, p == 1 and the estimate is exact.
+        sim = Simulation(RandomizedCountScheme(0.2), 6, seed=seed)
+        n = 0
+        for s in sites:
+            sim.process(s, 1)
+            n += 1
+            if sim.coordinator.p == 1.0:
+                assert sim.coordinator.estimate() == n
+
+
+class TestDeterministicFrequencyInvariants:
+    @given(stream=item_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_never_overcounts_any_item(self, stream):
+        sim = Simulation(DeterministicFrequencyScheme(0.2), 6)
+        truth = Counter()
+        for s, j in stream:
+            sim.process(s, j)
+            truth[j] += 1
+        for j in range(9):
+            assert sim.coordinator.estimate_frequency(j) <= truth[j]
+
+    @given(stream=item_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_undercount_bounded(self, stream):
+        eps = 0.2
+        sim = Simulation(DeterministicFrequencyScheme(eps), 6)
+        truth = Counter()
+        for s, j in stream:
+            sim.process(s, j)
+            truth[j] += 1
+        n = len(stream)
+        for j, c in truth.items():
+            est = sim.coordinator.estimate_frequency(j)
+            # eps*n threshold slack plus MG sketch slack plus per-site
+            # pre-first-report slack (one Delta per site).
+            assert c - est <= eps * n + 6 + n / 40
+
+
+class TestRandomizedFrequencyInvariants:
+    @given(stream=item_streams, seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_estimates_finite_and_reproducible(self, stream, seed):
+        def run():
+            sim = Simulation(RandomizedFrequencyScheme(0.2), 6, seed=seed)
+            for s, j in stream:
+                sim.process(s, j)
+            return [sim.coordinator.estimate_frequency(j) for j in range(9)]
+
+        a = run()
+        b = run()
+        assert a == b
+        assert all(abs(x) < 10 * len(stream) + 100 for x in a)
+
+    @given(stream=item_streams, seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_in_p_one_phase(self, stream, seed):
+        sim = Simulation(RandomizedFrequencyScheme(0.2), 6, seed=seed)
+        truth = Counter()
+        for s, j in stream:
+            sim.process(s, j)
+            truth[j] += 1
+            if sim.coordinator.p == 1.0 and not sim.coordinator.frozen:
+                for q in truth:
+                    assert sim.coordinator.estimate_frequency(q) == truth[q]
+
+
+class TestRandomizedRankInvariants:
+    @given(
+        stream=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            min_size=1,
+            max_size=400,
+        ),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rank_monotone_and_total_sane(self, stream, seed):
+        sim = Simulation(RandomizedRankScheme(0.2), 6, seed=seed)
+        for s, v in stream:
+            sim.process(s, v)
+        coord = sim.coordinator
+        ranks = [coord.estimate_rank(x) for x in (0, 250, 500, 750, 1001)]
+        assert ranks == sorted(ranks)
+        assert ranks[0] == 0.0
+        total = coord.estimate_total()
+        assert total >= 0
+        # estimate at +inf equals the total-mass estimate
+        assert abs(coord.estimate_rank(10**9) - total) < 1e-6
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=100), min_size=1, max_size=300
+        ),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reproducible(self, values, seed):
+        def run():
+            sim = Simulation(RandomizedRankScheme(0.2), 6, seed=seed)
+            for t, v in enumerate(values):
+                sim.process(t % 6, v)
+            return sim.coordinator.estimate_rank(50)
+
+        assert run() == run()

@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) for the streaming sketches."""
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.rng import derive_rng
+from repro.sketch import (
+    GKSummary,
+    MisraGries,
+    QuantileSketchBuilder,
+    SpaceSaving,
+    StickySampler,
+)
+
+small_streams = st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=300)
+capacities = st.integers(min_value=1, max_value=20)
+
+
+class TestMisraGriesProperties:
+    @given(stream=small_streams, capacity=capacities)
+    @settings(max_examples=60, deadline=None)
+    def test_undercount_invariant(self, stream, capacity):
+        mg = MisraGries(capacity)
+        truth = {}
+        for item in stream:
+            mg.add(item)
+            truth[item] = truth.get(item, 0) + 1
+        for item, count in truth.items():
+            est = mg.estimate(item)
+            assert est <= count
+            assert count - est <= len(stream) / (capacity + 1)
+
+    @given(stream=small_streams, capacity=capacities)
+    @settings(max_examples=60, deadline=None)
+    def test_counter_budget(self, stream, capacity):
+        mg = MisraGries(capacity)
+        for item in stream:
+            mg.add(item)
+            assert len(mg.counters) <= capacity
+            assert all(c > 0 for c in mg.counters.values())
+
+    @given(stream=small_streams, capacity=capacities)
+    @settings(max_examples=40, deadline=None)
+    def test_n_tracks_stream_length(self, stream, capacity):
+        mg = MisraGries(capacity)
+        for item in stream:
+            mg.add(item)
+        assert mg.n == len(stream)
+
+
+class TestSpaceSavingProperties:
+    @given(stream=small_streams, capacity=capacities)
+    @settings(max_examples=60, deadline=None)
+    def test_overcount_invariant(self, stream, capacity):
+        ss = SpaceSaving(capacity)
+        truth = {}
+        for item in stream:
+            ss.add(item)
+            truth[item] = truth.get(item, 0) + 1
+        for item in ss.counts:
+            assert ss.estimate(item) >= truth[item]
+            assert ss.estimate(item) - truth[item] <= ss.error_bound()
+            assert ss.guaranteed_count(item) <= truth[item]
+
+    @given(stream=small_streams, capacity=capacities)
+    @settings(max_examples=40, deadline=None)
+    def test_total_count_conserved(self, stream, capacity):
+        # Sum of stored counts >= stream length (overestimates only),
+        # and is exactly n when nothing was evicted.
+        ss = SpaceSaving(capacity)
+        for item in stream:
+            ss.add(item)
+        if len(set(stream)) <= capacity:
+            assert sum(ss.counts.values()) == len(stream)
+        else:
+            assert sum(ss.counts.values()) >= 0
+
+
+class TestGKProperties:
+    @given(
+        values=st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=1,
+            max_size=400,
+        ),
+        eps=st.sampled_from([0.05, 0.1, 0.2]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rank_error_bound(self, values, eps):
+        gk = GKSummary(eps)
+        for v in values:
+            gk.add(v)
+        svals = sorted(values)
+        n = len(values)
+        for x in {svals[0], svals[n // 2], svals[-1], svals[-1] + 1}:
+            true = bisect.bisect_left(svals, x)
+            assert abs(gk.rank(x) - true) <= eps * n + 1
+
+    @given(
+        values=st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=300),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_g_sums_to_n(self, values):
+        gk = GKSummary(0.1)
+        for v in values:
+            gk.add(v)
+        assert sum(gk.g) == len(values)
+        assert gk.values == sorted(gk.values)
+
+
+class TestQuantileSketchProperties:
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=1,
+            max_size=500,
+        ),
+        m=st.sampled_from([4, 8, 16]),
+        seed=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_weight_conservation(self, values, m, seed):
+        b = QuantileSketchBuilder(m, derive_rng(seed, "prop"))
+        for v in values:
+            b.add(v)
+        summary = b.finalize()
+        assert summary.total_weight == len(values)
+        assert summary.values == sorted(summary.values)
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=100), min_size=1, max_size=200
+        ),
+        seed=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rank_monotone(self, values, seed):
+        b = QuantileSketchBuilder(8, derive_rng(seed, "prop2"))
+        for v in values:
+            b.add(v)
+        s = b.finalize()
+        ranks = [s.rank(x) for x in range(0, 102)]
+        assert ranks == sorted(ranks)
+        assert ranks[-1] == len(values)
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=1000), min_size=1, max_size=300
+        ),
+        split=st.integers(min_value=0, max_value=300),
+        seed=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_weight_conservation(self, values, split, seed):
+        split = min(split, len(values))
+        a = QuantileSketchBuilder(8, derive_rng(seed, "pa"))
+        b = QuantileSketchBuilder(8, derive_rng(seed, "pb"))
+        for v in values[:split]:
+            a.add(v)
+        for v in values[split:]:
+            b.add(v)
+        a.merge_from(b)
+        assert a.finalize().total_weight == len(values)
+
+
+class TestStickyProperties:
+    @given(
+        stream=small_streams,
+        p=st.sampled_from([0.1, 0.5, 1.0]),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_counts_never_exceed_truth(self, stream, p, seed):
+        s = StickySampler(p, derive_rng(seed, "sticky"))
+        truth = {}
+        for item in stream:
+            s.add(item)
+            truth[item] = truth.get(item, 0) + 1
+            assert s.count(item) <= truth[item]
+
+    @given(stream=small_streams, seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_p_one_is_exact(self, stream, seed):
+        s = StickySampler(1.0, derive_rng(seed, "sticky1"))
+        truth = {}
+        for item in stream:
+            s.add(item)
+            truth[item] = truth.get(item, 0) + 1
+        assert all(s.count(j) == c for j, c in truth.items())

@@ -1,0 +1,104 @@
+"""Property-based tests for the exponential histogram and window tracker."""
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Simulation, WindowedCountScheme
+from repro.sketch.exponential_histogram import ExponentialHistogram
+
+# Non-decreasing timestamp sequences built from non-negative gaps.
+gap_lists = st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=300)
+
+
+def to_timestamps(gaps):
+    t = 0
+    out = []
+    for g in gaps:
+        t += g
+        out.append(t)
+    return out
+
+
+class TestExponentialHistogramProperties:
+    @given(gaps=gap_lists, window=st.integers(min_value=1, max_value=500))
+    @settings(max_examples=60, deadline=None)
+    def test_relative_error_invariant(self, gaps, window):
+        eps = 0.2
+        eh = ExponentialHistogram(window, eps)
+        timestamps = to_timestamps(gaps)
+        for i, t in enumerate(timestamps):
+            eh.add(t)
+            truth = i + 1 - bisect.bisect_right(timestamps, t - window, 0, i + 1)
+            estimate = eh.estimate(t)
+            assert abs(estimate - truth) <= eps * truth + 1
+
+    @given(gaps=gap_lists, window=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_estimate_never_negative_and_decays(self, gaps, window):
+        eh = ExponentialHistogram(window, 0.2)
+        timestamps = to_timestamps(gaps)
+        for t in timestamps:
+            eh.add(t)
+        end = timestamps[-1]
+        values = [eh.estimate(end + d) for d in (0, window // 2, window, 2 * window)]
+        assert all(v >= 0 for v in values)
+        assert values[-1] == 0.0
+        # Monotone non-increasing as time passes with no arrivals.
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    @given(gaps=gap_lists, window=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_equals_live(self, gaps, window):
+        eh = ExponentialHistogram(window, 0.2)
+        timestamps = to_timestamps(gaps)
+        for t in timestamps:
+            eh.add(t)
+        snap = eh.snapshot()
+        now = timestamps[-1] + window // 3
+        assert ExponentialHistogram.estimate_from_snapshot(
+            snap, now, window
+        ) == eh.estimate(now)
+
+    @given(gaps=gap_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_bucket_sizes_powers_of_two(self, gaps):
+        eh = ExponentialHistogram(100, 0.3)
+        for t in to_timestamps(gaps):
+            eh.add(t)
+            for _, size in eh.buckets:
+                assert size & (size - 1) == 0
+
+
+class TestWindowTrackerProperties:
+    @given(
+        gaps=gap_lists,
+        sites=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=300),
+        window=st.integers(min_value=5, max_value=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_estimate_bounded_by_truth_envelope(self, gaps, sites, window):
+        timestamps = to_timestamps(gaps)
+        n = min(len(timestamps), len(sites))
+        sim = Simulation(WindowedCountScheme(window, 0.2), 4, seed=0)
+        for i in range(n):
+            sim.process(sites[i], timestamps[i])
+        now = timestamps[n - 1]
+        truth = n - bisect.bisect_right(timestamps, now - window, 0, n)
+        estimate = sim.coordinator.estimate(now)
+        # Loose envelope: within eps-ish slack plus one pending batch per
+        # site (pre-first-report and in-flight counts).
+        assert 0 <= estimate <= truth + 1
+        assert estimate >= truth - 0.3 * truth - 2 * 4 - 2
+
+    @given(gaps=gap_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_decay_is_message_free(self, gaps):
+        sim = Simulation(WindowedCountScheme(50, 0.2), 2, seed=0)
+        timestamps = to_timestamps(gaps)
+        for i, t in enumerate(timestamps):
+            sim.process(i % 2, t)
+        before = sim.comm.total_messages
+        sim.coordinator.estimate(timestamps[-1] + 500)
+        assert sim.comm.total_messages == before

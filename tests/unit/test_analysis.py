@@ -1,0 +1,136 @@
+"""Unit tests for theory formulas, accuracy harness, and table rendering."""
+
+import math
+
+import pytest
+
+from repro import DeterministicCountScheme, RandomizedCountScheme
+from repro.analysis import (
+    AccuracyReport,
+    det_count_comm,
+    det_rank_comm,
+    evaluate_count_accuracy,
+    evaluate_frequency_accuracy,
+    evaluate_rank_accuracy,
+    format_number,
+    improvement_factor,
+    rand_count_comm,
+    rand_frequency_space,
+    rand_rank_comm,
+    render_table,
+    repeat_success_rate,
+    sampling_comm,
+)
+from repro.workloads import (
+    random_permutation_values,
+    uniform_sites,
+    with_items,
+    zipf_items,
+)
+from repro import RandomizedFrequencyScheme, RandomizedRankScheme
+
+
+class TestTheoryFormulas:
+    def test_det_vs_rand_separation(self):
+        k, eps, n = 100, 0.01, 10**6
+        assert det_count_comm(k, eps, n) / rand_count_comm(k, eps, n) > 3
+
+    def test_improvement_factor(self):
+        assert improvement_factor(100) == 10.0
+
+    def test_rand_count_scales_sqrt_k(self):
+        eps, n = 0.001, 10**6
+        a = rand_count_comm(100, eps, n)
+        b = rand_count_comm(400, eps, n)
+        # Dominant term sqrt(k)/eps: quadrupling k doubles cost.
+        assert 1.8 < b / a < 2.5
+
+    def test_det_scales_linear_k(self):
+        eps, n = 0.01, 10**6
+        assert det_count_comm(40, eps, n) == 2 * det_count_comm(20, eps, n)
+
+    def test_sampling_beats_det_when_eps_moderate(self):
+        # k = Omega(1/eps^2) regime: sampling is near-optimal.
+        k, eps, n = 10_000, 0.1, 10**6
+        assert sampling_comm(k, eps, n) < det_count_comm(k, eps, n)
+
+    def test_rank_formulas_positive(self):
+        assert det_rank_comm(16, 0.01, 10**6) > 0
+        assert rand_rank_comm(16, 0.01, 10**6) > 0
+
+    def test_frequency_space_formula(self):
+        assert rand_frequency_space(16, 0.01) == pytest.approx(25.0)
+
+
+class TestAccuracyHarness:
+    def test_count_report(self):
+        report, sim = evaluate_count_accuracy(
+            RandomizedCountScheme(0.1), 9, uniform_sites(10_000, 9, seed=1),
+            eps=0.1, checkpoint_every=500,
+        )
+        assert report.checkpoints == 20
+        assert report.success_rate >= 0.9
+        assert 0 <= report.mean_relative_error <= report.max_relative_error
+
+    def test_count_report_det_always_succeeds(self):
+        report, _ = evaluate_count_accuracy(
+            DeterministicCountScheme(0.1), 5, uniform_sites(5_000, 5, seed=2),
+            eps=0.1,
+        )
+        assert report.success_rate == 1.0
+
+    def test_frequency_report(self):
+        stream = with_items(
+            uniform_sites(10_000, 9, seed=3), zipf_items(50, seed=4)
+        )
+        report, _ = evaluate_frequency_accuracy(
+            RandomizedFrequencyScheme(0.1), 9, stream, eps=0.1,
+            track_items=[0, 1, 2],
+        )
+        assert report.checkpoints == 20 * 3
+        assert report.success_rate >= 0.85
+
+    def test_rank_report(self):
+        values = random_permutation_values(10_000, seed=5)
+        sites = [s for s, _ in uniform_sites(10_000, 9, seed=6)]
+        report, _ = evaluate_rank_accuracy(
+            RandomizedRankScheme(0.1), 9, zip(sites, values), eps=0.1,
+            query_points=[2_500, 5_000, 7_500],
+        )
+        assert report.checkpoints == 10 * 3
+        assert report.success_rate >= 0.85
+
+    def test_empty_report_defaults(self):
+        r = AccuracyReport()
+        assert r.success_rate == 1.0
+        assert r.mean_relative_error == 0.0
+        assert r.max_relative_error == 0.0
+
+    def test_repeat_success_rate(self):
+        assert repeat_success_rate(lambda seed: seed % 2 == 0, 10) == 0.5
+
+
+class TestTables:
+    def test_format_int(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_format_float(self):
+        assert format_number(0.1234) == "0.123"
+        assert format_number(1234.5) == "1,234"
+        assert format_number(0) in ("0", "0.0")
+
+    def test_format_passthrough(self):
+        assert format_number("abc") == "abc"
+
+    def test_render_table_aligns(self):
+        out = render_table(
+            ["name", "value"], [["a", 1], ["bb", 22]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len({len(l) for l in lines[1:]}) == 1  # uniform width
+
+    def test_render_table_no_title(self):
+        out = render_table(["x"], [[1]])
+        assert out.splitlines()[0].startswith("x")

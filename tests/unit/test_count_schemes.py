@@ -1,0 +1,178 @@
+"""Unit tests for the count-tracking protocols (Section 2)."""
+
+import math
+import statistics
+
+import pytest
+
+from repro import (
+    DeterministicCountScheme,
+    MedianBoostedScheme,
+    RandomizedCountScheme,
+    Simulation,
+)
+from repro.workloads import round_robin, single_site, uniform_sites
+
+from ..conftest import run_count
+
+
+class TestDeterministicCount:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            DeterministicCountScheme(0.0)
+        with pytest.raises(ValueError):
+            DeterministicCountScheme(1.0)
+
+    def test_exact_small_counts(self):
+        sim = run_count(DeterministicCountScheme(0.1), n=10, k=3)
+        # Every change below the first (1+eps) jump is reported exactly.
+        assert sim.coordinator.estimate() >= 10 / 1.1
+
+    @pytest.mark.parametrize("n,k", [(5_000, 4), (20_000, 10)])
+    def test_error_within_eps_always(self, n, k):
+        eps = 0.1
+        sim = Simulation(DeterministicCountScheme(eps), k)
+        truth = 0
+        for site_id, item in uniform_sites(n, k, seed=3):
+            sim.process(site_id, item)
+            truth += 1
+            est = sim.coordinator.estimate()
+            assert est <= truth
+            assert est > truth / (1 + eps) - k  # -k: pre-first-report slack
+
+    def test_one_way_capable(self):
+        sim = Simulation(DeterministicCountScheme(0.1), 5, one_way=True)
+        sim.run(uniform_sites(2_000, 5, seed=1))
+        assert sim.comm.downlink_messages == 0
+        assert sim.comm.broadcast_messages == 0
+
+    def test_communication_scales_with_k_over_eps(self):
+        n = 30_000
+        words_a = run_count(DeterministicCountScheme(0.1), n, k=4).comm.total_words
+        words_b = run_count(DeterministicCountScheme(0.1), n, k=16).comm.total_words
+        # Quadrupling k roughly quadruples cost (log factor shrinks a bit).
+        assert 2.0 < words_b / words_a < 6.0
+
+    def test_site_space_constant(self):
+        sim = run_count(DeterministicCountScheme(0.05), 20_000, 8)
+        assert sim.space.max_site_words <= 4
+
+
+class TestRandomizedCount:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            RandomizedCountScheme(-0.1)
+
+    def test_exact_while_p_is_one(self):
+        # While n_bar <= sqrt(k)/eps, p = 1 and the estimate is exact.
+        k, eps = 16, 0.05  # sqrt(k)/eps = 80
+        sim = Simulation(RandomizedCountScheme(eps), k, seed=0)
+        truth = 0
+        for site_id, item in round_robin(30, k):
+            sim.process(site_id, item)
+            truth += 1
+            assert sim.coordinator.estimate() == pytest.approx(truth)
+
+    def test_estimate_close_at_end(self):
+        n, k, eps = 60_000, 16, 0.05
+        sim = run_count(RandomizedCountScheme(eps), n, k)
+        assert abs(sim.coordinator.estimate() - n) <= 3 * eps * n
+
+    def test_estimate_unbiased_across_seeds(self):
+        n, k, eps, runs = 8_000, 9, 0.1, 40
+        estimates = []
+        for seed in range(runs):
+            sim = run_count(
+                RandomizedCountScheme(eps), n, k, seed=seed, stream_seed=5
+            )
+            estimates.append(sim.coordinator.estimate())
+        mean = statistics.mean(estimates)
+        sem = statistics.stdev(estimates) / math.sqrt(runs)
+        assert abs(mean - n) <= 4 * sem + 0.01 * n
+
+    def test_site_space_constant(self):
+        sim = run_count(RandomizedCountScheme(0.05), 50_000, 16)
+        assert sim.space.max_site_words <= 6
+
+    def test_single_site_workload(self):
+        # All data at one site: the adjustment machinery is stressed.
+        n, k, eps = 40_000, 25, 0.05
+        sim = Simulation(RandomizedCountScheme(eps), k, seed=3)
+        sim.run(single_site(n, k, site_id=7))
+        assert abs(sim.coordinator.estimate() - n) <= 4 * eps * n
+
+    def test_p_halves_over_rounds(self):
+        n, k, eps = 50_000, 16, 0.05
+        sim = run_count(RandomizedCountScheme(eps), n, k)
+        p = sim.coordinator.p
+        assert p < 1.0
+        # p must be an inverse power of two.
+        assert math.log2(1 / p) == int(math.log2(1 / p))
+        # And consistent with the final n_bar schedule.
+        from repro.core.rounds import report_probability
+
+        assert p == report_probability(sim.coordinator.n_bar, k, eps)
+
+    def test_sites_agree_with_coordinator_on_p(self):
+        sim = run_count(RandomizedCountScheme(0.05), 30_000, 9)
+        for site in sim.sites:
+            assert site.p == sim.coordinator.p
+
+    def test_uses_downlink(self):
+        sim = run_count(RandomizedCountScheme(0.05), 20_000, 9)
+        assert sim.comm.broadcast_messages > 0
+
+    def test_beats_deterministic_at_small_eps(self):
+        n, eps, k = 200_000, 0.01, 100
+        rand = run_count(RandomizedCountScheme(eps), n, k)
+        det = run_count(DeterministicCountScheme(eps), n, k)
+        assert rand.comm.total_words < det.comm.total_words / 2
+
+    def test_separation_grows_with_k(self):
+        # The sqrt(k) improvement: det/rand cost ratio must grow in k.
+        n, eps = 120_000, 0.01
+        ratios = []
+        for k in (9, 36, 100):
+            rand = run_count(RandomizedCountScheme(eps), n, k)
+            det = run_count(DeterministicCountScheme(eps), n, k)
+            ratios.append(det.comm.total_words / rand.comm.total_words)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+
+class TestMedianBoosting:
+    def test_rejects_bad_copies(self):
+        with pytest.raises(ValueError):
+            MedianBoostedScheme(RandomizedCountScheme(0.1), 0)
+
+    def test_estimate_close(self):
+        n, k, eps = 30_000, 9, 0.1
+        scheme = MedianBoostedScheme(RandomizedCountScheme(eps), 5)
+        sim = run_count(scheme, n, k)
+        assert abs(sim.coordinator.estimate() - n) <= 2 * eps * n
+
+    def test_cost_scales_with_copies(self):
+        n, k, eps = 20_000, 9, 0.1
+        one = run_count(RandomizedCountScheme(eps), n, k).comm.total_words
+        five = run_count(
+            MedianBoostedScheme(RandomizedCountScheme(eps), 5), n, k
+        ).comm.total_words
+        assert 3.0 < five / one < 7.0
+
+    def test_copies_are_independent(self):
+        # Inner coordinators should disagree slightly (independent RNG).
+        scheme = MedianBoostedScheme(RandomizedCountScheme(0.05), 5)
+        sim = run_count(scheme, 40_000, 9)
+        estimates = {round(c.estimate(), 3) for c in sim.coordinator.inner}
+        assert len(estimates) > 1
+
+    def test_name_mentions_base(self):
+        scheme = MedianBoostedScheme(RandomizedCountScheme(0.1), 3)
+        assert "median3" in scheme.name
+
+    def test_copies_for_confidence_is_odd(self):
+        from repro import copies_for_confidence
+
+        for delta in [0.1, 0.01]:
+            m = copies_for_confidence(delta, 0.05, 10**6)
+            assert m % 2 == 1
+            assert m >= 3

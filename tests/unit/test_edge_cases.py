@@ -1,0 +1,172 @@
+"""Edge-case suite: degenerate parameters, empty queries, tiny streams.
+
+The paper's model degenerates to the streaming model at k = 1 and to
+plain two-party communication at k = 2; the protocols must stay correct
+(if not interesting) at the extremes.
+"""
+
+import pytest
+
+from repro import (
+    DeterministicCountScheme,
+    DeterministicFrequencyScheme,
+    DeterministicRankScheme,
+    DistributedSamplingScheme,
+    MedianBoostedScheme,
+    RandomizedCountScheme,
+    RandomizedFrequencyScheme,
+    RandomizedRankScheme,
+    Simulation,
+)
+
+ALL_COUNT = [
+    RandomizedCountScheme,
+    DeterministicCountScheme,
+    DistributedSamplingScheme,
+]
+
+
+class TestSingleSiteDegeneratesToStreaming:
+    """k = 1: the model is the plain streaming model."""
+
+    @pytest.mark.parametrize("scheme_cls", ALL_COUNT)
+    def test_count_k1(self, scheme_cls):
+        sim = Simulation(scheme_cls(0.1), 1, seed=0)
+        for i in range(5_000):
+            sim.process(0, 1)
+        assert abs(sim.coordinator.estimate() - 5_000) <= 3 * 0.1 * 5_000
+
+    def test_frequency_k1(self):
+        sim = Simulation(RandomizedFrequencyScheme(0.1), 1, seed=0)
+        for i in range(4_000):
+            sim.process(0, i % 7)
+        est = sim.coordinator.estimate_frequency(0)
+        truth = len(range(0, 4_000, 7))
+        assert abs(est - truth) <= 3 * 0.1 * 4_000
+
+    def test_rank_k1(self):
+        sim = Simulation(RandomizedRankScheme(0.1), 1, seed=0)
+        for v in range(4_000):
+            sim.process(0, v)
+        assert abs(sim.coordinator.estimate_rank(2_000) - 2_000) <= 1_200
+
+
+class TestQueriesBeforeData:
+    def test_count_empty(self):
+        for scheme_cls in ALL_COUNT:
+            sim = Simulation(scheme_cls(0.1), 4, seed=0)
+            assert sim.coordinator.estimate() == 0.0
+
+    def test_frequency_empty(self):
+        for scheme_cls in (RandomizedFrequencyScheme, DeterministicFrequencyScheme):
+            sim = Simulation(scheme_cls(0.1), 4, seed=0)
+            assert sim.coordinator.estimate_frequency("x") == 0.0
+            assert sim.coordinator.heavy_hitters(0.1) == {}
+            assert sim.coordinator.top_items(5) == []
+
+    def test_rank_empty(self):
+        for scheme_cls in (RandomizedRankScheme, DeterministicRankScheme):
+            sim = Simulation(scheme_cls(0.1), 4, seed=0)
+            assert sim.coordinator.estimate_rank(42) == 0.0
+
+    def test_rank_quantile_empty_raises(self):
+        sim = Simulation(RandomizedRankScheme(0.1), 4, seed=0)
+        with pytest.raises(ValueError):
+            sim.coordinator.quantile(0.5)
+
+
+class TestSingleElement:
+    def test_count_one_element(self):
+        for scheme_cls in ALL_COUNT:
+            sim = Simulation(scheme_cls(0.1), 4, seed=0)
+            sim.process(2, 1)
+            assert sim.coordinator.estimate() == pytest.approx(1.0)
+
+    def test_frequency_one_element(self):
+        sim = Simulation(RandomizedFrequencyScheme(0.1), 4, seed=0)
+        sim.process(1, "only")
+        assert sim.coordinator.estimate_frequency("only") == pytest.approx(1.0)
+
+    def test_rank_one_element(self):
+        sim = Simulation(RandomizedRankScheme(0.1), 4, seed=0)
+        sim.process(0, 10)
+        assert sim.coordinator.estimate_rank(11) == pytest.approx(1.0)
+        assert sim.coordinator.estimate_rank(10) == pytest.approx(0.0)
+        assert sim.coordinator.quantile(0.5) == 10
+
+
+class TestExtremeEpsilon:
+    def test_near_one_epsilon(self):
+        # eps close to 1: very loose tracking, still sane.
+        sim = Simulation(RandomizedCountScheme(0.9), 4, seed=0)
+        for i in range(2_000):
+            sim.process(i % 4, 1)
+        assert sim.coordinator.estimate() >= 0
+
+    def test_tiny_epsilon_small_stream(self):
+        # eps so small that p never leaves 1: tracking is exact.
+        sim = Simulation(RandomizedCountScheme(0.001), 4, seed=0)
+        for i in range(500):
+            sim.process(i % 4, 1)
+        assert sim.coordinator.estimate() == 500.0
+
+
+class TestBoostedEdges:
+    def test_boosted_empty(self):
+        scheme = MedianBoostedScheme(RandomizedCountScheme(0.1), 3)
+        sim = Simulation(scheme, 3, seed=0)
+        assert sim.coordinator.estimate() == 0.0
+
+    def test_boosted_single_copy(self):
+        scheme = MedianBoostedScheme(RandomizedCountScheme(0.1), 1)
+        sim = Simulation(scheme, 3, seed=0)
+        for i in range(1_000):
+            sim.process(i % 3, 1)
+        assert abs(sim.coordinator.estimate() - 1_000) <= 300
+
+
+class TestNonNumericItems:
+    def test_frequency_with_string_items(self):
+        sim = Simulation(RandomizedFrequencyScheme(0.1), 3, seed=0)
+        for i in range(3_000):
+            sim.process(i % 3, f"key-{i % 5}")
+        est = sim.coordinator.estimate_frequency("key-0")
+        assert abs(est - 600) <= 900
+
+    def test_rank_with_float_values(self):
+        sim = Simulation(RandomizedRankScheme(0.1), 3, seed=0)
+        for i in range(3_000):
+            sim.process(i % 3, i * 0.5)
+        mid = sim.coordinator.estimate_rank(750.0)
+        assert abs(mid - 1_500) <= 900
+
+    def test_rank_with_tuple_values(self):
+        # Tie-breaking by (value, uid) pairs — the paper's reduction from
+        # frequency to rank requires ordered tuples to work.
+        sim = Simulation(RandomizedRankScheme(0.1), 3, seed=0)
+        for i in range(2_000):
+            sim.process(i % 3, (i % 10, i))
+        low = sim.coordinator.estimate_rank((5, -1))
+        assert abs(low - 1_000) <= 600
+
+
+class TestDuplicateHeavyStreams:
+    def test_count_all_same_site_same_item(self):
+        sim = Simulation(RandomizedCountScheme(0.05), 8, seed=1)
+        for _ in range(20_000):
+            sim.process(5, "same")
+        assert abs(sim.coordinator.estimate() - 20_000) <= 3_000
+
+    def test_frequency_single_item_stream(self):
+        sim = Simulation(RandomizedFrequencyScheme(0.05), 8, seed=1)
+        for i in range(20_000):
+            sim.process(i % 8, "hot")
+        est = sim.coordinator.estimate_frequency("hot")
+        assert abs(est - 20_000) <= 3_000
+
+    def test_rank_constant_stream(self):
+        sim = Simulation(RandomizedRankScheme(0.05), 8, seed=1)
+        for i in range(10_000):
+            sim.process(i % 8, 7)
+        assert sim.coordinator.estimate_rank(7) == pytest.approx(0.0, abs=1e-6)
+        assert abs(sim.coordinator.estimate_rank(8) - 10_000) <= 1_500

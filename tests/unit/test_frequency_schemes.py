@@ -1,0 +1,192 @@
+"""Unit tests for the frequency-tracking protocols (Section 3)."""
+
+import math
+import statistics
+
+import pytest
+
+from repro import (
+    DeterministicFrequencyScheme,
+    RandomizedFrequencyScheme,
+    Simulation,
+)
+from repro.workloads import single_site, uniform_sites, with_items, zipf_items
+
+from ..conftest import run_frequency
+
+
+class TestRandomizedFrequency:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            RandomizedFrequencyScheme(0.0)
+
+    def test_exact_while_p_is_one(self):
+        k, eps = 16, 0.05
+        sim = Simulation(RandomizedFrequencyScheme(eps), k, seed=0)
+        stream = [(i % k, "x" if i % 3 else "y") for i in range(30)]
+        truth = {}
+        for site_id, item in stream:
+            sim.process(site_id, item)
+            truth[item] = truth.get(item, 0) + 1
+            for j in ("x", "y"):
+                assert sim.coordinator.estimate_frequency(j) == pytest.approx(
+                    truth.get(j, 0)
+                )
+
+    def test_heavy_items_tracked(self):
+        eps, n, k = 0.05, 60_000, 16
+        sim, truth = run_frequency(RandomizedFrequencyScheme(eps), n, k)
+        for item in range(5):  # Zipf head
+            est = sim.coordinator.estimate_frequency(item)
+            assert abs(est - truth[item]) <= 3 * eps * n
+
+    def test_absent_item_near_zero(self):
+        eps, n, k = 0.05, 30_000, 9
+        sim, _ = run_frequency(RandomizedFrequencyScheme(eps), n, k)
+        est = sim.coordinator.estimate_frequency("never-seen")
+        assert abs(est) <= 2 * eps * n
+
+    def test_estimator_unbiased_across_seeds(self):
+        eps, n, k, runs = 0.1, 10_000, 9, 40
+        estimates = []
+        truth_value = None
+        for seed in range(runs):
+            sim, truth = run_frequency(
+                RandomizedFrequencyScheme(eps), n, k, seed=seed, stream_seed=11
+            )
+            truth_value = truth[0]
+            estimates.append(sim.coordinator.estimate_frequency(0))
+        mean = statistics.mean(estimates)
+        sem = statistics.stdev(estimates) / math.sqrt(runs)
+        assert abs(mean - truth_value) <= 4 * sem + 0.01 * n
+
+    def test_heavy_hitters_query(self):
+        eps, n, k = 0.02, 50_000, 9
+        sim, truth = run_frequency(
+            RandomizedFrequencyScheme(eps), n, k, alpha=1.5
+        )
+        hh = sim.coordinator.heavy_hitters(0.1)
+        # Item 0 holds a large share under Zipf(1.5).
+        assert truth[0] / n > 0.2
+        assert 0 in hh
+
+    def test_site_space_bounded_by_virtual_sites(self):
+        eps, n, k = 0.02, 80_000, 16
+        sim, _ = run_frequency(RandomizedFrequencyScheme(eps), n, k)
+        # Theory: O(1/(eps sqrt(k))) words = 12.5; allow constants.
+        bound = 20 / (eps * math.sqrt(k))
+        assert sim.space.max_site_words <= bound
+
+    def test_virtual_sites_cap_space_on_skew(self):
+        eps, n, k = 0.05, 40_000, 16
+        items = zipf_items(100, seed=5)
+        stream = list(
+            with_items(single_site(n, k, site_id=0), items)
+        )
+        capped = Simulation(RandomizedFrequencyScheme(eps), k, seed=1)
+        capped.run(stream)
+        uncapped = Simulation(
+            RandomizedFrequencyScheme(eps, virtual_sites=False), k, seed=1
+        )
+        uncapped.run(stream)
+        assert (
+            capped.space.max_words_per_site[0]
+            < uncapped.space.max_words_per_site[0]
+        )
+
+    def test_round_restart_clears_site_memory(self):
+        eps, k = 0.05, 9
+        sim = Simulation(RandomizedFrequencyScheme(eps), k, seed=0)
+        sim.run(uniform_sites(5_000, k, seed=2))
+        # After many rounds, site sticky lists only hold current-round items.
+        for site in sim.sites:
+            assert site.sticky.n <= site.doubler.n
+
+
+class TestDeterministicFrequency:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            DeterministicFrequencyScheme(2.0)
+
+    def test_never_overcounts(self):
+        eps, n, k = 0.05, 30_000, 9
+        sim, truth = run_frequency(DeterministicFrequencyScheme(eps), n, k)
+        for item in list(truth)[:50]:
+            assert sim.coordinator.estimate_frequency(item) <= truth[item]
+
+    def test_undercount_within_eps_n(self):
+        eps, n, k = 0.05, 30_000, 9
+        sim, truth = run_frequency(DeterministicFrequencyScheme(eps), n, k)
+        for item in range(20):
+            est = sim.coordinator.estimate_frequency(item)
+            assert truth[item] - est <= eps * n
+
+    def test_exact_counts_mode(self):
+        eps, n, k = 0.05, 20_000, 9
+        sim, truth = run_frequency(
+            DeterministicFrequencyScheme(eps, exact_counts=True), n, k
+        )
+        for item in range(10):
+            est = sim.coordinator.estimate_frequency(item)
+            assert truth[item] - est <= eps * n
+            assert est <= truth[item]
+
+    def test_site_space_bounded(self):
+        eps, n, k = 0.05, 40_000, 9
+        sim, _ = run_frequency(DeterministicFrequencyScheme(eps), n, k)
+        # MG capacity 8/eps = 160 counters -> space O(1/eps) words.
+        assert sim.space.max_site_words <= 8 * (8 / eps)
+
+    def test_heavy_hitters_query(self):
+        eps, n, k = 0.02, 50_000, 9
+        sim, truth = run_frequency(
+            DeterministicFrequencyScheme(eps), n, k, alpha=1.5
+        )
+        hh = sim.coordinator.heavy_hitters(0.1)
+        assert 0 in hh
+
+    def test_randomized_cheaper_than_deterministic(self):
+        eps, n, k = 0.01, 100_000, 36
+        rand, _ = run_frequency(RandomizedFrequencyScheme(eps), n, k)
+        det, _ = run_frequency(DeterministicFrequencyScheme(eps), n, k)
+        assert rand.comm.total_words < det.comm.total_words / 2
+
+
+class TestEstimatorAblation:
+    def test_biased_estimator_skips_sample_stream(self):
+        eps, n, k = 0.05, 20_000, 16
+        biased = RandomizedFrequencyScheme(eps, sample_correction=False)
+        sim, _ = run_frequency(biased, n, k)
+        # No d-stream messages at all.
+        assert all(not d for d in sim.coordinator.dcounts.values())
+
+    def test_biased_estimator_negatively_biased_on_spread_items(self):
+        # Many items with frequency ~ eps*n/sqrt(k) spread over all sites:
+        # estimator (2) misses the -d/p correction and undershoots on
+        # average; estimator (4) stays unbiased.  We compare the total
+        # estimate mass over all items, where the per-item bias adds up.
+        eps, k, runs = 0.1, 16, 12
+        universe = 60
+        n = 30_000
+        bias_sum = {True: 0.0, False: 0.0}
+        for corrected in (True, False):
+            for seed in range(runs):
+                scheme = RandomizedFrequencyScheme(
+                    eps, sample_correction=corrected
+                )
+                sim = Simulation(scheme, k, seed=seed)
+                stream = (
+                    (t % k, t % universe) for t in range(n)
+                )
+                sim.run(stream)
+                total_est = sum(
+                    sim.coordinator.estimate_frequency(j)
+                    for j in range(universe)
+                )
+                bias_sum[corrected] += total_est - n
+        mean_bias_corrected = bias_sum[True] / runs
+        mean_bias_biased = bias_sum[False] / runs
+        # The uncorrected estimator overshoots the corrected one markedly
+        # (its conditional branch drops the negative correction term).
+        assert mean_bias_biased > mean_bias_corrected
+        assert abs(mean_bias_corrected) < abs(mean_bias_biased)

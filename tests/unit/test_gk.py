@@ -1,0 +1,106 @@
+"""Unit tests for the Greenwald–Khanna quantile summary."""
+
+import random
+
+import pytest
+
+from repro.sketch import GKSummary
+
+
+def exact_rank(sorted_values, x):
+    import bisect
+
+    return bisect.bisect_left(sorted_values, x)
+
+
+class TestBasics:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            GKSummary(0.0)
+        with pytest.raises(ValueError):
+            GKSummary(1.0)
+
+    def test_empty_rank_zero(self):
+        gk = GKSummary(0.1)
+        assert gk.rank(5) == 0.0
+
+    def test_empty_quantile_raises(self):
+        gk = GKSummary(0.1)
+        with pytest.raises(ValueError):
+            gk.quantile(0.5)
+
+    def test_single_element(self):
+        gk = GKSummary(0.1)
+        gk.add(42)
+        assert gk.quantile(0.5) == 42
+        assert gk.rank(42) == 0.0
+        assert gk.rank(100) >= 0.0
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("order", ["sorted", "reversed", "random"])
+    def test_rank_error_within_eps(self, order):
+        eps = 0.05
+        gk = GKSummary(eps)
+        n = 3000
+        values = list(range(n))
+        if order == "reversed":
+            values = values[::-1]
+        elif order == "random":
+            random.Random(7).shuffle(values)
+        for v in values:
+            gk.add(v)
+        svals = sorted(values)
+        for q in range(0, n, 100):
+            err = abs(gk.rank(q) - exact_rank(svals, q))
+            assert err <= eps * n + 1
+
+    def test_quantile_error_within_eps(self):
+        eps = 0.05
+        gk = GKSummary(eps)
+        n = 2000
+        values = list(range(n))
+        random.Random(3).shuffle(values)
+        for v in values:
+            gk.add(v)
+        for phi in [0.1, 0.25, 0.5, 0.75, 0.9]:
+            q = gk.quantile(phi)
+            # Values are 0..n-1, so the value IS its rank.
+            assert abs(q - phi * n) <= 2 * eps * n + 1
+
+    def test_duplicates_handled(self):
+        gk = GKSummary(0.1)
+        for _ in range(100):
+            gk.add(5)
+        for _ in range(100):
+            gk.add(10)
+        assert gk.rank(7) == pytest.approx(100, abs=0.1 * 200 + 1)
+
+
+class TestCompression:
+    def test_space_sublinear(self):
+        eps = 0.02
+        gk = GKSummary(eps)
+        rng = random.Random(0)
+        n = 20_000
+        for _ in range(n):
+            gk.add(rng.random())
+        # GK keeps O(1/eps * log(eps n)) entries; assert well below n.
+        assert len(gk) < n / 10
+        assert len(gk) < 30 / eps
+
+    def test_compress_preserves_total_g(self):
+        gk = GKSummary(0.1)
+        for i in range(500):
+            gk.add(i)
+        gk.compress()
+        assert sum(gk.g) == 500
+
+    def test_extremes_survive(self):
+        gk = GKSummary(0.1)
+        values = list(range(1000))
+        random.Random(1).shuffle(values)
+        for v in values:
+            gk.add(v)
+        assert gk.quantile(0.0) <= 0.1 * 1000
+        assert gk.quantile(1.0) >= 1000 - 0.1 * 1000 - 1

@@ -1,0 +1,144 @@
+"""Unit tests for the lower-bound experiment modules."""
+
+import math
+
+import pytest
+
+from repro.lowerbounds import (
+    OneWayThresholdScheme,
+    exact_probe_success,
+    figure1_curve,
+    hypergeometric_error,
+    measure_on_mu,
+    min_probes_for_success,
+    normal_error,
+    sample_instance,
+    threshold_probe_success,
+)
+from repro.runtime.rng import derive_rng
+
+
+class TestOneBitInstances:
+    def test_instance_shape(self):
+        inst = sample_instance(16, derive_rng(0, "ob"))
+        assert len(inst.bits) == 16
+        assert sum(inst.bits) == inst.s
+        assert inst.s in (8 + 4, 8 - 4)
+
+    def test_high_flag_matches_s(self):
+        for seed in range(20):
+            inst = sample_instance(25, derive_rng(seed, "ob2"))
+            assert inst.high == (inst.s == 12 + 5)
+
+    def test_rejects_small_k(self):
+        with pytest.raises(ValueError):
+            sample_instance(2, derive_rng(0, "ob3"))
+
+
+class TestProbeSuccess:
+    def test_validates_z(self):
+        with pytest.raises(ValueError):
+            exact_probe_success(16, 0)
+        with pytest.raises(ValueError):
+            threshold_probe_success(16, 20)
+
+    def test_full_probe_high_success(self):
+        # Probing all k sites reveals s exactly -> near-certain success.
+        assert exact_probe_success(64, 64) > 0.99
+
+    def test_tiny_probe_near_half(self):
+        assert exact_probe_success(400, 2) < 0.62
+
+    def test_success_monotone_in_z(self):
+        k = 100
+        values = [exact_probe_success(k, z) for z in (5, 25, 50, 100)]
+        assert values == sorted(values)
+
+    def test_empirical_matches_exact(self):
+        k, z = 64, 32
+        exact = exact_probe_success(k, z)
+        empirical = threshold_probe_success(k, z, trials=4000, seed=1)
+        assert abs(empirical - exact) < 0.04
+
+    def test_min_probes_linear_in_k(self):
+        # Claim A.1: reaching 0.8 success needs z = Omega(k).
+        fractions = []
+        for k in (64, 144, 256):
+            z = min_probes_for_success(k, target=0.8)
+            fractions.append(z / k)
+        # The required fraction of sites probed stays bounded away from 0
+        # and does not vanish as k grows (empirically ~0.15).
+        assert min(fractions) > 0.1
+        assert max(fractions) / min(fractions) < 1.3
+
+
+class TestFigure1:
+    def test_normal_error_structure(self):
+        fig = normal_error(100, 20)
+        assert fig.mu1 < fig.x0 < fig.mu2
+        assert fig.sigma1 == fig.sigma2 > 0
+        assert 0 < fig.error <= 0.5
+
+    def test_error_near_half_for_small_z(self):
+        # z = o(k): both tests fail ~half the time (Claim A.1).
+        assert normal_error(10_000, 10).error > 0.45
+        assert hypergeometric_error(10_000, 10) > 0.45
+
+    def test_error_decreases_with_z(self):
+        k = 256
+        errs = [hypergeometric_error(k, z) for z in (8, 64, 256)]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_normal_approximates_hypergeometric(self):
+        k = 400
+        for z in (50, 150):
+            approx = normal_error(k, z).error
+            exact = hypergeometric_error(k, z)
+            assert abs(approx - exact) < 0.06
+
+    def test_figure1_curve_rows(self):
+        rows = figure1_curve(100, [10, 50, 100])
+        assert len(rows) == 3
+        assert all(len(r) == 3 for r in rows)
+
+
+class TestOneWay:
+    def test_one_way_scheme_runs_without_downlink(self):
+        stats = measure_on_mu(
+            OneWayThresholdScheme(0.1), k=8, n=4_000, draws=3, one_way=True
+        )
+        assert stats["mean_messages"] > 0
+        assert stats["worst_final_error"] <= 0.1 + 0.01
+
+    def test_jittered_variant_also_tracks(self):
+        stats = measure_on_mu(
+            OneWayThresholdScheme(0.1, jitter=True), k=8, n=4_000, draws=3,
+            one_way=True,
+        )
+        assert stats["worst_final_error"] <= 0.2
+
+    def test_one_way_cost_near_deterministic(self):
+        # Theorem 2.2: randomization cannot beat k/eps log N one-way.
+        eps, k, n = 0.05, 16, 20_000
+        det = measure_on_mu(OneWayThresholdScheme(eps), k, n, draws=4, one_way=True)
+        jit = measure_on_mu(
+            OneWayThresholdScheme(eps, jitter=True), k, n, draws=4, one_way=True
+        )
+        ratio = jit["mean_messages"] / det["mean_messages"]
+        assert 0.5 < ratio < 2.0
+
+    def test_two_way_randomized_beats_one_way_on_round_robin(self):
+        # Case (b) of the hard distribution, taken deterministically:
+        # one-way protocols pay ~k/eps log(N/k) while the two-way
+        # randomized tracker pays ~sqrt(k)/eps log N.
+        from repro import RandomizedCountScheme, Simulation
+        from repro.workloads import round_robin
+
+        eps, k, n = 0.01, 64, 60_000
+        one_way = Simulation(OneWayThresholdScheme(eps), k, one_way=True)
+        one_way.run(round_robin(n, k))
+        two_way = Simulation(RandomizedCountScheme(eps), k, seed=1)
+        two_way.run(round_robin(n, k))
+        assert (
+            two_way.comm.total_messages < one_way.comm.total_messages / 2
+        )

@@ -1,0 +1,170 @@
+"""Unit tests for the unbiased random-merge quantile summary."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.runtime.rng import derive_rng
+from repro.sketch import QuantileSketchBuilder, QuantileSummary
+
+
+class TestQuantileSummary:
+    def test_rank_counts_weight_below(self):
+        s = QuantileSummary([1, 3, 5], [2.0, 4.0, 8.0])
+        assert s.rank(0) == 0
+        assert s.rank(2) == 2.0
+        assert s.rank(4) == 6.0
+        assert s.rank(10) == 14.0
+
+    def test_rank_strictly_below_semantics(self):
+        s = QuantileSummary([5], [3.0])
+        assert s.rank(5) == 0.0
+        assert s.rank(5.0001) == 3.0
+
+    def test_total_weight(self):
+        s = QuantileSummary([1, 2], [1.5, 2.5])
+        assert s.total_weight == 4.0
+
+    def test_quantile(self):
+        s = QuantileSummary(list(range(10)), [1.0] * 10)
+        assert s.quantile(0.0) == 0
+        assert s.quantile(0.45) == 4
+        assert s.quantile(1.0) == 9
+
+    def test_quantile_empty_raises(self):
+        with pytest.raises(ValueError):
+            QuantileSummary([], []).quantile(0.5)
+
+    def test_size_words(self):
+        s = QuantileSummary([1, 2, 3], [1, 1, 1])
+        assert s.size_words() == 5
+
+
+class TestBuilderExactSmall:
+    def test_under_one_buffer_is_exact(self):
+        b = QuantileSketchBuilder(100, derive_rng(0, "mq"))
+        for v in [5, 1, 9, 3]:
+            b.add(v)
+        s = b.finalize()
+        assert s.rank(4) == 2.0
+        assert s.total_weight == 4.0
+
+    def test_rejects_bad_buffer(self):
+        with pytest.raises(ValueError):
+            QuantileSketchBuilder(0, derive_rng(0, "mq"))
+
+    def test_builder_rank_matches_finalized(self):
+        b = QuantileSketchBuilder(8, derive_rng(0, "mq2"))
+        for v in range(100):
+            b.add(v)
+        s = b.finalize()
+        for q in [0, 25, 50, 99]:
+            assert b.rank(q) == s.rank(q)
+
+
+class TestBuilderWeights:
+    def test_total_weight_preserved(self):
+        # Weights always sum to n exactly, whatever the merge pattern.
+        for m in [4, 7, 16]:
+            b = QuantileSketchBuilder(m, derive_rng(m, "mq3"))
+            n = 533
+            for v in range(n):
+                b.add(v)
+            assert b.finalize().total_weight == n
+
+    def test_power_of_two_consolidation(self):
+        # n = m * 2^s leaves exactly one buffer => summary size ~ m.
+        m, s = 16, 6
+        b = QuantileSketchBuilder(m, derive_rng(0, "mq4"))
+        for v in range(m << s):
+            b.add(v)
+        summary = b.finalize()
+        assert len(summary) == m
+
+    def test_space_words_bounded(self):
+        m = 32
+        b = QuantileSketchBuilder(m, derive_rng(0, "mq5"))
+        for v in range(10_000):
+            b.add(v)
+        # At most one buffer per level plus the partial.
+        levels = math.ceil(math.log2(10_000 / m)) + 1
+        assert b.space_words() <= m * (levels + 1) + m + 3
+
+
+class TestUnbiasedness:
+    def test_rank_unbiased(self):
+        # Mean over independent sketches approaches the true rank.
+        n, m, trials = 1024, 8, 400
+        values = list(range(n))
+        x = 317  # true rank = 317
+        estimates = []
+        for t in range(trials):
+            rng = derive_rng(t, "mq6")
+            order = values[:]
+            rng.shuffle(order)
+            b = QuantileSketchBuilder(m, rng)
+            for v in order:
+                b.add(v)
+            estimates.append(b.finalize().rank(x))
+        mean = statistics.mean(estimates)
+        sem = statistics.stdev(estimates) / math.sqrt(trials)
+        assert abs(mean - 317) <= 4 * sem + 1e-9
+
+    def test_std_error_calibration(self):
+        # for_error should deliver std error at most ~the target.
+        n, target = 4096, 150.0
+        trials = 200
+        errors = []
+        for t in range(trials):
+            rng = derive_rng(t, "mq7")
+            b = QuantileSketchBuilder.for_error(n, target, rng)
+            for v in range(n):
+                b.add(v)
+            errors.append(b.finalize().rank(n // 2) - n // 2)
+        std = statistics.pstdev(errors)
+        assert std <= 1.3 * target
+        mean = statistics.mean(errors)
+        assert abs(mean) <= 4 * std / math.sqrt(trials) + 1e-9
+
+    def test_for_error_exact_when_loose(self):
+        rng = derive_rng(0, "mq8")
+        b = QuantileSketchBuilder.for_error(10, 100.0, rng)
+        for v in range(10):
+            b.add(v)
+        # Loose error on a tiny stream: summary is lossless.
+        assert b.finalize().rank(5) == 5.0
+
+    def test_for_error_rejects_bad_error(self):
+        with pytest.raises(ValueError):
+            QuantileSketchBuilder.for_error(100, 0.0, derive_rng(0, "mq9"))
+
+
+class TestMerge:
+    def test_merge_from_preserves_weight(self):
+        a = QuantileSketchBuilder(8, derive_rng(0, "mqa"))
+        b = QuantileSketchBuilder(8, derive_rng(1, "mqb"))
+        for v in range(100):
+            a.add(v)
+        for v in range(100, 250):
+            b.add(v)
+        a.merge_from(b)
+        assert a.finalize().total_weight == 250
+
+    def test_merge_requires_same_m(self):
+        a = QuantileSketchBuilder(8, derive_rng(0, "mqc"))
+        b = QuantileSketchBuilder(16, derive_rng(1, "mqd"))
+        with pytest.raises(ValueError):
+            a.merge_from(b)
+
+    def test_merged_rank_reasonable(self):
+        a = QuantileSketchBuilder(16, derive_rng(0, "mqe"))
+        b = QuantileSketchBuilder(16, derive_rng(1, "mqf"))
+        for v in range(0, 1000, 2):
+            a.add(v)
+        for v in range(1, 1000, 2):
+            b.add(v)
+        a.merge_from(b)
+        est = a.finalize().rank(500)
+        assert abs(est - 500) < 150

@@ -1,0 +1,173 @@
+"""Unit tests for the network and the simulation driver."""
+
+import pytest
+
+from repro.runtime import (
+    Coordinator,
+    Message,
+    Network,
+    OneWayViolation,
+    Simulation,
+    Site,
+    TrackingScheme,
+)
+
+
+class EchoSite(Site):
+    """Reports every element; records coordinator messages."""
+
+    def __init__(self, site_id, network):
+        super().__init__(site_id, network)
+        self.received = []
+        self.n = 0
+
+    def on_element(self, item) -> None:
+        self.n += 1
+        self.send("saw", item, words=2)
+
+    def on_message(self, message: Message) -> None:
+        self.received.append(message)
+
+    def space_words(self) -> int:
+        return self.n  # deliberately grows, to exercise space sampling
+
+
+class EchoCoordinator(Coordinator):
+    """Acks every third message; broadcasts every fifth."""
+
+    def __init__(self, network):
+        super().__init__(network)
+        self.log = []
+
+    def on_message(self, site_id, message):
+        self.log.append((site_id, message))
+        if len(self.log) % 3 == 0:
+            self.send_to(site_id, "ack")
+        if len(self.log) % 5 == 0:
+            self.broadcast("sync", words=2)
+
+    def space_words(self) -> int:
+        return len(self.log)
+
+
+class EchoScheme(TrackingScheme):
+    name = "echo"
+
+    def make_coordinator(self, network, k, seed):
+        return EchoCoordinator(network)
+
+    def make_site(self, network, site_id, k, seed):
+        return EchoSite(site_id, network)
+
+
+class TestNetwork:
+    def test_requires_positive_sites(self):
+        with pytest.raises(ValueError):
+            Network(0)
+
+    def test_bind_checks_site_count(self):
+        net = Network(2)
+        coord = EchoCoordinator(net)
+        with pytest.raises(ValueError):
+            net.bind(coord, [EchoSite(0, net)])
+
+    def test_bind_rejects_duplicate_ids(self):
+        net = Network(2)
+        coord = EchoCoordinator(net)
+        with pytest.raises(ValueError):
+            net.bind(coord, [EchoSite(0, net), EchoSite(0, net)])
+
+    def test_uplink_accounting(self):
+        net = Network(1)
+        coord = EchoCoordinator(net)
+        site = EchoSite(0, net)
+        net.bind(coord, [site])
+        net.send_to_coordinator(0, Message("m", words=3))
+        assert net.stats.uplink_messages == 1
+        assert net.stats.uplink_words == 3
+        assert coord.log[0][0] == 0
+
+    def test_broadcast_reaches_all_and_costs_k(self):
+        net = Network(3)
+        coord = EchoCoordinator(net)
+        sites = [EchoSite(i, net) for i in range(3)]
+        net.bind(coord, sites)
+        net.broadcast(Message("sync", words=2))
+        assert all(len(s.received) == 1 for s in sites)
+        assert net.stats.broadcast_messages == 3
+        assert net.stats.broadcast_words == 6
+
+    def test_one_way_blocks_downlink(self):
+        net = Network(2, one_way=True)
+        coord = EchoCoordinator(net)
+        sites = [EchoSite(i, net) for i in range(2)]
+        net.bind(coord, sites)
+        with pytest.raises(OneWayViolation):
+            net.send_to_site(0, Message("x"))
+        with pytest.raises(OneWayViolation):
+            net.broadcast(Message("x"))
+
+    def test_recursion_guard(self):
+        class LoopSite(EchoSite):
+            def on_message(self, message):
+                self.send("again")
+
+        class LoopCoordinator(EchoCoordinator):
+            def on_message(self, site_id, message):
+                self.send_to(site_id, "again")
+
+        net = Network(1)
+        coord = LoopCoordinator(net)
+        site = LoopSite(0, net)
+        net.bind(coord, [site])
+        with pytest.raises(RuntimeError, match="recursion"):
+            net.send_to_coordinator(0, Message("go"))
+
+
+class TestSimulation:
+    def test_routes_elements_to_sites(self):
+        sim = Simulation(EchoScheme(), 3)
+        sim.process(1, "a")
+        sim.process(2, "b")
+        assert sim.sites[1].n == 1
+        assert sim.sites[2].n == 1
+        assert sim.sites[0].n == 0
+        assert sim.elements_processed == 2
+
+    def test_run_consumes_stream(self):
+        sim = Simulation(EchoScheme(), 2)
+        sim.run([(0, i) for i in range(10)])
+        assert sim.sites[0].n == 10
+
+    def test_checkpoint_callback(self):
+        sim = Simulation(EchoScheme(), 2)
+        seen = []
+        sim.run(
+            [(0, i) for i in range(10)],
+            checkpoint_every=3,
+            on_checkpoint=lambda s, t: seen.append(t),
+        )
+        assert seen == [3, 6, 9]
+
+    def test_space_sampling_tracks_growth(self):
+        sim = Simulation(EchoScheme(), 1, space_sample_interval=1)
+        sim.run([(0, i) for i in range(7)])
+        assert sim.space.max_words_per_site[0] == 7
+
+    def test_summary_fields(self):
+        sim = Simulation(EchoScheme(), 2)
+        sim.run([(0, 1), (1, 2)])
+        out = sim.summary()
+        assert out["elements"] == 2
+        assert out["uplink_messages"] == 2
+        assert out["uplink_words"] == 4
+        assert "max_site_space_words" in out
+        assert out["coordinator_space_words"] >= 2
+
+    def test_one_way_flag_propagates(self):
+        sim = Simulation(EchoScheme(), 1, one_way=True)
+        # EchoCoordinator acks on the 3rd message, which must now raise.
+        sim.process(0, "a")
+        sim.process(0, "b")
+        with pytest.raises(OneWayViolation):
+            sim.process(0, "c")

@@ -1,0 +1,127 @@
+"""Unit tests for the one-shot (k-party) protocols (Section 1.3)."""
+
+import bisect
+import math
+import statistics
+
+import pytest
+
+from repro.oneshot import OneShotFrequency, OneShotRank, one_shot_count
+from repro.runtime.rng import derive_rng
+from repro.workloads import zipf_items
+
+
+class TestOneShotCount:
+    def test_exact(self):
+        estimate, words = one_shot_count([10, 20, 30])
+        assert estimate == 60.0
+        assert words == 3
+
+    def test_empty_sites(self):
+        estimate, words = one_shot_count([0, 0])
+        assert estimate == 0.0
+        assert words == 2
+
+    def test_cost_is_k(self):
+        _, words = one_shot_count(range(100))
+        assert words == 100
+
+
+def zipf_partition(n, k, universe=200, seed=0):
+    """Split a Zipf stream across k sites; return per-site count dicts
+    plus the global truth."""
+    source = zipf_items(universe, alpha=1.3, seed=seed)
+    sites = [dict() for _ in range(k)]
+    truth = {}
+    for t in range(n):
+        item = source(t)
+        sites[t % k][item] = sites[t % k].get(item, 0) + 1
+        truth[item] = truth.get(item, 0) + 1
+    return sites, truth
+
+
+class TestOneShotFrequency:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            OneShotFrequency(0.0, derive_rng(0, "osf"))
+
+    def test_empty_input(self):
+        proto = OneShotFrequency(0.1, derive_rng(0, "osf0")).run([{}, {}])
+        assert proto.estimate_frequency("x") == 0.0
+        assert proto.words == 2
+
+    def test_heavy_items_accurate(self):
+        n, k, eps = 40_000, 16, 0.05
+        sites, truth = zipf_partition(n, k, seed=1)
+        proto = OneShotFrequency(eps, derive_rng(1, "osf1")).run(sites)
+        for item in range(5):
+            assert abs(proto.estimate_frequency(item) - truth[item]) <= 3 * eps * n
+
+    def test_unbiased(self):
+        n, k, eps, runs = 10_000, 9, 0.1, 50
+        sites, truth = zipf_partition(n, k, seed=2)
+        estimates = [
+            OneShotFrequency(eps, derive_rng(s, "osf2")).run(sites).estimate_frequency(1)
+            for s in range(runs)
+        ]
+        mean = statistics.mean(estimates)
+        sem = statistics.stdev(estimates) / math.sqrt(runs)
+        assert abs(mean - truth[1]) <= 4 * sem + 0.01 * n
+
+    def test_communication_near_sqrt_k_over_eps(self):
+        n, k, eps = 60_000, 64, 0.02
+        sites, _ = zipf_partition(n, k, universe=3_000, seed=3)
+        proto = OneShotFrequency(eps, derive_rng(4, "osf3")).run(sites)
+        bound = 2 * (math.sqrt(k) / eps) + k  # 2 words per shipped pair
+        assert proto.words <= 3 * bound
+
+    def test_heavy_hitters_query(self):
+        n, k, eps = 30_000, 9, 0.02
+        sites, truth = zipf_partition(n, k, seed=5)
+        proto = OneShotFrequency(eps, derive_rng(6, "osf4")).run(sites)
+        hh = proto.heavy_hitters(0.05)
+        heaviest = max(truth, key=truth.get)
+        assert heaviest in hh
+
+
+class TestOneShotRank:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            OneShotRank(1.5, derive_rng(0, "osr"))
+
+    def test_empty_input(self):
+        proto = OneShotRank(0.1, derive_rng(0, "osr0")).run([[], []])
+        assert proto.estimate_rank(5) == 0.0
+        with pytest.raises(ValueError):
+            proto.quantile(0.5)
+
+    def test_rank_accuracy(self):
+        n, k, eps = 40_000, 16, 0.05
+        values = list(range(n))
+        derive_rng(7, "shuffle").shuffle(values)
+        sites = [values[i::k] for i in range(k)]
+        proto = OneShotRank(eps, derive_rng(8, "osr1")).run(sites)
+        for q in range(0, n, n // 10):
+            assert abs(proto.estimate_rank(q) - q) <= 3 * eps * n
+
+    def test_quantile_accuracy(self):
+        n, k, eps = 30_000, 9, 0.05
+        values = list(range(n))
+        sites = [values[i::k] for i in range(k)]
+        proto = OneShotRank(eps, derive_rng(9, "osr2")).run(sites)
+        for phi in (0.25, 0.5, 0.75):
+            assert abs(proto.quantile(phi) - phi * n) <= 3 * eps * n
+
+    def test_communication_near_sqrt_k_over_eps(self):
+        n, k, eps = 60_000, 64, 0.02
+        values = list(range(n))
+        sites = [values[i::k] for i in range(k)]
+        proto = OneShotRank(eps, derive_rng(10, "osr3")).run(sites)
+        bound = math.sqrt(k) / eps + k
+        assert proto.words <= 3 * bound
+
+    def test_uneven_site_sizes(self):
+        values = list(range(10_000))
+        sites = [values[:9_000], values[9_000:9_990], values[9_990:]]
+        proto = OneShotRank(0.05, derive_rng(11, "osr4")).run(sites)
+        assert abs(proto.estimate_rank(5_000) - 5_000) <= 3 * 0.05 * 10_000

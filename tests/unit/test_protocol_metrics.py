@@ -1,0 +1,99 @@
+"""Unit tests for Message and the accounting ledgers."""
+
+import pytest
+
+from repro.runtime.metrics import CommStats, SpaceStats
+from repro.runtime.protocol import Message
+
+
+class TestMessage:
+    def test_defaults(self):
+        m = Message("ping")
+        assert m.kind == "ping"
+        assert m.payload is None
+        assert m.words == 1
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ValueError):
+            Message("x", None, -1)
+
+    def test_frozen(self):
+        m = Message("x", 1, 2)
+        with pytest.raises(Exception):
+            m.words = 5
+
+    def test_zero_word_message_allowed(self):
+        # Control signals can be modelled as 0-word (header-only) if a
+        # protocol chooses to; accounting still counts the message.
+        assert Message("hdr", words=0).words == 0
+
+
+class TestCommStats:
+    def test_uplink_accumulates(self):
+        s = CommStats()
+        s.record_uplink(3)
+        s.record_uplink(2)
+        assert s.uplink_messages == 2
+        assert s.uplink_words == 5
+
+    def test_downlink_accumulates(self):
+        s = CommStats()
+        s.record_downlink(1)
+        assert s.downlink_messages == 1
+        assert s.downlink_words == 1
+
+    def test_broadcast_charges_k(self):
+        s = CommStats()
+        s.record_broadcast(2, k=10)
+        assert s.broadcast_messages == 10
+        assert s.broadcast_words == 20
+
+    def test_totals(self):
+        s = CommStats()
+        s.record_uplink(1)
+        s.record_downlink(2)
+        s.record_broadcast(1, k=5)
+        assert s.total_messages == 1 + 1 + 5
+        assert s.total_words == 1 + 2 + 5
+
+    def test_snapshot_is_plain_dict(self):
+        s = CommStats()
+        s.record_uplink(4)
+        snap = s.snapshot()
+        assert snap["uplink_words"] == 4
+        assert snap["total_messages"] == 1
+        # Mutating the snapshot must not affect the ledger.
+        snap["uplink_words"] = 0
+        assert s.uplink_words == 4
+
+
+class TestSpaceStats:
+    def test_high_water_mark(self):
+        s = SpaceStats()
+        s.record_site(0, 5)
+        s.record_site(0, 3)
+        s.record_site(0, 9)
+        assert s.max_words_per_site[0] == 9
+
+    def test_max_site_words_across_sites(self):
+        s = SpaceStats()
+        s.record_site(0, 5)
+        s.record_site(1, 11)
+        assert s.max_site_words == 11
+
+    def test_mean_site_words(self):
+        s = SpaceStats()
+        s.record_site(0, 4)
+        s.record_site(1, 8)
+        assert s.mean_site_words == 6.0
+
+    def test_empty_defaults(self):
+        s = SpaceStats()
+        assert s.max_site_words == 0
+        assert s.mean_site_words == 0.0
+
+    def test_coordinator_mark(self):
+        s = SpaceStats()
+        s.record_coordinator(7)
+        s.record_coordinator(3)
+        assert s.coordinator_max_words == 7

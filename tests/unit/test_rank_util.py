@@ -1,0 +1,45 @@
+"""Unit tests for the shared quantile binary-search helper."""
+
+import pytest
+
+from repro.core.rank.util import quantile_from_rank_fn
+
+
+def make_rank_fn(sorted_values):
+    import bisect
+
+    return lambda x: float(bisect.bisect_left(sorted_values, x))
+
+
+class TestQuantileFromRankFn:
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ValueError):
+            quantile_from_rank_fn([], lambda x: 0.0, 1.0)
+
+    def test_exact_median(self):
+        values = list(range(100))
+        rank = make_rank_fn(values)
+        assert quantile_from_rank_fn(values, rank, 50) == 49
+
+    def test_first_and_last(self):
+        values = [10, 20, 30]
+        rank = make_rank_fn(values)
+        assert quantile_from_rank_fn(values, rank, 0) == 10
+        assert quantile_from_rank_fn(values, rank, 3) == 30
+
+    def test_target_beyond_mass_returns_max(self):
+        values = [1, 2, 3]
+        rank = make_rank_fn(values)
+        assert quantile_from_rank_fn(values, rank, 100) == 3
+
+    def test_with_duplicates(self):
+        values = [5, 5, 5, 9]
+        rank = make_rank_fn(values)
+        assert quantile_from_rank_fn(values, rank, 2) == 5
+        assert quantile_from_rank_fn(values, rank, 4) == 9
+
+    def test_weighted_rank_fn(self):
+        # Works with fractional/weighted estimators too.
+        candidates = [1.0, 2.0, 3.0]
+        rank = lambda x: 10.0 * sum(1 for v in candidates if v < x)
+        assert quantile_from_rank_fn(candidates, rank, 15.0) == 2.0

@@ -1,0 +1,89 @@
+"""Unit tests for the seeded RNG utilities."""
+
+import math
+
+import pytest
+
+from repro.runtime.rng import coin, derive_rng, geometric_failures, trailing_level
+
+
+class TestDeriveRng:
+    def test_same_path_same_stream(self):
+        a = derive_rng(42, "site", 3)
+        b = derive_rng(42, "site", 3)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_paths_differ(self):
+        a = derive_rng(42, "site", 3)
+        b = derive_rng(42, "site", 4)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1, "x")
+        b = derive_rng(2, "x")
+        assert a.random() != b.random()
+
+    def test_path_types_mix(self):
+        # Ints and strings in paths are both usable and distinct.
+        a = derive_rng(0, 1, "a")
+        b = derive_rng(0, "1", "a")
+        assert a.random() == derive_rng(0, 1, "a").random()
+        assert isinstance(b.random(), float)
+
+
+class TestCoin:
+    def test_p_one_always_true(self):
+        rng = derive_rng(0, "coin")
+        assert all(coin(rng, 1.0) for _ in range(100))
+
+    def test_p_zero_always_false(self):
+        rng = derive_rng(0, "coin")
+        assert not any(coin(rng, 0.0) for _ in range(100))
+
+    def test_p_above_one_true(self):
+        rng = derive_rng(0, "coin")
+        assert coin(rng, 1.5)
+
+    def test_empirical_rate(self):
+        rng = derive_rng(0, "coin-rate")
+        hits = sum(coin(rng, 0.3) for _ in range(20000))
+        assert abs(hits / 20000 - 0.3) < 0.02
+
+
+class TestGeometricFailures:
+    def test_p_one_is_zero(self):
+        rng = derive_rng(0, "geom")
+        assert geometric_failures(rng, 1.0) == 0
+
+    def test_rejects_zero_p(self):
+        rng = derive_rng(0, "geom")
+        with pytest.raises(ValueError):
+            geometric_failures(rng, 0.0)
+
+    def test_mean_matches_geometric(self):
+        rng = derive_rng(0, "geom-mean")
+        p = 0.2
+        n = 20000
+        mean = sum(geometric_failures(rng, p) for _ in range(n)) / n
+        # Mean of failures-before-success is (1-p)/p = 4.
+        assert abs(mean - (1 - p) / p) < 0.15
+
+    def test_nonnegative(self):
+        rng = derive_rng(0, "geom-nn")
+        assert all(geometric_failures(rng, 0.5) >= 0 for _ in range(1000))
+
+
+class TestTrailingLevel:
+    def test_distribution_tail(self):
+        rng = derive_rng(0, "level")
+        n = 20000
+        levels = [trailing_level(rng) for _ in range(n)]
+        # P(level >= 1) = 1/2, P(level >= 2) = 1/4.
+        assert abs(sum(l >= 1 for l in levels) / n - 0.5) < 0.02
+        assert abs(sum(l >= 2 for l in levels) / n - 0.25) < 0.02
+
+    def test_mean_is_one(self):
+        rng = derive_rng(0, "level-mean")
+        n = 20000
+        mean = sum(trailing_level(rng) for _ in range(n)) / n
+        assert abs(mean - 1.0) < 0.05

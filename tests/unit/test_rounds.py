@@ -1,0 +1,129 @@
+"""Unit tests for the shared round machinery (Section 2.1 scaffolding)."""
+
+import math
+
+import pytest
+
+from repro.core.rounds import (
+    GlobalCountTracker,
+    LocalDoubler,
+    floor_pow2,
+    report_probability,
+)
+
+
+class TestFloorPow2:
+    def test_exact_powers(self):
+        assert floor_pow2(1) == 1
+        assert floor_pow2(2) == 2
+        assert floor_pow2(8) == 8
+
+    def test_between_powers(self):
+        assert floor_pow2(3) == 2
+        assert floor_pow2(7.9) == 4
+        assert floor_pow2(1023) == 512
+
+    def test_rejects_below_one(self):
+        with pytest.raises(ValueError):
+            floor_pow2(0.5)
+
+
+class TestReportProbability:
+    def test_one_in_early_phase(self):
+        # n_bar <= sqrt(k)/eps keeps p = 1.
+        assert report_probability(10, k=100, eps=0.1) == 1.0
+        assert report_probability(100, k=100, eps=0.1) == 1.0
+
+    def test_inverse_power_of_two(self):
+        p = report_probability(100_000, k=16, eps=0.01)
+        assert 0 < p <= 1
+        assert math.log2(1 / p) == int(math.log2(1 / p))
+
+    def test_scales_inversely_with_n(self):
+        p1 = report_probability(10_000, k=16, eps=0.05)
+        p2 = report_probability(80_000, k=16, eps=0.05)
+        assert p2 < p1
+        # An 8x n growth halves p three times.
+        assert p1 / p2 == 8.0
+
+    def test_matches_schedule_formula(self):
+        k, eps, n_bar = 25, 0.02, 50_000
+        expected = 1.0 / floor_pow2(eps * n_bar / math.sqrt(k))
+        assert report_probability(n_bar, k, eps) == expected
+
+    def test_monotone_in_n_bar(self):
+        k, eps = 9, 0.1
+        last = 1.0
+        for n_bar in range(1, 5000, 37):
+            p = report_probability(n_bar, k, eps)
+            assert p <= last + 1e-12
+            last = p
+
+
+class TestLocalDoubler:
+    def test_first_element_reports(self):
+        d = LocalDoubler()
+        assert d.increment() == 1
+
+    def test_reports_on_doubling(self):
+        d = LocalDoubler()
+        reports = [d.increment() for _ in range(100)]
+        values = [r for r in reports if r is not None]
+        assert values == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_report_count_logarithmic(self):
+        d = LocalDoubler()
+        reports = sum(1 for _ in range(10_000) if d.increment() is not None)
+        assert reports == 1 + math.floor(math.log2(10_000))
+
+    def test_space_constant(self):
+        d = LocalDoubler()
+        for _ in range(1000):
+            d.increment()
+        assert d.space_words() == 2
+
+
+class TestGlobalCountTracker:
+    def test_first_report_broadcasts(self):
+        t = GlobalCountTracker()
+        assert t.update(0, 1) == 1
+
+    def test_broadcast_on_doubling_only(self):
+        t = GlobalCountTracker()
+        t.update(0, 1)  # n' = 1, broadcast
+        assert t.update(1, 1) == 2  # n' = 2 >= 2*1, broadcast
+        assert t.update(0, 2) is None  # n' = 3 < 4
+        assert t.update(1, 2) == 4  # n' = 4, broadcast
+
+    def test_n_prime_is_sum_of_last_reports(self):
+        t = GlobalCountTracker()
+        t.update(0, 4)
+        t.update(1, 8)
+        t.update(0, 16)
+        assert t.n_prime == 24
+
+    def test_within_factor_two_of_true_count(self):
+        # Simulate: each site reports on local doubling; n' always within
+        # a factor 2 of the truth, n_bar within a factor 4.
+        t = GlobalCountTracker()
+        doublers = [LocalDoubler() for _ in range(5)]
+        n = 0
+        for i in range(2000):
+            d = doublers[i % 5]
+            n += 1
+            r = d.increment()
+            if r is not None:
+                t.update(i % 5, r)
+            assert t.n_prime > n / 2 - 1
+            assert t.n_prime <= n
+            assert t.n_bar <= n
+
+    def test_broadcast_count_logarithmic(self):
+        t = GlobalCountTracker()
+        doubler = LocalDoubler()
+        broadcasts = 0
+        for _ in range(100_000):
+            r = doubler.increment()
+            if r is not None and t.update(0, r) is not None:
+                broadcasts += 1
+        assert broadcasts <= 2 + math.log2(100_000)

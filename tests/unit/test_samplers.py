@@ -1,0 +1,110 @@
+"""Unit tests for reservoir, Bernoulli and level samplers."""
+
+import pytest
+
+from repro.runtime.rng import derive_rng
+from repro.sketch import BernoulliSampler, LevelSampler, ReservoirSampler
+
+
+class TestReservoir:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0, derive_rng(0, "r"))
+
+    def test_fills_then_caps(self):
+        r = ReservoirSampler(5, derive_rng(0, "r1"))
+        for i in range(100):
+            r.add(i)
+        assert len(r.sample) == 5
+        assert r.n == 100
+
+    def test_small_stream_kept_whole(self):
+        r = ReservoirSampler(10, derive_rng(0, "r2"))
+        for i in range(4):
+            r.add(i)
+        assert sorted(r.sample) == [0, 1, 2, 3]
+
+    def test_uniformity(self):
+        # Element 0's survival probability should be size/n.
+        trials, size, n = 3000, 5, 50
+        hits = 0
+        for t in range(trials):
+            r = ReservoirSampler(size, derive_rng(t, "r3"))
+            for i in range(n):
+                r.add(i)
+            hits += 0 in r.sample
+        assert abs(hits / trials - size / n) < 0.03
+
+    def test_space_words(self):
+        r = ReservoirSampler(3, derive_rng(0, "r4"))
+        r.add(1)
+        assert r.space_words() == 1 + 2
+
+
+class TestBernoulli:
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            BernoulliSampler(0.0, derive_rng(0, "b"))
+
+    def test_p_one_keeps_all(self):
+        b = BernoulliSampler(1.0, derive_rng(0, "b1"))
+        for i in range(50):
+            assert b.offer(i)
+        assert len(b.sample) == 50
+
+    def test_estimate_count_unbiased(self):
+        p, n, trials = 0.1, 2000, 50
+        total = 0.0
+        for t in range(trials):
+            b = BernoulliSampler(p, derive_rng(t, "b2"))
+            for i in range(n):
+                b.offer(i)
+            total += b.estimate_count()
+        assert abs(total / trials - n) < 0.05 * n
+
+    def test_sample_rate(self):
+        b = BernoulliSampler(0.25, derive_rng(0, "b3"))
+        n = 20_000
+        for i in range(n):
+            b.offer(i)
+        assert abs(len(b.sample) / n - 0.25) < 0.02
+
+
+class TestLevelSampler:
+    def test_offer_keeps_qualifying(self):
+        ls = LevelSampler(derive_rng(0, "l1"))
+        for i in range(100):
+            ls.offer(i)
+        assert len(ls.sample) == 100  # level 0 keeps everything
+
+    def test_raise_level_subsamples(self):
+        ls = LevelSampler(derive_rng(0, "l2"))
+        for i in range(10_000):
+            ls.offer(i)
+        before = len(ls.sample)
+        ls.raise_level(1)
+        after = len(ls.sample)
+        assert 0.4 * before < after < 0.6 * before
+        assert all(l >= 1 for _, l in ls.sample)
+
+    def test_raise_level_monotone(self):
+        ls = LevelSampler(derive_rng(0, "l3"), level=2)
+        with pytest.raises(ValueError):
+            ls.raise_level(1)
+
+    def test_admit_respects_threshold(self):
+        ls = LevelSampler(derive_rng(0, "l4"), level=3)
+        ls.admit("x", 2)
+        ls.admit("y", 3)
+        assert ls.sample == [("y", 3)]
+
+    def test_estimate_count_unbiased_after_raises(self):
+        n, trials = 4000, 60
+        total = 0.0
+        for t in range(trials):
+            ls = LevelSampler(derive_rng(t, "l5"))
+            for i in range(n):
+                ls.offer(i)
+            ls.raise_level(3)
+            total += ls.estimate_count()
+        assert abs(total / trials - n) < 0.1 * n

@@ -1,0 +1,89 @@
+"""Unit tests for the distributed sampling baseline ([9])."""
+
+import math
+
+import pytest
+
+from repro import DistributedSamplingScheme, Simulation
+from repro.workloads import (
+    random_permutation_values,
+    uniform_sites,
+    with_items,
+    zipf_items,
+)
+
+from ..conftest import run_count, run_rank, true_rank
+
+
+class TestScheme:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            DistributedSamplingScheme(0.0)
+
+    def test_sample_size_formula(self):
+        s = DistributedSamplingScheme(0.1, sample_constant=4.0)
+        assert s.sample_size == 400
+
+    def test_count_estimate_close(self):
+        eps, n, k = 0.1, 40_000, 9
+        sim = run_count(DistributedSamplingScheme(eps), n, k)
+        assert abs(sim.coordinator.estimate() - n) <= 3 * eps * n
+
+    def test_sample_stays_bounded(self):
+        eps, n, k = 0.1, 40_000, 9
+        sim = run_count(DistributedSamplingScheme(eps), n, k)
+        coord = sim.coordinator
+        assert len(coord.sample) <= 2 * coord.s
+        assert coord.level >= 1
+
+    def test_level_broadcasts_counted(self):
+        eps, n, k = 0.1, 40_000, 9
+        sim = run_count(DistributedSamplingScheme(eps), n, k)
+        assert sim.comm.broadcast_messages >= k  # at least one level raise
+
+    def test_frequency_estimate(self):
+        eps, n, k = 0.1, 40_000, 9
+        items = zipf_items(50, alpha=1.5, seed=3)
+        stream = list(with_items(uniform_sites(n, k, seed=1), items))
+        truth = {}
+        for _, item in stream:
+            truth[item] = truth.get(item, 0) + 1
+        sim = Simulation(DistributedSamplingScheme(eps), k, seed=0)
+        sim.run(stream)
+        est = sim.coordinator.estimate_frequency(0)
+        assert abs(est - truth[0]) <= 3 * eps * n
+
+    def test_rank_estimate(self):
+        eps, n, k = 0.1, 30_000, 9
+        values = random_permutation_values(n, seed=4)
+        sim, svals = run_rank(DistributedSamplingScheme(eps), values, k)
+        for q in (n // 4, n // 2, 3 * n // 4):
+            err = abs(sim.coordinator.estimate_rank(q) - true_rank(svals, q))
+            assert err <= 3 * eps * n
+
+    def test_quantile(self):
+        eps, n, k = 0.1, 30_000, 9
+        values = random_permutation_values(n, seed=5)
+        sim, _ = run_rank(DistributedSamplingScheme(eps), values, k)
+        assert abs(sim.coordinator.quantile(0.5) - n / 2) <= 4 * eps * n
+
+    def test_heavy_hitters(self):
+        eps, n, k = 0.1, 30_000, 9
+        items = zipf_items(50, alpha=1.6, seed=6)
+        stream = list(with_items(uniform_sites(n, k, seed=1), items))
+        sim = Simulation(DistributedSamplingScheme(eps), k, seed=0)
+        sim.run(stream)
+        hh = sim.coordinator.heavy_hitters(0.15)
+        assert 0 in hh
+
+    def test_communication_independent_of_k_term_dominates(self):
+        # For k small, cost ~ (1/eps^2) log N and barely grows with k.
+        eps, n = 0.1, 40_000
+        w4 = run_count(DistributedSamplingScheme(eps), n, 4).comm.total_words
+        w16 = run_count(DistributedSamplingScheme(eps), n, 16).comm.total_words
+        assert w16 < 2.5 * w4
+
+    def test_site_space_constant(self):
+        eps, n, k = 0.1, 30_000, 9
+        sim = run_count(DistributedSamplingScheme(eps), n, k)
+        assert sim.space.max_site_words <= 3

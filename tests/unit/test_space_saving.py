@@ -1,0 +1,85 @@
+"""Unit tests for the SpaceSaving summary."""
+
+import pytest
+
+from repro.sketch import SpaceSaving
+
+
+class TestBasics:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+    def test_rejects_nonpositive_count(self):
+        ss = SpaceSaving(2)
+        with pytest.raises(ValueError):
+            ss.add("a", 0)
+
+    def test_exact_under_capacity(self):
+        ss = SpaceSaving(10)
+        for item in "aabbbc":
+            ss.add(item)
+        assert ss.estimate("a") == 2
+        assert ss.estimate("b") == 3
+        assert ss.errors["a"] == 0
+
+    def test_eviction_inherits_floor(self):
+        ss = SpaceSaving(2)
+        ss.add("a", 5)
+        ss.add("b", 3)
+        ss.add("c")  # evicts b (the minimum), inherits 3
+        assert ss.estimate("c") == 4
+        assert ss.errors["c"] == 3
+        assert "b" not in ss.counts
+
+    def test_capacity_respected(self):
+        ss = SpaceSaving(3)
+        for i in range(100):
+            ss.add(i)
+        assert len(ss.counts) == 3
+
+
+class TestGuarantees:
+    def test_never_undercounts_stored(self):
+        ss = SpaceSaving(8)
+        truth = {}
+        stream = [i % 11 for i in range(1000)]
+        for item in stream:
+            ss.add(item)
+            truth[item] = truth.get(item, 0) + 1
+        for item in ss.counts:
+            assert ss.estimate(item) >= truth[item]
+
+    def test_overcount_bound(self):
+        ss = SpaceSaving(10)
+        truth = {}
+        stream = [0 if i % 2 else i % 37 for i in range(2000)]
+        for item in stream:
+            ss.add(item)
+            truth[item] = truth.get(item, 0) + 1
+        for item in ss.counts:
+            assert ss.estimate(item) - truth[item] <= ss.error_bound() + 1e-9
+
+    def test_guaranteed_count_is_lower_bound(self):
+        ss = SpaceSaving(5)
+        truth = {}
+        for i in range(500):
+            item = i % 23
+            ss.add(item)
+            truth[item] = truth.get(item, 0) + 1
+        for item in ss.counts:
+            assert ss.guaranteed_count(item) <= truth[item]
+
+    def test_heavy_hitters_no_false_negatives(self):
+        ss = SpaceSaving(20)
+        stream = [0] * 400 + [1] * 200 + list(range(2, 150))
+        for item in stream:
+            ss.add(item)
+        hh = ss.heavy_hitters(0.25 * ss.n)
+        assert 0 in hh
+
+    def test_space_words(self):
+        ss = SpaceSaving(5)
+        ss.add("a")
+        ss.add("b")
+        assert ss.space_words() == 3 * 2 + 2

@@ -1,0 +1,98 @@
+"""Unit tests for top-k queries and the command-line interface."""
+
+from collections import Counter
+
+import pytest
+
+from repro import (
+    DeterministicFrequencyScheme,
+    DistributedSamplingScheme,
+    RandomizedFrequencyScheme,
+    Simulation,
+)
+from repro.cli import build_parser, main, make_stream
+from repro.workloads import uniform_sites, with_items, zipf_items
+
+
+def zipf_run(scheme, n=30_000, k=9, alpha=1.5):
+    stream = list(
+        with_items(uniform_sites(n, k, seed=1), zipf_items(100, alpha=alpha, seed=2))
+    )
+    truth = Counter(j for _, j in stream)
+    sim = Simulation(scheme, k, seed=3)
+    sim.run(stream)
+    return sim, truth
+
+
+class TestTopItems:
+    @pytest.mark.parametrize(
+        "scheme_factory",
+        [
+            lambda: RandomizedFrequencyScheme(0.02),
+            lambda: DeterministicFrequencyScheme(0.02),
+            lambda: DistributedSamplingScheme(0.02),
+        ],
+        ids=["randomized", "deterministic", "sampling"],
+    )
+    def test_top_items_recall_head(self, scheme_factory):
+        sim, truth = zipf_run(scheme_factory())
+        top = [j for j, _ in sim.coordinator.top_items(5)]
+        true_top3 = [j for j, _ in truth.most_common(3)]
+        # The unambiguous head of a Zipf(1.5) law must be found.
+        for item in true_top3:
+            assert item in top
+
+    def test_top_items_sorted_descending(self):
+        sim, _ = zipf_run(RandomizedFrequencyScheme(0.02))
+        estimates = [est for _, est in sim.coordinator.top_items(10)]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_top_items_limit(self):
+        sim, _ = zipf_run(DeterministicFrequencyScheme(0.05))
+        assert len(sim.coordinator.top_items(3)) == 3
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["count"])
+        assert args.problem == "count"
+        assert args.scheme == "randomized"
+        assert args.k == 25
+
+    def test_list_schemes(self, capsys):
+        assert main(["rank", "--list-schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "randomized" in out
+        assert "cormode05" in out
+
+    def test_unknown_scheme_errors(self):
+        with pytest.raises(SystemExit):
+            main(["count", "--scheme", "nonsense", "-n", "100"])
+
+    def test_count_run(self, capsys):
+        assert main(["count", "-n", "5000", "-k", "4", "--eps", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "count/randomized" in out
+        assert "words" in out
+
+    def test_compare_runs_all(self, capsys):
+        assert main(["count", "--compare", "-n", "4000", "-k", "4",
+                     "--eps", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "count/deterministic" in out
+        assert "sampling/level" in out
+
+    def test_frequency_run(self, capsys):
+        assert main(["frequency", "-n", "5000", "-k", "4", "--eps", "0.1"]) == 0
+        assert "top item" in capsys.readouterr().out
+
+    def test_rank_run_sorted_workload(self, capsys):
+        assert main(["rank", "-n", "5000", "-k", "4", "--eps", "0.1",
+                     "--workload", "sorted"]) == 0
+        assert "rank(median)" in capsys.readouterr().out
+
+    def test_make_stream_shapes(self):
+        stream = make_stream("count", "round-robin", 10, 2, 0)
+        assert [s for s, _ in stream] == [0, 1] * 5
+        stream = make_stream("rank", "sorted", 10, 2, 0)
+        assert sorted(v for _, v in stream) == list(range(10))

@@ -1,0 +1,138 @@
+"""Unit tests for workload generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads import (
+    bursty_sites,
+    gaussian_values,
+    random_permutation_values,
+    round_robin,
+    single_site,
+    skewed_sites,
+    sorted_values,
+    theorem22_distribution,
+    theorem24_stream,
+    uniform_sites,
+    with_items,
+    zipf_items,
+)
+
+
+class TestArrivalPatterns:
+    def test_round_robin_cycles(self):
+        events = list(round_robin(10, 3))
+        assert [s for s, _ in events] == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+
+    def test_round_robin_item_payload(self):
+        events = list(round_robin(3, 2, item="x"))
+        assert all(i == "x" for _, i in events)
+
+    def test_uniform_sites_covers_all(self):
+        sites = Counter(s for s, _ in uniform_sites(5_000, 8, seed=1))
+        assert set(sites) == set(range(8))
+        assert max(sites.values()) < 2 * min(sites.values())
+
+    def test_uniform_sites_reproducible(self):
+        a = list(uniform_sites(100, 5, seed=7))
+        b = list(uniform_sites(100, 5, seed=7))
+        assert a == b
+
+    def test_single_site_validates(self):
+        with pytest.raises(ValueError):
+            list(single_site(10, 3, site_id=5))
+
+    def test_single_site_targets(self):
+        events = list(single_site(10, 3, site_id=2))
+        assert all(s == 2 for s, _ in events)
+
+    def test_skewed_sites_skews(self):
+        counts = Counter(s for s, _ in skewed_sites(20_000, 10, alpha=1.5, seed=2))
+        assert counts[0] > counts[9] * 3
+
+    def test_bursty_sites_runs_in_bursts(self):
+        events = [s for s, _ in bursty_sites(1_000, 5, burst=100, seed=3)]
+        # Within each aligned 100-block the site is constant.
+        for start in range(0, 1_000, 100):
+            assert len(set(events[start : start + 100])) == 1
+
+    def test_bursty_sites_total(self):
+        assert len(list(bursty_sites(250, 4, burst=100, seed=1))) == 250
+
+    def test_with_items_replaces_payload(self):
+        events = list(with_items(round_robin(5, 2), lambda t: t * 10))
+        assert [i for _, i in events] == [0, 10, 20, 30, 40]
+
+
+class TestItemLaws:
+    def test_zipf_validates(self):
+        with pytest.raises(ValueError):
+            zipf_items(0)
+
+    def test_zipf_head_heaviest(self):
+        source = zipf_items(100, alpha=1.3, seed=4)
+        counts = Counter(source(t) for t in range(20_000))
+        assert counts[0] == max(counts.values())
+        assert counts[0] > counts.get(50, 0) * 5
+
+    def test_zipf_within_universe(self):
+        source = zipf_items(10, seed=5)
+        assert all(0 <= source(t) < 10 for t in range(1_000))
+
+    def test_uniform_items_flat(self):
+        from repro.workloads import uniform_items
+
+        source = uniform_items(10, seed=6)
+        counts = Counter(source(t) for t in range(20_000))
+        assert max(counts.values()) < 1.3 * min(counts.values())
+
+    def test_random_permutation_is_permutation(self):
+        values = random_permutation_values(1000, seed=7)
+        assert sorted(values) == list(range(1000))
+
+    def test_sorted_values(self):
+        assert sorted_values(5) == [0, 1, 2, 3, 4]
+        assert sorted_values(5, descending=True) == [4, 3, 2, 1, 0]
+
+    def test_gaussian_values_reproducible(self):
+        a = gaussian_values(50, seed=8)
+        b = gaussian_values(50, seed=8)
+        assert a == b
+        assert len(a) == 50
+
+
+class TestAdversarial:
+    def test_theorem22_case_split(self):
+        # Over many draws, roughly half are single-site (case a).
+        single = 0
+        draws = 200
+        for seed in range(draws):
+            sites = {s for s, _ in theorem22_distribution(60, 6, seed=seed)}
+            single += len(sites) == 1
+        assert 0.35 < single / draws < 0.65
+
+    def test_theorem22_round_robin_case(self):
+        # Find a round-robin draw and check structure.
+        for seed in range(50):
+            events = list(theorem22_distribution(12, 4, seed=seed))
+            sites = [s for s, _ in events]
+            if len(set(sites)) > 1:
+                assert sites == [t % 4 for t in range(12)]
+                return
+        pytest.fail("no case-(b) draw found")
+
+    def test_theorem24_structure(self):
+        k, eps, rounds = 16, 0.1, 3
+        stream, history = theorem24_stream(k, eps, rounds, seed=1)
+        subrounds = max(1, int(1 / (2 * eps * 4)))
+        assert len(history) == rounds * subrounds
+        for i, j, s in history:
+            assert s in (k // 2 + 4, k // 2 - 4)
+        # Elements per subround match s * 2^i.
+        total = sum(s * (1 << i) for i, _, s in history)
+        assert len(stream) == total
+
+    def test_theorem24_requires_k4(self):
+        with pytest.raises(ValueError):
+            theorem24_stream(2, 0.1, 1)
