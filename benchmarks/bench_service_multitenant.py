@@ -1,0 +1,176 @@
+"""S1 — multi-tenant service throughput: batched vs looped driving.
+
+Measures ingest throughput of the :class:`~repro.service.TrackingService`
+batched engine against looped per-event driving (one
+``Simulation.process`` call per event per job — the seed's hot path) on
+the same multi-tenant stream, sweeping the number of concurrent jobs.
+The headline row is the acceptance configuration: k=32 sites, 8
+concurrent jobs, 1M events, where batched ingestion must be >= 5x.
+
+Both sides run identical protocol transcripts (same seeds, same
+messages — asserted), so the ratio isolates driving overhead: per-event
+Python calls and per-event space bookkeeping vs decompose-once run
+batching with interval space sweeps.
+
+Run directly::
+
+    python benchmarks/bench_service_multitenant.py [--quick]
+
+or through pytest-benchmark: ``pytest benchmarks/bench_service_multitenant.py``.
+"""
+
+import argparse
+import sys
+import time
+
+from repro import (
+    DeterministicCountScheme,
+    DeterministicFrequencyScheme,
+    RandomizedCountScheme,
+    RandomizedFrequencyScheme,
+    Simulation,
+    TrackingService,
+)
+from repro.runtime import batch_from_stream
+from repro.workloads import multi_tenant
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+from _common import save_table
+
+K = 32
+N = 1_000_000
+N_QUICK = 60_000
+TENANTS = 8
+BURST = 64
+BATCH = 65_536
+SEED = 9
+
+#: the 8-job acceptance mix: counts and heavy hitters at service-realistic
+#: error targets; job sweeps use prefixes of this list.
+JOB_MIX = (
+    ("events", lambda: RandomizedCountScheme(0.01)),
+    ("hot-items", lambda: RandomizedFrequencyScheme(0.05)),
+    ("events-lb", lambda: DeterministicCountScheme(0.01)),
+    ("hot-items-lb", lambda: DeterministicFrequencyScheme(0.05)),
+    ("events-coarse", lambda: RandomizedCountScheme(0.02)),
+    ("hot-items-coarse", lambda: RandomizedFrequencyScheme(0.1)),
+    ("events-lb-coarse", lambda: DeterministicCountScheme(0.02)),
+    ("hot-items-lb-coarse", lambda: DeterministicFrequencyScheme(0.1)),
+)
+
+
+def make_batch(n: int):
+    """One multi-tenant stream, as parallel site/item arrays."""
+    stream = multi_tenant(
+        n, K, tenants=TENANTS, burst=BURST, seed=1, labeled=False
+    )
+    site_ids, items = batch_from_stream(stream)
+    if np is not None:
+        site_ids = np.asarray(site_ids, dtype=np.int64)
+    return site_ids, items
+
+
+def run_looped(jobs, site_ids, items):
+    """Baseline: one Simulation per job, driven event by event."""
+    sims = [Simulation(factory(), K, seed=SEED) for _, factory in jobs]
+    sid_list = site_ids.tolist() if np is not None else list(site_ids)
+    start = time.perf_counter()
+    for sim in sims:
+        process = sim.process
+        for site_id, item in zip(sid_list, items):
+            process(site_id, item)
+    return time.perf_counter() - start, sims
+
+
+def run_batched(jobs, site_ids, items, batch_size=BATCH):
+    """Service under test: batched multi-tenant ingestion."""
+    service = TrackingService(num_sites=K, seed=SEED)
+    for name, factory in jobs:
+        service.register(name, factory(), seed=SEED)
+    n = len(items)
+    start = time.perf_counter()
+    for lo in range(0, n, batch_size):
+        service.ingest(site_ids[lo : lo + batch_size], items[lo : lo + batch_size])
+    return time.perf_counter() - start, service
+
+
+def build_rows(n: int, job_counts=(1, 2, 4, 8)):
+    site_ids, items = make_batch(n)
+    rows = []
+    headline_ratio = None
+    for num_jobs in job_counts:
+        jobs = JOB_MIX[:num_jobs]
+        t_loop, sims = run_looped(jobs, site_ids, items)
+        t_batch, service = run_batched(jobs, site_ids, items)
+        # Same transcripts, or the comparison is meaningless.
+        for (name, _), sim in zip(jobs, sims):
+            assert (
+                service.job(name).comm.snapshot() == sim.comm.snapshot()
+            ), f"transcript divergence in job {name!r}"
+        ratio = t_loop / t_batch
+        if num_jobs == len(JOB_MIX):
+            headline_ratio = ratio
+        rows.append(
+            [
+                num_jobs,
+                f"{n * num_jobs / t_loop / 1e6:.2f}",
+                f"{n * num_jobs / t_batch / 1e6:.2f}",
+                f"{t_loop:.2f}",
+                f"{t_batch:.2f}",
+                f"{ratio:.2f}x",
+            ]
+        )
+    return rows, headline_ratio
+
+
+def run(n: int = N, quick: bool = False) -> float:
+    rows, headline = build_rows(n)
+    save_table(
+        "service_multitenant" + ("_quick" if quick else ""),
+        ["jobs", "loop Mev/s", "batch Mev/s", "loop s", "batch s", "speedup"],
+        rows,
+        title=(
+            f"multi-tenant service ingest: k={K}, n={n:,}, "
+            f"tenants={TENANTS}, burst={BURST}"
+        ),
+    )
+    print(f"\n8-job speedup: {headline:.2f}x (target >= 5x at n=1M)")
+    return headline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"smoke mode: {N_QUICK:,} events instead of {N:,}",
+    )
+    parser.add_argument("-n", type=int, default=None, help="override stream length")
+    args = parser.parse_args(argv)
+    n = args.n if args.n is not None else (N_QUICK if args.quick else N)
+    run(n, quick=args.quick)
+    return 0
+
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="service")
+    def test_service_multitenant_throughput(benchmark):
+        headline = benchmark.pedantic(
+            lambda: run(N), rounds=1, iterations=1
+        )
+        assert headline >= 5.0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, "")
+    sys.exit(main())

@@ -6,6 +6,8 @@ Algorithms for Tracking Distributed Count, Frequencies, and Ranks*
 
 * :class:`Simulation` — drive any tracking scheme over a stream of
   ``(site_id, item)`` events with exact communication/space accounting.
+* :class:`TrackingService` — multiplex many named tracking jobs over one
+  shared site fleet with batched ingestion (:mod:`repro.service`).
 * Count: :class:`RandomizedCountScheme` (Theorem 2.1),
   :class:`DeterministicCountScheme` (the trivial optimum).
 * Frequency: :class:`RandomizedFrequencyScheme` (Theorem 3.1),
@@ -42,8 +44,9 @@ from .core import (
     copies_for_confidence,
 )
 from .runtime import Simulation, TrackingScheme
+from .service import TrackingService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Cormode05RankScheme",
@@ -59,5 +62,6 @@ __all__ = [
     "copies_for_confidence",
     "Simulation",
     "TrackingScheme",
+    "TrackingService",
     "__version__",
 ]

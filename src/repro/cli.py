@@ -6,12 +6,14 @@ Examples::
     python -m repro frequency --scheme deterministic --workload zipf
     python -m repro rank --scheme sampling --workload sorted -n 50000
     python -m repro count --compare          # all count schemes, one table
+    python -m repro serve -k 32 -n 500000    # multi-tenant service demo
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from . import (
     Cormode05RankScheme,
@@ -23,10 +25,13 @@ from . import (
     RandomizedFrequencyScheme,
     RandomizedRankScheme,
     Simulation,
+    TrackingService,
 )
 from .analysis import render_table
+from .service import ServiceError
 from .workloads import (
     bursty_sites,
+    multi_tenant,
     random_permutation_values,
     round_robin,
     single_site,
@@ -64,14 +69,43 @@ ARRIVALS = {
     "bursty": lambda n, k, seed: bursty_sites(n, k, burst=200, seed=seed),
 }
 
+#: demo job set for ``repro serve`` when no --job flags are given
+DEFAULT_SERVE_JOBS = (
+    "events=count/randomized:0.01",
+    "events-lb=count/deterministic:0.02",
+    "hot-items=frequency/randomized:0.05",
+    "hot-items-lb=frequency/deterministic:0.05",
+    "median=rank/randomized:0.05",
+)
+
+SERVICE_EPILOG = """\
+service:
+  `repro serve` runs the multi-tenant tracking service: one shared fleet
+  of -k sites, many named jobs ingesting the same multi-tenant stream
+  through the batched engine.  Each job is NAME=PROBLEM/SCHEME[:EPS],
+  e.g.
+
+    repro serve -k 32 -n 500000 --job total=count/randomized:0.01 \\
+        --job p50=rank/randomized:0.05 --job hh=frequency/randomized:0.05
+
+  Without --job flags a demo job set covering all three problems is
+  registered.  --tenants/--burst shape the multi-tenant workload,
+  --batch sets the ingestion batch size.  The final table reports each
+  job's own communication/space ledgers plus the fleet-wide aggregate.
+"""
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Distributed tracking simulator (PODS 2012 reproduction)",
+        epilog=SERVICE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
-        "problem", choices=sorted(SCHEMES), help="which function to track"
+        "problem",
+        choices=sorted(SCHEMES) + ["serve"],
+        help="which function to track, or `serve` for the multi-tenant service",
     )
     parser.add_argument(
         "--scheme",
@@ -96,7 +130,141 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-schemes", action="store_true", help="list schemes and exit"
     )
+    serve = parser.add_argument_group("serve options")
+    serve.add_argument(
+        "--job",
+        action="append",
+        metavar="NAME=PROBLEM/SCHEME[:EPS]",
+        help="register a named job (repeatable); default: a demo job set",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=8192, help="ingestion batch size"
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=4, help="multi-tenant sub-streams"
+    )
+    serve.add_argument(
+        "--burst", type=int, default=64, help="per-source micro-batch length"
+    )
     return parser
+
+
+def parse_job_spec(spec: str, default_eps: float):
+    """Parse ``NAME=PROBLEM/SCHEME[:EPS]`` into (name, problem, scheme)."""
+    name, sep, rest = spec.partition("=")
+    if not sep or not name or not rest:
+        raise ValueError(f"bad job spec {spec!r}: expected NAME=PROBLEM/SCHEME[:EPS]")
+    parts = rest.split(":")
+    if len(parts) > 2:
+        raise ValueError(f"bad job spec {spec!r}: too many ':' fields")
+    problem, sep, scheme_name = parts[0].partition("/")
+    if not sep or problem not in SCHEMES:
+        raise ValueError(
+            f"bad job spec {spec!r}: unknown problem {problem!r} "
+            f"(choose from {sorted(SCHEMES)})"
+        )
+    factory = SCHEMES[problem].get(scheme_name)
+    if factory is None:
+        raise ValueError(
+            f"bad job spec {spec!r}: unknown scheme {scheme_name!r} for "
+            f"{problem} (choose from {sorted(SCHEMES[problem])})"
+        )
+    if len(parts) > 1:
+        try:
+            eps = float(parts[1])
+        except ValueError:
+            raise ValueError(
+                f"bad job spec {spec!r}: eps {parts[1]!r} is not a number"
+            ) from None
+    else:
+        eps = default_eps
+    return name, problem, factory(eps)
+
+
+def run_serve(args) -> int:
+    """The `repro serve` subcommand: a multi-tenant service demo."""
+    # multi_tenant raises lazily (generator), so validate its knobs here
+    # to fail with a clean message like every other bad flag.
+    for flag, value in (("--batch", args.batch), ("--tenants", args.tenants),
+                        ("--burst", args.burst)):
+        if value < 1:
+            print(f"error: {flag} must be positive", file=sys.stderr)
+            return 2
+    specs = args.job or list(DEFAULT_SERVE_JOBS)
+    problems = {}
+    try:
+        service = TrackingService(num_sites=args.k, seed=args.seed)
+        for spec in specs:
+            name, problem, scheme = parse_job_spec(spec, args.eps)
+            service.register(name, scheme)
+            problems[name] = problem
+    except (ValueError, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stream = multi_tenant(
+        args.n,
+        args.k,
+        tenants=args.tenants,
+        burst=args.burst,
+        seed=args.seed,
+        labeled=False,
+    )
+    start = time.perf_counter()
+    total = service.ingest_stream(stream, batch_size=args.batch)
+    elapsed = time.perf_counter() - start
+    status = service.status()
+    rows = []
+    for name, job in status["jobs"].items():
+        problem = problems[name]
+        if problem == "frequency":
+            top = service.query(name, "top_items", 1)
+            result = f"top: {top[0][0]}" if top else "-"
+        elif problem == "rank":
+            # An empty rank summary has no candidate values to search.
+            if job["elements"] > 0:
+                result = f"p50: {service.query(name, 'quantile', 0.5)}"
+            else:
+                result = "-"
+        else:
+            estimate = job["accuracy"]["estimate"]
+            result = "-" if estimate is None else f"{estimate:.0f}"
+        rows.append(
+            [
+                name,
+                job["scheme"],
+                job["comm"]["total_messages"],
+                job["comm"]["total_words"],
+                job["space"]["used"]["max_site_words"],
+                result,
+            ]
+        )
+    agg = status["comm"]
+    rows.append(
+        [
+            "(fleet total)",
+            f"{len(status['jobs'])} jobs",
+            agg["total_messages"],
+            agg["total_words"],
+            "",
+            "",
+        ]
+    )
+    print(
+        render_table(
+            ["job", "scheme", "messages", "words", "site space", "result"],
+            rows,
+            title=(
+                f"service: k={args.k}, n={total:,}, tenants={args.tenants}, "
+                f"burst={args.burst}, batch={args.batch}"
+            ),
+        )
+    )
+    rate = total / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"ingested {total:,} events x {len(status['jobs'])} jobs "
+        f"in {elapsed:.2f}s ({rate:,.0f} events/s/job)"
+    )
+    return 0
 
 
 def make_stream(problem: str, workload: str, n: int, k: int, seed: int):
@@ -141,6 +309,8 @@ def describe(problem: str, sim: Simulation, n: int) -> list:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.problem == "serve":
+        return run_serve(args)
     schemes = SCHEMES[args.problem]
     if args.list_schemes:
         for name in sorted(schemes):

@@ -8,6 +8,8 @@ reports it.  The coordinator always holds an ``eps``-approximation of every
 
 from __future__ import annotations
 
+import math
+
 from ...runtime import Coordinator, Message, Network, Site, TrackingScheme
 
 __all__ = [
@@ -33,6 +35,30 @@ class DeterministicCountSite(Site):
         if self.last_sent == 0 or self.n >= (1 + self.eps) * self.last_sent:
             self.last_sent = self.n
             self.send(MSG_VALUE, self.n)
+
+    def on_elements(self, items) -> None:
+        # Closed form: sends fire exactly at the counter values where the
+        # per-event test flips, so only the O(log_{1+eps} m) send points
+        # are visited instead of all m increments.  Transcript-identical
+        # to on_element (same float comparison, hence ceil of the same
+        # product picks the same send points).
+        end = self.n + len(items)
+        n = self.n
+        last = self.last_sent
+        while True:
+            nxt = n + 1 if last == 0 else math.ceil((1 + self.eps) * last)
+            if nxt <= n:
+                # eps so small that (1+eps)*last rounds to last in float:
+                # the per-event test then fires on every increment.
+                nxt = n + 1
+            if nxt > end:
+                break
+            n = nxt
+            last = nxt
+            self.n = n
+            self.last_sent = last
+            self.send(MSG_VALUE, n)
+        self.n = end
 
     def space_words(self) -> int:
         return 2

@@ -63,6 +63,35 @@ class RandomizedCountSite(Site):
             self.last_sent = self.doubler.n
             self.send(MSG_UPDATE, self.doubler.n)
 
+    def on_elements(self, items) -> None:
+        # Inlined on_element: same state transitions and the same RNG
+        # draws in the same order (coin(rng, p) short-circuits the draw
+        # at p >= 1, mirrored here), so the batched transcript is
+        # identical.  self.p is re-read after every send because a send
+        # can re-enter on_message via a round broadcast and halve it.
+        doubler = self.doubler
+        dn = doubler.n
+        dlast = doubler.last_report
+        rng_random = self.rng.random
+        send = self.send
+        p = self.p
+        for _ in items:
+            dn += 1
+            if dn >= 2 * dlast or dlast == 0:
+                dlast = dn
+                doubler.n = dn
+                doubler.last_report = dlast
+                send(MSG_DOUBLE, dn)
+                p = self.p
+            if p >= 1.0 or rng_random() < p:
+                self.last_sent = dn
+                doubler.n = dn
+                doubler.last_report = dlast
+                send(MSG_UPDATE, dn)
+                p = self.p
+        doubler.n = dn
+        doubler.last_report = dlast
+
     def on_message(self, message: Message) -> None:
         if message.kind != MSG_ROUND:
             return

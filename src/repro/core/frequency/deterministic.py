@@ -84,6 +84,78 @@ class DeterministicFrequencySite(Site):
                     j: c for j, c in self.reported.items() if j in tracked
                 }
 
+    def on_elements(self, items) -> None:
+        # Inlined on_element for the common paths (MG counter hit, free
+        # insert), transcript-identical to per-event driving.  Delta is
+        # cached between sends: n_bar only moves via a round broadcast,
+        # which can only re-enter during one of our own sends.
+        if self.exact_counts:
+            super().on_elements(items)
+            return
+        doubler = self.doubler
+        dn = doubler.n
+        dlast = doubler.last_report
+        mg = self.mg
+        counters = mg.counters
+        capacity = mg.capacity
+        mg_n = mg.n
+        reported = self.reported
+        send = self.send
+        eps = self.eps
+        k8 = 8 * self.k
+        delta = max(1, int(eps * self.n_bar / k8))
+        since_prune = self._since_prune
+        prune_every = 4 * capacity
+
+        for item in items:
+            dn += 1
+            if dn >= 2 * dlast or dlast == 0:
+                dlast = dn
+                doubler.n = dn
+                doubler.last_report = dlast
+                send(MSG_DOUBLE, dn)
+                delta = max(1, int(eps * self.n_bar / k8))
+
+            # Misra-Gries add, inlined except the eviction path.
+            cur = counters.get(item)
+            if cur is not None:
+                count = cur + 1
+                counters[item] = count
+                mg_n += 1
+            elif len(counters) < capacity:
+                counters[item] = 1
+                count = 1
+                mg_n += 1
+            else:
+                mg.n = mg_n
+                mg.add(item)  # decrement-all step rebinds mg.counters
+                mg_n = mg.n
+                counters = mg.counters
+                count = counters.get(item, 0)
+
+            # count < delta can never clear the threshold (reported >= 0),
+            # so the common case skips the reported-map lookup entirely.
+            if count >= delta and count - reported.get(item, 0) >= delta:
+                reported[item] = count
+                doubler.n = dn
+                doubler.last_report = dlast
+                send(MSG_SET, (item, count), words=2)
+                delta = max(1, int(eps * self.n_bar / k8))
+
+            since_prune += 1
+            if since_prune >= prune_every:
+                since_prune = 0
+                if len(reported) > 2 * capacity:
+                    reported = {
+                        j: c for j, c in reported.items() if j in counters
+                    }
+                    self.reported = reported
+
+        doubler.n = dn
+        doubler.last_report = dlast
+        mg.n = mg_n
+        self._since_prune = since_prune
+
     def on_message(self, message: Message) -> None:
         if message.kind == MSG_ROUND:
             self.n_bar = message.payload

@@ -92,6 +92,120 @@ class RandomizedFrequencySite(Site):
         if self.sample_correction and coin(self.rng, self.p):
             self.send(MSG_SAMPLE, item, words=1)
 
+    def on_elements(self, items) -> None:
+        # Inlined on_element with identical state transitions and RNG
+        # draw order (both the site rng and the sticky rng).  Any send may
+        # re-enter on_message via a round broadcast, clearing the sticky
+        # sampler and the round counters — so locals are flushed to self
+        # immediately before every send and re-read immediately after.
+        doubler = self.doubler
+        dn = doubler.n
+        dlast = doubler.last_report
+        sticky = self.sticky
+        counters = sticky.counters  # cleared in place; alias stays valid
+        counters_get = counters.get
+        sticky_rng = sticky.rng.random
+        site_rng = self.rng.random
+        send = self.send
+        virtual = self.virtual_sites
+        correction = self.sample_correction
+        k = self.k
+        relems = self.round_elements
+        n_bar = self.n_bar
+        cap = (n_bar // k or 1) if (virtual and n_bar > 0) else 0
+        p = self.p
+        sp = sticky.p
+        pending = 0  # sticky arrivals not yet flushed to sticky.n
+
+        for item in items:
+            # 1. Global count tracking (may restart the round re-entrantly).
+            dn += 1
+            if dn >= 2 * dlast or dlast == 0:
+                dlast = dn
+                doubler.n = dn
+                doubler.last_report = dlast
+                sticky.n += pending
+                pending = 0
+                self.round_elements = relems
+                send(MSG_DOUBLE, dn)
+                relems = self.round_elements
+                n_bar = self.n_bar
+                cap = (n_bar // k or 1) if (virtual and n_bar > 0) else 0
+                p = self.p
+                sp = sticky.p
+
+            # 2. Virtual-site split.
+            if cap and relems >= cap:
+                doubler.n = dn
+                doubler.last_report = dlast
+                sticky.n += pending
+                pending = 0
+                self.round_elements = relems
+                self._split()
+                relems = self.round_elements
+            relems += 1
+
+            # 3. Sticky counter list.
+            pending += 1
+            cur = counters_get(item)
+            if cur is not None:
+                count = cur + 1
+                counters[item] = count
+                created = False
+            else:
+                if sp >= 1.0 or sticky_rng() < sp:
+                    counters[item] = 1
+                    count = 1
+                    created = True
+                else:
+                    count = 0
+                    created = False
+            if created:
+                doubler.n = dn
+                doubler.last_report = dlast
+                sticky.n += pending
+                pending = 0
+                self.round_elements = relems
+                send(MSG_COUNTER, (item, 1), words=2)
+                relems = self.round_elements
+                n_bar = self.n_bar
+                cap = (n_bar // k or 1) if (virtual and n_bar > 0) else 0
+                p = self.p
+                sp = sticky.p
+            elif count > 0:
+                if p >= 1.0 or site_rng() < p:
+                    doubler.n = dn
+                    doubler.last_report = dlast
+                    sticky.n += pending
+                    pending = 0
+                    self.round_elements = relems
+                    send(MSG_COUNTER, (item, count), words=2)
+                    relems = self.round_elements
+                    n_bar = self.n_bar
+                    cap = (n_bar // k or 1) if (virtual and n_bar > 0) else 0
+                    p = self.p
+                    sp = sticky.p
+
+            # 4. Independent raw sample.
+            if correction:
+                if p >= 1.0 or site_rng() < p:
+                    doubler.n = dn
+                    doubler.last_report = dlast
+                    sticky.n += pending
+                    pending = 0
+                    self.round_elements = relems
+                    send(MSG_SAMPLE, item, words=1)
+                    relems = self.round_elements
+                    n_bar = self.n_bar
+                    cap = (n_bar // k or 1) if (virtual and n_bar > 0) else 0
+                    p = self.p
+                    sp = sticky.p
+
+        doubler.n = dn
+        doubler.last_report = dlast
+        sticky.n += pending
+        self.round_elements = relems
+
     def _split(self) -> None:
         """Become a fresh virtual site: notify, clear, restart."""
         self.send(MSG_SPLIT, None, words=1)

@@ -7,11 +7,12 @@ synchronous message delivery, and communication measured in messages and
 words (a broadcast costs ``k`` messages).
 """
 
+from .batching import batch_from_stream, decompose_runs
 from .coordinator import Coordinator
 from .metrics import CommStats, SpaceStats
 from .network import Network, OneWayViolation
 from .protocol import BROADCAST, DOWNLINK, UPLINK, Message
-from .rng import coin, derive_rng, geometric_failures, trailing_level
+from .rng import coin, derive_rng, derive_seed, geometric_failures, trailing_level
 from .scheme import TrackingScheme
 from .simulation import Simulation
 from .site import Site
@@ -26,8 +27,11 @@ __all__ = [
     "UPLINK",
     "DOWNLINK",
     "BROADCAST",
+    "batch_from_stream",
     "coin",
+    "decompose_runs",
     "derive_rng",
+    "derive_seed",
     "geometric_failures",
     "trailing_level",
     "TrackingScheme",

@@ -55,11 +55,21 @@ class Network:
         self.dropped_uplink_messages = 0
         self._drop_rng = random.Random(drop_seed)
         self.stats = CommStats()
+        self._mirrors = []
         self._coordinator = None
         self._sites = {}
         self._depth = 0
 
     # -- wiring ----------------------------------------------------------
+
+    def attach_mirror(self, stats: CommStats) -> None:
+        """Mirror every charge into an extra ledger (multiplexing hook).
+
+        A :class:`~repro.service.TrackingService` runs one logical network
+        per job over a shared fleet; mirroring lets each job keep its own
+        ledger while the service aggregates fleet-wide totals.
+        """
+        self._mirrors.append(stats)
 
     def bind(self, coordinator, sites) -> None:
         """Attach the coordinator and the site list after construction."""
@@ -84,24 +94,37 @@ class Network:
 
     def send_to_coordinator(self, site_id: int, message: Message) -> None:
         """Deliver a site's message to the coordinator (uplink)."""
-        self.stats.record_uplink(message.words)
+        # Ledger bookkeeping is inlined (not record_uplink) because this
+        # runs once per protocol message on the ingestion hot path.
+        words = message.words
+        stats = self.stats
+        stats.uplink_messages += 1
+        stats.uplink_words += words
+        for mirror in self._mirrors:
+            mirror.uplink_messages += 1
+            mirror.uplink_words += words
         if (
             self.uplink_drop_rate > 0.0
             and self._drop_rng.random() < self.uplink_drop_rate
         ):
             self.dropped_uplink_messages += 1
             return
-        self._enter()
+        depth = self._depth + 1
+        if depth > _MAX_DEPTH:
+            raise RuntimeError("message recursion too deep; protocol loop?")
+        self._depth = depth
         try:
             self._coordinator.on_message(site_id, message)
         finally:
-            self._exit()
+            self._depth = depth - 1
 
     def send_to_site(self, site_id: int, message: Message) -> None:
         """Deliver a coordinator message to one site (downlink)."""
         if self.one_way:
             raise OneWayViolation("downlink disabled on a one-way network")
         self.stats.record_downlink(message.words)
+        for mirror in self._mirrors:
+            mirror.record_downlink(message.words)
         self._enter()
         try:
             self._sites[site_id].on_message(message)
@@ -113,6 +136,8 @@ class Network:
         if self.one_way:
             raise OneWayViolation("broadcast disabled on a one-way network")
         self.stats.record_broadcast(message.words, self.num_sites)
+        for mirror in self._mirrors:
+            mirror.record_broadcast(message.words, self.num_sites)
         self._enter()
         try:
             for site_id in sorted(self._sites):

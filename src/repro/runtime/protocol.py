@@ -8,8 +8,7 @@ setting it to the number of words a real implementation would ship.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from collections import namedtuple
 
 __all__ = ["Message", "UPLINK", "DOWNLINK", "BROADCAST"]
 
@@ -17,10 +16,16 @@ UPLINK = "uplink"  # site -> coordinator
 DOWNLINK = "downlink"  # coordinator -> one site
 BROADCAST = "broadcast"  # coordinator -> all sites (costs k messages)
 
+_MessageBase = namedtuple("_MessageBase", ["kind", "payload", "words"])
 
-@dataclass(frozen=True)
-class Message:
+
+class Message(_MessageBase):
     """A single protocol message.
+
+    An immutable (kind, payload, words) triple.  Built on a namedtuple
+    rather than a frozen dataclass because construction sits on the
+    ingestion hot path — one object per protocol message — and tuple
+    construction is ~2x cheaper.
 
     Parameters
     ----------
@@ -32,10 +37,9 @@ class Message:
         Size charged by the accounting model, in words.  Defaults to 1.
     """
 
-    kind: str
-    payload: Any = None
-    words: int = 1
+    __slots__ = ()
 
-    def __post_init__(self):
-        if self.words < 0:
+    def __new__(cls, kind: str, payload=None, words: int = 1):
+        if words < 0:
             raise ValueError("message size cannot be negative")
+        return _MessageBase.__new__(cls, kind, payload, words)

@@ -12,7 +12,13 @@ import hashlib
 import math
 import random
 
-__all__ = ["derive_rng", "geometric_failures", "coin", "trailing_level"]
+__all__ = [
+    "derive_rng",
+    "derive_seed",
+    "geometric_failures",
+    "coin",
+    "trailing_level",
+]
 
 _MASK64 = (1 << 64) - 1
 
@@ -25,6 +31,17 @@ def _mix(root_seed: int, path: tuple) -> int:
         h.update(b"/")
         h.update(str(part).encode())
     return int.from_bytes(h.digest(), "big") & _MASK64
+
+
+def derive_seed(root_seed: int, *path) -> int:
+    """Return a 64-bit child seed derived from ``root_seed`` and ``path``.
+
+    Used wherever an *integer* seed (rather than a generator) must be
+    handed to an independent component — e.g. each job registered with a
+    :class:`~repro.service.TrackingService` gets its own protocol seed
+    derived from the service seed and the job name.
+    """
+    return _mix(root_seed, tuple(path))
 
 
 def derive_rng(root_seed: int, *path) -> random.Random:

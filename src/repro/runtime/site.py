@@ -28,6 +28,19 @@ class Site(ABC):
     def on_element(self, item) -> None:
         """Process one element of the local stream."""
 
+    def on_elements(self, items) -> None:
+        """Process a contiguous run of local elements (batched fast path).
+
+        ``items`` is a sized sequence delivered in arrival order.  The
+        default is a tight loop over :meth:`on_element`; subclasses may
+        override with a faster implementation, but it MUST be *exactly*
+        equivalent — same messages, same RNG consumption — so batched and
+        per-event driving produce identical transcripts from the same seed.
+        """
+        on_element = self.on_element
+        for item in items:
+            on_element(item)
+
     def on_message(self, message: Message) -> None:
         """Handle a message from the coordinator.  Default: ignore."""
 

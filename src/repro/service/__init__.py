@@ -1,0 +1,31 @@
+"""Multi-tenant tracking service: many named jobs over one shared fleet.
+
+This package turns the single-scheme simulator into a service:
+:class:`TrackingService` owns ``k`` sites and a job registry; callers
+register named tracking jobs (any :class:`~repro.runtime.TrackingScheme`),
+push events through the batched ingestion engine, and read per-job
+communication/space/accuracy snapshots through the query API.
+
+Components:
+
+* :class:`TrackingService` — registry, ingestion and query front-end.
+* :class:`TrackingJob` — one registered scheme instance with its own
+  coordinator, site handlers and ledgers.
+* :class:`BatchIngestEngine` — decompose-once, drive-many batched hot
+  path shared with :meth:`Simulation.run_batched`.
+* :class:`DuplicateJobError` / :class:`UnknownJobError` — registry errors.
+"""
+
+from .engine import BatchIngestEngine
+from .errors import DuplicateJobError, ServiceError, UnknownJobError
+from .job import TrackingJob
+from .service import TrackingService
+
+__all__ = [
+    "BatchIngestEngine",
+    "DuplicateJobError",
+    "ServiceError",
+    "TrackingJob",
+    "TrackingService",
+    "UnknownJobError",
+]

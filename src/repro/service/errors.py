@@ -1,0 +1,20 @@
+"""Exceptions raised by the multi-tenant tracking service."""
+
+from __future__ import annotations
+
+__all__ = ["ServiceError", "DuplicateJobError", "UnknownJobError"]
+
+
+class ServiceError(Exception):
+    """Base class for tracking-service errors."""
+
+
+class DuplicateJobError(ServiceError):
+    """A job with this name is already registered."""
+
+
+class UnknownJobError(ServiceError, KeyError):
+    """No job with this name is registered."""
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep it readable
+        return Exception.__str__(self)

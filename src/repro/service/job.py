@@ -1,0 +1,170 @@
+"""One registered tracking job: a scheme instance over the shared fleet.
+
+A job owns the full protocol stack for one tracked function — its own
+coordinator, one site handler per fleet site, and a logical
+:class:`~repro.runtime.Network` whose ledger charges only this job's
+traffic (while mirroring into the service-wide aggregate).  Jobs are
+created by :meth:`TrackingService.register`, never directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime import CommStats, Network, SpaceStats, TrackingScheme
+
+__all__ = ["TrackingJob", "DEFAULT_QUERY_METHODS"]
+
+#: no-argument coordinator queries tried, in order, when ``query()`` is
+#: called without an explicit method name.
+DEFAULT_QUERY_METHODS = ("estimate", "estimate_total")
+
+#: coordinator methods that mutate protocol state or belong to the
+#: transport — the query API must never reach them.
+_NON_QUERY_METHODS = frozenset(
+    {"on_message", "space_words", "send_to", "broadcast"}
+)
+
+
+class TrackingJob:
+    """A named tracking workload multiplexed over the shared site fleet.
+
+    Exposes the same driving surface as :class:`~repro.runtime.Simulation`
+    (``sites``, ``space``, ``elements_processed``, ``sample_space``) so the
+    batched ingestion engine can drive either interchangeably.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scheme: TrackingScheme,
+        num_sites: int,
+        seed: int,
+        one_way: bool = False,
+        uplink_drop_rate: float = 0.0,
+        mirror: Optional[CommStats] = None,
+        space_budget_words: Optional[int] = None,
+    ):
+        self.name = name
+        self.scheme = scheme
+        self.seed = seed
+        # Same drop-seed derivation as Simulation, so a job and a
+        # standalone simulation with identical seeds see identical loss.
+        self.network = Network(
+            num_sites,
+            one_way=one_way,
+            uplink_drop_rate=uplink_drop_rate,
+            drop_seed=seed ^ 0x5EED,
+        )
+        if mirror is not None:
+            self.network.attach_mirror(mirror)
+        self.coordinator = scheme.make_coordinator(self.network, num_sites, seed)
+        self.sites = [
+            scheme.make_site(self.network, site_id, num_sites, seed)
+            for site_id in range(num_sites)
+        ]
+        self.network.bind(self.coordinator, self.sites)
+        self.space = SpaceStats()
+        self.space_budget_words = space_budget_words
+        self.elements_processed = 0
+
+    # -- accounting --------------------------------------------------------
+
+    def sample_space(self) -> None:
+        """Record current space of every site and the coordinator."""
+        for site in self.sites:
+            self.space.record_site(site.site_id, site.space_words())
+        self.space.record_coordinator(self.coordinator.space_words())
+
+    @property
+    def comm(self) -> CommStats:
+        """This job's communication ledger (its traffic only)."""
+        return self.network.stats
+
+    # -- queries -----------------------------------------------------------
+
+    def query(self, method: Optional[str] = None, *args, **kwargs):
+        """Call a query method on this job's coordinator.
+
+        With ``method=None`` the first available no-argument default
+        (:data:`DEFAULT_QUERY_METHODS`) is used — ``estimate()`` for count
+        schemes, ``estimate_total()`` for rank schemes.  Otherwise
+        ``method`` names any public coordinator method, e.g.
+        ``job.query("estimate_rank", 500)`` or ``job.query("top_items", 10)``.
+        """
+        if method is None:
+            fn = self._find_default_query()
+            if fn is None:
+                raise AttributeError(
+                    f"job {self.name!r} ({self.scheme.name}) has no default "
+                    f"query; pass one of {self._query_methods()!r} explicitly"
+                )
+            return fn()
+        if method.startswith("_") or method in _NON_QUERY_METHODS:
+            raise AttributeError(f"{method!r} is not a public query method")
+        fn = getattr(self.coordinator, method, None)
+        if not callable(fn):
+            raise AttributeError(
+                f"job {self.name!r} ({self.scheme.name}) has no query "
+                f"method {method!r}; available: {self._query_methods()!r}"
+            )
+        return fn(*args, **kwargs)
+
+    def _query_methods(self) -> list:
+        return sorted(
+            name
+            for name in dir(self.coordinator)
+            if not name.startswith("_")
+            and name not in _NON_QUERY_METHODS
+            and callable(getattr(self.coordinator, name))
+        )
+
+    def _find_default_query(self):
+        for candidate in DEFAULT_QUERY_METHODS:
+            fn = getattr(self.coordinator, candidate, None)
+            if callable(fn):
+                return fn
+        return None
+
+    def _default_estimate(self):
+        fn = self._find_default_query()
+        return fn() if fn is not None else None
+
+    # -- snapshot ----------------------------------------------------------
+
+    def status(self) -> dict:
+        """Pods-style snapshot: identity, comm ledger, space total/used/available.
+
+        ``space.total`` is the optional per-job budget (words);
+        ``available`` is ``total - used.max_site_words`` when a budget is
+        set, mirroring the MAAS pods handler's resource triple.
+        """
+        self.sample_space()
+        used_words = self.space.max_site_words
+        budget = self.space_budget_words
+        return {
+            "name": self.name,
+            "scheme": self.scheme.name,
+            "elements": self.elements_processed,
+            "comm": self.comm.snapshot(),
+            "dropped_uplink_messages": self.network.dropped_uplink_messages,
+            "space": {
+                "total": budget,
+                "used": {
+                    "max_site_words": used_words,
+                    "mean_site_words": self.space.mean_site_words,
+                    "coordinator_words": self.space.coordinator_max_words,
+                },
+                "available": None if budget is None else budget - used_words,
+            },
+            "accuracy": {
+                "epsilon": getattr(self.scheme, "epsilon", None),
+                "estimate": self._default_estimate(),
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TrackingJob(name={self.name!r}, scheme={self.scheme.name!r}, "
+            f"elements={self.elements_processed})"
+        )

@@ -1,0 +1,211 @@
+"""The multi-tenant tracking service.
+
+One :class:`TrackingService` owns a fleet of ``k`` sites and multiplexes
+any number of named tracking *jobs* — count, frequency, rank, or any
+:class:`~repro.runtime.TrackingScheme` — over it.  Every ingested event
+is observed by every job (each job tracks a different function of the
+same shared stream), each job keeps its own communication and space
+ledgers, and the service aggregates fleet-wide totals.
+
+Typical use::
+
+    service = TrackingService(num_sites=32, seed=7)
+    service.register("total", RandomizedCountScheme(epsilon=0.01))
+    service.register("p99-latency", RandomizedRankScheme(epsilon=0.01))
+    service.ingest(site_ids, items)          # numpy arrays or sequences
+    service.query("p99-latency", "quantile", 0.99)
+    service.status()                         # per-job + fleet snapshot
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..runtime import CommStats, TrackingScheme, derive_seed
+from ..runtime.batching import batch_from_stream
+from .engine import BatchIngestEngine
+from .errors import DuplicateJobError, UnknownJobError
+from .job import TrackingJob
+
+__all__ = ["TrackingService"]
+
+
+class TrackingService:
+    """A shared site fleet serving many named tracking jobs.
+
+    Parameters
+    ----------
+    num_sites:
+        Fleet size ``k``, shared by every job.
+    seed:
+        Service root seed.  Each job's protocol seed is derived from it
+        and the job name (override per job at :meth:`register`).
+    one_way:
+        Restrict the shared links to site -> coordinator traffic for all
+        jobs (the Theorem 2.2 model).
+    uplink_drop_rate:
+        Fault injection applied to every job's uplink, with per-job
+        independent loss streams derived from the job seed.
+    space_sample_interval:
+        Elements between full space sweeps during batched ingestion.
+    space_budget_words:
+        Default per-job site-space budget reported by :meth:`status`
+        (pods-style ``total``/``used``/``available``); None disables.
+    """
+
+    def __init__(
+        self,
+        num_sites: int,
+        seed: int = 0,
+        one_way: bool = False,
+        uplink_drop_rate: float = 0.0,
+        space_sample_interval: int = 4096,
+        space_budget_words: Optional[int] = None,
+    ):
+        if num_sites < 1:
+            raise ValueError("need at least one site")
+        self.num_sites = num_sites
+        self.seed = seed
+        self.one_way = one_way
+        self.uplink_drop_rate = uplink_drop_rate
+        self.space_budget_words = space_budget_words
+        self.comm = CommStats()  # fleet-wide aggregate (all jobs)
+        self.engine = BatchIngestEngine(space_sample_interval)
+        self.elements_processed = 0
+        self._jobs: Dict[str, TrackingJob] = {}
+
+    # -- job registry ------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        scheme: TrackingScheme,
+        seed: Optional[int] = None,
+        space_budget_words: Optional[int] = None,
+    ) -> TrackingJob:
+        """Register a named job; returns its :class:`TrackingJob`.
+
+        Raises :class:`DuplicateJobError` if the name is taken.  Jobs
+        registered mid-stream only observe events ingested afterwards.
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError("job name must be a non-empty string")
+        if name in self._jobs:
+            raise DuplicateJobError(f"job {name!r} is already registered")
+        job = TrackingJob(
+            name,
+            scheme,
+            self.num_sites,
+            derive_seed(self.seed, "job", name) if seed is None else seed,
+            one_way=self.one_way,
+            uplink_drop_rate=self.uplink_drop_rate,
+            mirror=self.comm,
+            space_budget_words=(
+                self.space_budget_words
+                if space_budget_words is None
+                else space_budget_words
+            ),
+        )
+        self._jobs[name] = job
+        return job
+
+    def unregister(self, name: str) -> TrackingJob:
+        """Remove and return a job; raises :class:`UnknownJobError`."""
+        return self._jobs.pop(self._checked(name))
+
+    def job(self, name: str) -> TrackingJob:
+        """Look up a registered job by name."""
+        return self._jobs[self._checked(name)]
+
+    def _checked(self, name: str) -> str:
+        if name not in self._jobs:
+            raise UnknownJobError(
+                f"no job named {name!r}; registered: {sorted(self._jobs)}"
+            )
+        return name
+
+    @property
+    def jobs(self) -> Dict[str, TrackingJob]:
+        """Read-only view of the registry (insertion-ordered)."""
+        return dict(self._jobs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._jobs
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __getitem__(self, name: str) -> TrackingJob:
+        return self.job(name)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(self, site_ids, items=None) -> int:
+        """Ingest one ordered batch of events into every registered job.
+
+        ``site_ids`` is a numpy integer array or sequence of site ids;
+        ``items`` the matching payloads (None means the unit item, for
+        count-style streams).  The batch is decomposed into per-site runs
+        once and replayed into each job — transcripts are identical to
+        per-event driving with the same seeds.  Returns the batch size.
+        """
+        n = self.engine.ingest(self._jobs.values(), site_ids, items)
+        self.elements_processed += n
+        return n
+
+    def ingest_stream(self, stream: Iterable, batch_size: int = 8192) -> int:
+        """Drain an iterable of ``(site_id, item)`` pairs in batches.
+
+        Convenience bridge from the workload generators; returns the
+        total number of events ingested.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        total = 0
+        site_ids: list = []
+        items: list = []
+        append_site = site_ids.append
+        append_item = items.append
+        for site_id, item in stream:
+            append_site(site_id)
+            append_item(item)
+            if len(site_ids) >= batch_size:
+                total += self.ingest(site_ids, items)
+                site_ids, items = [], []
+                append_site = site_ids.append
+                append_item = items.append
+        if site_ids:
+            total += self.ingest(site_ids, items)
+        return total
+
+    # -- queries -----------------------------------------------------------
+
+    def query(self, name: str, method: Optional[str] = None, *args, **kwargs):
+        """Run a coordinator query on one job (see :meth:`TrackingJob.query`)."""
+        return self.job(name).query(method, *args, **kwargs)
+
+    def status(self) -> dict:
+        """Fleet snapshot: per-job ledgers plus service-wide aggregates.
+
+        Shaped after the pods handler's resource triples: each job's
+        ``space`` reports ``total``/``used``/``available``, and the
+        service level aggregates the mirrored communication ledger.
+        """
+        return {
+            "sites": self.num_sites,
+            "one_way": self.one_way,
+            "uplink_drop_rate": self.uplink_drop_rate,
+            "elements": self.elements_processed,
+            "comm": self.comm.snapshot(),
+            "jobs": {name: job.status() for name, job in self._jobs.items()},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TrackingService(sites={self.num_sites}, jobs={len(self._jobs)}, "
+            f"elements={self.elements_processed})"
+        )
+
+    # Re-exported here so callers driving a service from a generator can
+    # build batches without importing the runtime package.
+    batch_from_stream = staticmethod(batch_from_stream)

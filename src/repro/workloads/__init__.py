@@ -3,6 +3,7 @@
 from .adversarial import theorem22_distribution, theorem24_stream
 from .generators import (
     bursty_sites,
+    multi_tenant,
     round_robin,
     single_site,
     skewed_sites,
@@ -24,6 +25,7 @@ __all__ = [
     "round_robin",
     "single_site",
     "skewed_sites",
+    "multi_tenant",
     "uniform_sites",
     "with_items",
     "gaussian_values",

@@ -10,9 +10,29 @@ defaults to ``1``.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from typing import Callable, Iterator, Optional
 
 from ..runtime.rng import derive_rng
+
+
+def _zipf_cumulative(count: int, alpha: float) -> list:
+    """Cumulative distribution of Zipf weights ``(i+1)^-alpha``.
+
+    ``bisect_left(cum, u)`` for uniform ``u`` then samples index ``i``
+    with probability proportional to its weight.
+    """
+    weights = [(i + 1) ** (-alpha) for i in range(count)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    # Float rounding can leave the final entry below 1.0; pin it so the
+    # bisection can never fall off the end (u is always < 1).
+    cumulative[-1] = 1.0
+    return cumulative
 
 __all__ = [
     "round_robin",
@@ -20,6 +40,7 @@ __all__ = [
     "single_site",
     "skewed_sites",
     "bursty_sites",
+    "multi_tenant",
     "with_items",
 ]
 
@@ -48,24 +69,9 @@ def single_site(n: int, k: int, site_id: int = 0, item=1) -> Iterator:
 def skewed_sites(n: int, k: int, alpha: float = 1.0, seed: int = 0, item=1) -> Iterator:
     """Zipf-skewed site choice: site i picked with weight (i+1)^-alpha."""
     rng = derive_rng(seed, "skewed-sites")
-    weights = [(i + 1) ** (-alpha) for i in range(k)]
-    total = sum(weights)
-    cumulative = []
-    acc = 0.0
-    for w in weights:
-        acc += w / total
-        cumulative.append(acc)
+    cumulative = _zipf_cumulative(k, alpha)
     for _ in range(n):
-        u = rng.random()
-        lo = 0
-        hi = k - 1
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if cumulative[mid] >= u:
-                hi = mid
-            else:
-                lo = mid + 1
-        yield lo, item
+        yield bisect_left(cumulative, rng.random()), item
 
 
 def bursty_sites(
@@ -79,6 +85,57 @@ def bursty_sites(
         take = min(burst, remaining)
         for _ in range(take):
             yield site, item
+        remaining -= take
+
+
+def multi_tenant(
+    n: int,
+    k: int,
+    tenants: int = 4,
+    tenant_alpha: float = 1.0,
+    site_alpha: float = 0.8,
+    burst: int = 32,
+    universe: int = 1000,
+    labeled: bool = True,
+    seed: int = 0,
+) -> Iterator:
+    """Interleave several labeled sub-streams with skew across sites.
+
+    Models a multi-tenant collector: ``tenants`` independent event
+    sources share a fleet of ``k`` sites.  Traffic arrives in per-source
+    micro-batches of up to ``burst`` consecutive events (the shape real
+    ingestion pipelines deliver — and what the batched fast path
+    amortizes over).  Tenant ``t`` is chosen per burst with Zipf weight
+    ``(t+1)^-tenant_alpha``; within a tenant, sites are Zipf-skewed with
+    exponent ``site_alpha`` over a tenant-specific rotation of the fleet,
+    so tenants favour *different* hot sites.  Item values are drawn
+    uniformly from a per-tenant slice of ``[0, tenants * universe)``;
+    with ``labeled=True`` each item is a ``("t<i>", value)`` pair, so
+    frequency jobs see per-tenant heavy hitters, otherwise the bare
+    integer value (rank-friendly).
+    """
+    if tenants < 1:
+        raise ValueError("need at least one tenant")
+    if burst < 1:
+        raise ValueError("burst must be positive")
+    rng = derive_rng(seed, "multi-tenant")
+    tenant_cum = _zipf_cumulative(tenants, tenant_alpha)
+    site_cum = _zipf_cumulative(k, site_alpha)
+    labels = [f"t{t}" for t in range(tenants)]
+
+    remaining = n
+    while remaining > 0:
+        tenant = bisect_left(tenant_cum, rng.random())
+        # Rotate the skewed site law so each tenant has its own hot site.
+        site = (
+            bisect_left(site_cum, rng.random()) + tenant * max(1, k // tenants)
+        ) % k
+        take = min(burst, remaining)
+        base = tenant * universe
+        label = labels[tenant]
+        for _ in range(take):
+            value = base + rng.randrange(universe)
+            yield site, (label, value) if labeled else value
         remaining -= take
 
 

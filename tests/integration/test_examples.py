@@ -15,6 +15,7 @@ EXAMPLES = [
     ("latency_quantiles.py", ["Latency quantiles", "p99"]),
     ("lower_bound_tour.py", ["Theorem 2.2", "1-bit problem", "x0"]),
     ("sliding_window.py", ["Sliding-window count", "window count ~ 0"]),
+    ("multi_tenant_service.py", ["Multi-tenant service", "fleet aggregate"]),
 ]
 
 

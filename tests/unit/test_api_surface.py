@@ -27,6 +27,7 @@ PUBLIC_MODULES = [
     "repro.lowerbounds",
     "repro.oneshot",
     "repro.analysis",
+    "repro.service",
 ]
 
 
