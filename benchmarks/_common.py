@@ -10,12 +10,49 @@ Run with:  pytest benchmarks/ --benchmark-only
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
 
 from repro.runtime import Simulation
 from repro.analysis import render_table
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: machine-readable service-benchmark trajectory, at the repo root so
+#: CI and reviewers can diff perf across PRs without parsing tables
+BENCH_JSON_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_service.json",
+)
+
+
+def save_bench_json(section: str, payload: dict, path: str = None) -> str:
+    """Merge one benchmark's results into ``BENCH_service.json``.
+
+    Each bench owns a top-level ``section`` key; reruns overwrite only
+    their own section, so the file accumulates the full service perf
+    picture (multitenant throughput, persistence costs, ...).
+    """
+    path = BENCH_JSON_PATH if path is None else path
+    document = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as f:
+                document = json.load(f)
+        except ValueError:
+            document = {}
+    payload = dict(payload)
+    payload["updated"] = (
+        datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds")
+    )
+    document[section] = payload
+    with open(path, "w") as f:
+        json.dump(document, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"[bench] {section} -> {path}")
+    return path
 
 
 def save_table(name: str, headers, rows, title: str) -> str:

@@ -1,0 +1,262 @@
+"""S2 — durability costs: WAL overhead and snapshot-vs-replay recovery.
+
+Two acceptance claims for the persistence subsystem:
+
+1. **WAL overhead**: ingesting with the write-ahead log enabled stays
+   within 1.3x of WAL-off throughput (the log is one JSON line + flush
+   per batch, ahead of protocol work that dominates).
+2. **Snapshot leverage**: restoring from a snapshot taken at the end of
+   the stream is >= 5x faster than cold-replaying the full event log
+   through the batched engine (the point of checkpointing: recovery
+   cost is one state load, not re-running the stream).
+
+Results go to ``benchmarks/results/persistence.txt`` (table) and the
+machine-readable ``BENCH_service.json`` at the repo root.
+
+Run directly::
+
+    python benchmarks/bench_persistence.py [--quick]
+"""
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro import (
+    DeterministicCountScheme,
+    DeterministicFrequencyScheme,
+    RandomizedCountScheme,
+    RandomizedFrequencyScheme,
+    TrackingService,
+)
+from repro.runtime import batch_from_stream
+from repro.workloads import multi_tenant
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+from _common import save_bench_json, save_table
+
+K = 32
+N = 1_000_000
+N_QUICK = 60_000
+TENANTS = 8
+BURST = 64
+BATCH = 65_536
+SEED = 9
+
+#: the service-realistic mix from the multitenant acceptance bench:
+#: randomized + deterministic count and heavy-hitter jobs
+JOBS = (
+    ("events", lambda: RandomizedCountScheme(0.01)),
+    ("hot-items", lambda: RandomizedFrequencyScheme(0.05)),
+    ("events-lb", lambda: DeterministicCountScheme(0.01)),
+    ("hot-items-lb", lambda: DeterministicFrequencyScheme(0.05)),
+)
+
+
+def make_batch(n: int):
+    stream = multi_tenant(
+        n, K, tenants=TENANTS, burst=BURST, seed=1, labeled=False
+    )
+    site_ids, items = batch_from_stream(stream)
+    if np is not None:
+        site_ids = np.asarray(site_ids, dtype=np.int64)
+    return site_ids, items
+
+
+def build_service(checkpoint_dir=None):
+    service = TrackingService(
+        num_sites=K, seed=SEED, checkpoint_dir=checkpoint_dir
+    )
+    for name, factory in JOBS:
+        service.register(name, factory(), seed=SEED)
+    return service
+
+
+def batch_size(n: int) -> int:
+    # Keep >= 8 batches even in smoke mode so the WAL sees rotation and
+    # cold replay actually replays a multi-record log.
+    return min(BATCH, max(4096, n // 8))
+
+
+def ingest_all(service, site_ids, items):
+    n = len(items)
+    step = batch_size(n)
+    start = time.perf_counter()
+    for lo in range(0, n, step):
+        service.ingest(site_ids[lo : lo + step], items[lo : lo + step])
+    return time.perf_counter() - start
+
+
+REPEATS = 5  # wall-time minimum over this many runs (noise floor)
+
+
+def bench_wal_overhead(site_ids, items, workdir):
+    """(t_off, t_on, ratio): best-of-REPEATS ingest time without/with WAL."""
+    t_off = t_on = None
+    plain = durable = None
+    for attempt in range(REPEATS):
+        plain = build_service()
+        elapsed = ingest_all(plain, site_ids, items)
+        t_off = elapsed if t_off is None else min(t_off, elapsed)
+        durable = build_service(
+            os.path.join(workdir, f"wal-overhead-{attempt}")
+        )
+        elapsed = ingest_all(durable, site_ids, items)
+        t_on = elapsed if t_on is None else min(t_on, elapsed)
+        durable.close()
+    # Same transcripts or the timing comparison is meaningless.
+    assert durable.comm.snapshot() == plain.comm.snapshot()
+    return t_off, t_on, t_on / t_off
+
+
+def bench_restore_vs_replay(site_ids, items, workdir):
+    """(t_replay, t_restore, ratio, queries_equal).
+
+    Two checkpoint dirs hold the same ingested stream: one snapshotted
+    at the end (restore = load snapshot), one left at its initial empty
+    snapshot (restore = cold WAL replay of every batch).
+    """
+    snap_dir = os.path.join(workdir, "snapshotted")
+    cold_dir = os.path.join(workdir, "cold-replay")
+
+    snapshotted = build_service(snap_dir)
+    ingest_all(snapshotted, site_ids, items)
+    snapshotted.checkpoint()
+    snapshotted.close()
+
+    cold = build_service(cold_dir)
+    ingest_all(cold, site_ids, items)
+    cold.close()  # crash: WAL only, never checkpointed past the start
+
+    def timed_restore(directory):
+        best_time, service = None, None
+        for _ in range(REPEATS):
+            if service is not None:
+                service.close()
+            start = time.perf_counter()
+            service = TrackingService.restore(directory)
+            elapsed = time.perf_counter() - start
+            best_time = elapsed if best_time is None else min(best_time, elapsed)
+        return best_time, service
+
+    t_restore, from_snapshot = timed_restore(snap_dir)
+    t_replay, from_replay = timed_restore(cold_dir)
+
+    equal = (
+        from_snapshot.query("events") == from_replay.query("events")
+        and from_snapshot.query("hot-items", "top_items", 5)
+        == from_replay.query("hot-items", "top_items", 5)
+        and from_snapshot.comm.snapshot() == from_replay.comm.snapshot()
+    )
+    from_snapshot.close()
+    from_replay.close()
+    return t_replay, t_restore, t_replay / t_restore, equal
+
+
+def run(n: int = N, quick: bool = False):
+    site_ids, items = make_batch(n)
+    workdir = tempfile.mkdtemp(prefix="repro-bench-persist-")
+    try:
+        t_off, t_on, wal_ratio = bench_wal_overhead(site_ids, items, workdir)
+        t_replay, t_restore, restore_ratio, equal = bench_restore_vs_replay(
+            site_ids, items, workdir
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    rows = [
+        ["ingest, WAL off", f"{t_off:.2f}", f"{n / t_off / 1e6:.2f}", "baseline"],
+        [
+            "ingest, WAL on",
+            f"{t_on:.2f}",
+            f"{n / t_on / 1e6:.2f}",
+            f"{wal_ratio:.2f}x (target <= 1.3x)",
+        ],
+        ["recover: cold WAL replay", f"{t_replay:.2f}", "", "baseline"],
+        [
+            "recover: snapshot restore",
+            f"{t_restore:.2f}",
+            "",
+            f"{restore_ratio:.1f}x faster (target >= 5x)",
+        ],
+    ]
+    save_table(
+        "persistence" + ("_quick" if quick else ""),
+        ["phase", "seconds", "Mev/s", "vs baseline"],
+        rows,
+        title=(
+            f"durability: k={K}, n={n:,}, {len(JOBS)} jobs, batch={batch_size(n)}, "
+            f"restored queries identical: {equal}"
+        ),
+    )
+    save_bench_json(
+        "persistence",
+        {
+            "n": n,
+            "k": K,
+            "jobs": len(JOBS),
+            "batch": batch_size(n),
+            "quick": quick,
+            "wal_off_s": round(t_off, 4),
+            "wal_on_s": round(t_on, 4),
+            "wal_overhead_ratio": round(wal_ratio, 4),
+            "wal_overhead_target": 1.3,
+            "cold_replay_s": round(t_replay, 4),
+            "snapshot_restore_s": round(t_restore, 4),
+            "restore_speedup": round(restore_ratio, 2),
+            "restore_speedup_target": 5.0,
+            "restored_queries_identical": equal,
+        },
+    )
+    print(
+        f"\nWAL overhead: {wal_ratio:.2f}x (<= 1.3x) | "
+        f"snapshot restore: {restore_ratio:.1f}x faster than replay (>= 5x) | "
+        f"queries identical: {equal}"
+    )
+    return wal_ratio, restore_ratio, equal
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"smoke mode: {N_QUICK:,} events instead of {N:,}",
+    )
+    parser.add_argument("-n", type=int, default=None, help="override stream length")
+    args = parser.parse_args(argv)
+    n = args.n if args.n is not None else (N_QUICK if args.quick else N)
+    wal_ratio, restore_ratio, equal = run(n, quick=args.quick)
+    if not equal:
+        print("error: restored queries diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="service")
+    def test_persistence_costs(benchmark):
+        wal_ratio, restore_ratio, equal = benchmark.pedantic(
+            lambda: run(N), rounds=1, iterations=1
+        )
+        assert equal
+        assert wal_ratio <= 1.3
+        assert restore_ratio >= 5.0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, "")
+    sys.exit(main())

@@ -39,7 +39,7 @@ try:
 except ImportError:  # pragma: no cover
     np = None
 
-from _common import save_table
+from _common import save_bench_json, save_table
 
 K = 32
 N = 1_000_000
@@ -101,6 +101,7 @@ def run_batched(jobs, site_ids, items, batch_size=BATCH):
 def build_rows(n: int, job_counts=(1, 2, 4, 8)):
     site_ids, items = make_batch(n)
     rows = []
+    sweep = []
     headline_ratio = None
     for num_jobs in job_counts:
         jobs = JOB_MIX[:num_jobs]
@@ -114,6 +115,16 @@ def build_rows(n: int, job_counts=(1, 2, 4, 8)):
         ratio = t_loop / t_batch
         if num_jobs == len(JOB_MIX):
             headline_ratio = ratio
+        sweep.append(
+            {
+                "jobs": num_jobs,
+                "loop_s": round(t_loop, 4),
+                "batch_s": round(t_batch, 4),
+                "loop_mev_s": round(n * num_jobs / t_loop / 1e6, 3),
+                "batch_mev_s": round(n * num_jobs / t_batch / 1e6, 3),
+                "speedup": round(ratio, 3),
+            }
+        )
         rows.append(
             [
                 num_jobs,
@@ -124,11 +135,11 @@ def build_rows(n: int, job_counts=(1, 2, 4, 8)):
                 f"{ratio:.2f}x",
             ]
         )
-    return rows, headline_ratio
+    return rows, headline_ratio, sweep
 
 
 def run(n: int = N, quick: bool = False) -> float:
-    rows, headline = build_rows(n)
+    rows, headline, sweep = build_rows(n)
     save_table(
         "service_multitenant" + ("_quick" if quick else ""),
         ["jobs", "loop Mev/s", "batch Mev/s", "loop s", "batch s", "speedup"],
@@ -137,6 +148,20 @@ def run(n: int = N, quick: bool = False) -> float:
             f"multi-tenant service ingest: k={K}, n={n:,}, "
             f"tenants={TENANTS}, burst={BURST}"
         ),
+    )
+    save_bench_json(
+        "multitenant",
+        {
+            "n": n,
+            "k": K,
+            "tenants": TENANTS,
+            "burst": BURST,
+            "batch": BATCH,
+            "quick": quick,
+            "sweep": sweep,
+            "headline_speedup": round(headline, 3),
+            "headline_target": 5.0,
+        },
     )
     print(f"\n8-job speedup: {headline:.2f}x (target >= 5x at n=1M)")
     return headline

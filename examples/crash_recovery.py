@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Crash-recovery scenario: kill the service mid-stream, restore, verify.
+
+A child process runs a durable :class:`TrackingService` (count + heavy
+hitters + median over 16 sites), checkpoints part-way, keeps ingesting —
+and then dies hard (``os._exit``, no cleanup, no final checkpoint) in
+the middle of the stream.  The parent restores from the checkpoint
+directory: the newest snapshot plus the WAL tail rebuild the exact
+protocol state, the parent ingests only the remainder of the (seeded,
+deterministic) stream, and every query and ledger entry is compared
+against an uninterrupted run of the same stream.
+
+The punchline printed at the end: a killed-and-restarted service is
+*transcript-identical* to one that never died.
+
+Usage:  python examples/crash_recovery.py [--events N]
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+from repro import (
+    RandomizedCountScheme,
+    RandomizedFrequencyScheme,
+    RandomizedRankScheme,
+    TrackingService,
+)
+from repro.analysis import render_table
+from repro.runtime import batch_from_stream
+from repro.workloads import multi_tenant
+
+K = 16
+EVENTS = 200_000
+BATCH = 8_192
+SEED = 11
+CHECKPOINT_AT = 0.35  # checkpoint after this fraction of the stream
+CRASH_AT = 0.7  # die after this fraction (WAL-only tail in between)
+
+
+def make_batches(events):
+    site_ids, items = batch_from_stream(
+        multi_tenant(events, K, tenants=4, burst=32, seed=SEED, labeled=False)
+    )
+    return [
+        (site_ids[lo : lo + BATCH], items[lo : lo + BATCH])
+        for lo in range(0, len(site_ids), BATCH)
+    ]
+
+
+def register_jobs(service):
+    service.register("events", RandomizedCountScheme(0.01))
+    service.register("hot-items", RandomizedFrequencyScheme(0.05))
+    service.register("median", RandomizedRankScheme(0.05))
+
+
+def queries(service):
+    return {
+        "count estimate": round(service.query("events"), 1),
+        "top item": service.query("hot-items", "top_items", 1)[0][0],
+        "median": service.query("median", "quantile", 0.5),
+        "total messages": service.comm.total_messages,
+        "total words": service.comm.total_words,
+    }
+
+
+def child(checkpoint_dir, events):
+    """Ingest with durability on, then die without warning."""
+    batches = make_batches(events)
+    service = TrackingService(
+        num_sites=K, seed=SEED, checkpoint_dir=checkpoint_dir
+    )
+    register_jobs(service)
+    checkpoint_after = int(len(batches) * CHECKPOINT_AT)
+    crash_after = int(len(batches) * CRASH_AT)
+    for index, (site_ids, items) in enumerate(batches):
+        service.ingest(site_ids, items)
+        if index + 1 == checkpoint_after:
+            service.checkpoint()
+        if index + 1 == crash_after:
+            print(
+                f"[child] ingested {service.elements_processed:,} events "
+                f"({checkpoint_after} batches snapshotted, "
+                f"{crash_after - checkpoint_after} only in the WAL) — dying now",
+                flush=True,
+            )
+            os._exit(17)  # hard kill: no atexit, no flush, no checkpoint
+    raise AssertionError("child should have crashed")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=EVENTS)
+    parser.add_argument("--checkpoint-dir", help=argparse.SUPPRESS)
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        child(args.checkpoint_dir, args.events)
+        return 1  # unreachable
+
+    workdir = tempfile.mkdtemp(prefix="repro-crash-recovery-")
+    checkpoint_dir = os.path.join(workdir, "ckpt")
+
+    print(f"1. spawning a durable service (checkpoints -> {checkpoint_dir})")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.abspath(__file__),
+            "--child",
+            "--checkpoint-dir",
+            checkpoint_dir,
+            "--events",
+            str(args.events),
+        ],
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+    )
+    if proc.returncode != 17:
+        print(f"error: child exited with {proc.returncode}, expected a crash")
+        return 1
+
+    print("\n2. child is dead; restoring from snapshot + WAL tail")
+    service = TrackingService.restore(checkpoint_dir)
+    print(
+        f"   restored at {service.elements_processed:,} events, "
+        f"{len(service.jobs)} jobs"
+    )
+
+    print("3. ingesting the remainder of the stream")
+    batches = make_batches(args.events)
+    done = service.elements_processed
+    skipped = 0
+    for site_ids, items in batches:
+        if skipped + len(items) <= done:
+            skipped += len(items)
+            continue
+        service.ingest(site_ids, items)
+    service.checkpoint()
+
+    print("4. replaying the whole stream on a service that never died\n")
+    reference = TrackingService(num_sites=K, seed=SEED)
+    register_jobs(reference)
+    for site_ids, items in batches:
+        reference.ingest(site_ids, items)
+
+    restored, uninterrupted = queries(service), queries(reference)
+    rows = [
+        [metric, restored[metric], uninterrupted[metric],
+         "yes" if restored[metric] == uninterrupted[metric] else "NO"]
+        for metric in restored
+    ]
+    print(
+        render_table(
+            ["metric", "crashed+restored", "never died", "identical"],
+            rows,
+            title=(
+                f"crash recovery: k={K}, n={args.events:,}, "
+                f"killed at {int(CRASH_AT * 100)}% of the stream"
+            ),
+        )
+    )
+    service.close()
+    if restored != uninterrupted:
+        print("\nFAIL: restored service diverged from the uninterrupted run")
+        return 1
+    print("\nOK: killed-and-restarted == never died, message for message.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,9 @@ Algorithms for Tracking Distributed Count, Frequencies, and Ranks*
 * :class:`Simulation` — drive any tracking scheme over a stream of
   ``(site_id, item)`` events with exact communication/space accounting.
 * :class:`TrackingService` — multiplex many named tracking jobs over one
-  shared site fleet with batched ingestion (:mod:`repro.service`).
+  shared site fleet with batched ingestion (:mod:`repro.service`), with
+  optional durability: write-ahead logging, snapshots and
+  crash-recovery via ``checkpoint_dir`` (:mod:`repro.persistence`).
 * Count: :class:`RandomizedCountScheme` (Theorem 2.1),
   :class:`DeterministicCountScheme` (the trivial optimum).
 * Frequency: :class:`RandomizedFrequencyScheme` (Theorem 3.1),

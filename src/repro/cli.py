@@ -12,6 +12,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import itertools
 import sys
 import time
 
@@ -26,6 +27,7 @@ from . import (
     RandomizedRankScheme,
     Simulation,
     TrackingService,
+    WindowedCountScheme,
 )
 from .analysis import render_table
 from .service import ServiceError
@@ -37,6 +39,7 @@ from .workloads import (
     single_site,
     skewed_sites,
     sorted_values,
+    timestamped,
     uniform_sites,
     with_items,
     zipf_items,
@@ -69,6 +72,11 @@ ARRIVALS = {
     "bursty": lambda n, k, seed: bursty_sites(n, k, burst=200, seed=seed),
 }
 
+#: day/night cycle length (in stream time units) of the timestamped
+#: stream driven under window jobs; a constant so --resume continues
+#: the same clock regardless of -n
+WINDOW_PERIOD = 20_000.0
+
 #: demo job set for ``repro serve`` when no --job flags are given
 DEFAULT_SERVE_JOBS = (
     "events=count/randomized:0.01",
@@ -88,10 +96,22 @@ service:
     repro serve -k 32 -n 500000 --job total=count/randomized:0.01 \\
         --job p50=rank/randomized:0.05 --job hh=frequency/randomized:0.05
 
+  Sliding-window jobs use PROBLEM `window:W` (W in time units, scheme
+  `count`), e.g. --job lastmin=window:60000/count:0.05; with a window
+  job registered the stream's items become non-decreasing timestamps.
+
   Without --job flags a demo job set covering all three problems is
   registered.  --tenants/--burst shape the multi-tenant workload,
   --batch sets the ingestion batch size.  The final table reports each
   job's own communication/space ledgers plus the fleet-wide aggregate.
+
+durability:
+  --checkpoint-dir arms the write-ahead log and snapshots; --checkpoint-every
+  N checkpoints mid-stream every N events.  After a crash (or to continue
+  a finished run), `repro serve --checkpoint-dir DIR --resume` restores
+  the newest snapshot, replays the WAL tail and ingests only the
+  remainder of the stream.  `repro restore --checkpoint-dir DIR` recovers
+  and prints the service state without ingesting anything.
 """
 
 
@@ -104,8 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "problem",
-        choices=sorted(SCHEMES) + ["serve"],
-        help="which function to track, or `serve` for the multi-tenant service",
+        choices=sorted(SCHEMES) + ["serve", "restore"],
+        help=(
+            "which function to track, `serve` for the multi-tenant "
+            "service, or `restore` to recover one from --checkpoint-dir"
+        ),
     )
     parser.add_argument(
         "--scheme",
@@ -146,22 +169,81 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--burst", type=int, default=64, help="per-source micro-batch length"
     )
+    durability = parser.add_argument_group("durability options")
+    durability.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="write-ahead log + snapshots under DIR (serve), or the "
+        "directory to recover (restore)",
+    )
+    durability.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        help="snapshot every N ingested events (serve; default: end only)",
+    )
+    durability.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover --checkpoint-dir and ingest only the stream remainder",
+    )
     return parser
 
 
 def parse_job_spec(spec: str, default_eps: float):
-    """Parse ``NAME=PROBLEM/SCHEME[:EPS]`` into (name, problem, scheme)."""
+    """Parse ``NAME=PROBLEM/SCHEME[:EPS]`` into (name, problem, scheme).
+
+    ``PROBLEM`` is ``count``/``frequency``/``rank`` or ``window:W`` (a
+    sliding window of ``W`` time units, scheme ``count``), e.g.
+    ``lastmin=window:60000/count:0.05``.
+    """
     name, sep, rest = spec.partition("=")
     if not sep or not name or not rest:
-        raise ValueError(f"bad job spec {spec!r}: expected NAME=PROBLEM/SCHEME[:EPS]")
-    parts = rest.split(":")
-    if len(parts) > 2:
-        raise ValueError(f"bad job spec {spec!r}: too many ':' fields")
-    problem, sep, scheme_name = parts[0].partition("/")
-    if not sep or problem not in SCHEMES:
         raise ValueError(
-            f"bad job spec {spec!r}: unknown problem {problem!r} "
-            f"(choose from {sorted(SCHEMES)})"
+            f"bad job spec {spec!r}: expected NAME=PROBLEM/SCHEME[:EPS]"
+        )
+    problem_part, sep, scheme_part = rest.partition("/")
+    if not sep or not scheme_part:
+        raise ValueError(
+            f"bad job spec {spec!r}: expected NAME=PROBLEM/SCHEME[:EPS]"
+        )
+    scheme_name, sep, eps_part = scheme_part.partition(":")
+    if ":" in eps_part:
+        raise ValueError(f"bad job spec {spec!r}: too many ':' fields")
+    if sep:
+        try:
+            eps = float(eps_part)
+        except ValueError:
+            raise ValueError(
+                f"bad job spec {spec!r}: eps {eps_part!r} is not a number"
+            ) from None
+    else:
+        eps = default_eps
+
+    problem, sep, window_part = problem_part.partition(":")
+    if problem == "window":
+        if not sep:
+            raise ValueError(
+                f"bad job spec {spec!r}: window jobs need a length, "
+                "e.g. window:60000/count"
+            )
+        try:
+            window = int(window_part)
+        except ValueError:
+            raise ValueError(
+                f"bad job spec {spec!r}: window length {window_part!r} "
+                "is not an integer"
+            ) from None
+        if scheme_name != "count":
+            raise ValueError(
+                f"bad job spec {spec!r}: unknown scheme {scheme_name!r} "
+                "for window (choose from ['count'])"
+            )
+        return name, "window", WindowedCountScheme(window, eps)
+    if sep or problem not in SCHEMES:
+        raise ValueError(
+            f"bad job spec {spec!r}: unknown problem {problem_part!r} "
+            f"(choose from {sorted(SCHEMES) + ['window:W']})"
         )
     factory = SCHEMES[problem].get(scheme_name)
     if factory is None:
@@ -169,53 +251,20 @@ def parse_job_spec(spec: str, default_eps: float):
             f"bad job spec {spec!r}: unknown scheme {scheme_name!r} for "
             f"{problem} (choose from {sorted(SCHEMES[problem])})"
         )
-    if len(parts) > 1:
-        try:
-            eps = float(parts[1])
-        except ValueError:
-            raise ValueError(
-                f"bad job spec {spec!r}: eps {parts[1]!r} is not a number"
-            ) from None
-    else:
-        eps = default_eps
     return name, problem, factory(eps)
 
 
-def run_serve(args) -> int:
-    """The `repro serve` subcommand: a multi-tenant service demo."""
-    # multi_tenant raises lazily (generator), so validate its knobs here
-    # to fail with a clean message like every other bad flag.
-    for flag, value in (("--batch", args.batch), ("--tenants", args.tenants),
-                        ("--burst", args.burst)):
-        if value < 1:
-            print(f"error: {flag} must be positive", file=sys.stderr)
-            return 2
-    specs = args.job or list(DEFAULT_SERVE_JOBS)
-    problems = {}
-    try:
-        service = TrackingService(num_sites=args.k, seed=args.seed)
-        for spec in specs:
-            name, problem, scheme = parse_job_spec(spec, args.eps)
-            service.register(name, scheme)
-            problems[name] = problem
-    except (ValueError, ServiceError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    stream = multi_tenant(
-        args.n,
-        args.k,
-        tenants=args.tenants,
-        burst=args.burst,
-        seed=args.seed,
-        labeled=False,
-    )
-    start = time.perf_counter()
-    total = service.ingest_stream(stream, batch_size=args.batch)
-    elapsed = time.perf_counter() - start
+def _problem_of(job) -> str:
+    """Problem family from a scheme's table name (``count/...`` etc.)."""
+    return job.scheme.name.split("/", 1)[0]
+
+
+def _service_rows(service, problems):
+    """Per-job result rows plus the fleet-total row for the status table."""
     status = service.status()
     rows = []
     for name, job in status["jobs"].items():
-        problem = problems[name]
+        problem = problems.get(name) or _problem_of(service.job(name))
         if problem == "frequency":
             top = service.query(name, "top_items", 1)
             result = f"top: {top[0][0]}" if top else "-"
@@ -227,7 +276,8 @@ def run_serve(args) -> int:
                 result = "-"
         else:
             estimate = job["accuracy"]["estimate"]
-            result = "-" if estimate is None else f"{estimate:.0f}"
+            prefix = "win: " if problem == "window" else ""
+            result = "-" if estimate is None else f"{prefix}{estimate:.0f}"
         rows.append(
             [
                 name,
@@ -249,21 +299,143 @@ def run_serve(args) -> int:
             "",
         ]
     )
+    return rows, status
+
+
+def run_serve(args) -> int:
+    """The `repro serve` subcommand: a multi-tenant service demo."""
+    # multi_tenant raises lazily (generator), so validate its knobs here
+    # to fail with a clean message like every other bad flag.
+    for flag, value in (("--batch", args.batch), ("--tenants", args.tenants),
+                        ("--burst", args.burst)):
+        if value < 1:
+            print(f"error: {flag} must be positive", file=sys.stderr)
+            return 2
+    if args.checkpoint_every is not None:
+        if args.checkpoint_every < 1:
+            print("error: --checkpoint-every must be positive", file=sys.stderr)
+            return 2
+        if not args.checkpoint_dir:
+            print(
+                "error: --checkpoint-every requires --checkpoint-dir",
+                file=sys.stderr,
+            )
+            return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    problems = {}
+    try:
+        if args.resume:
+            service = TrackingService.restore(args.checkpoint_dir)
+            # Restored jobs come back with their schemes; --job flags may
+            # add new jobs but never clobber recovered ones.
+            for spec in args.job or []:
+                name, problem, scheme = parse_job_spec(spec, args.eps)
+                if name not in service:
+                    service.register(name, scheme)
+                    problems[name] = problem
+                # An existing job keeps its restored scheme; its problem
+                # family is re-derived from that scheme, not the spec.
+        else:
+            service = TrackingService(
+                num_sites=args.k,
+                seed=args.seed,
+                checkpoint_dir=args.checkpoint_dir,
+            )
+            for spec in args.job or list(DEFAULT_SERVE_JOBS):
+                name, problem, scheme = parse_job_spec(spec, args.eps)
+                service.register(name, scheme)
+                problems[name] = problem
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # The stream is regenerated from the SERVICE's seed and fleet size —
+    # on --resume those come from the snapshot, so forgetting --seed or
+    # -k cannot silently continue a different stream (workload-shape
+    # flags --tenants/--burst must still match the original run).
+    stream = multi_tenant(
+        args.n,
+        service.num_sites,
+        tenants=args.tenants,
+        burst=args.burst,
+        seed=service.seed,
+        labeled=False,
+    )
+    has_window = any(
+        _problem_of(job) == "window" for job in service.jobs.values()
+    )
+    if has_window:
+        # Window trackers read items as their clock: swap the payloads
+        # for non-decreasing timestamps with day/night rate cycles.  The
+        # period is a constant (not derived from -n) so a --resume run
+        # with a longer stream continues the exact same clock.
+        stream = timestamped(stream, seed=service.seed, period=WINDOW_PERIOD)
+    skip = service.elements_processed if args.resume else 0
+    if skip:
+        stream = itertools.islice(stream, skip, None)
+    start = time.perf_counter()
+    total = service.ingest_stream(
+        stream,
+        batch_size=args.batch,
+        checkpoint_every=args.checkpoint_every,
+    )
+    elapsed = time.perf_counter() - start
+    if service.checkpoint_dir is not None:
+        service.checkpoint()
+        service.close()
+    rows, status = _service_rows(service, problems)
+    durability = (
+        f", checkpoints={service.checkpoint_dir}"
+        if service.checkpoint_dir is not None
+        else ""
+    )
     print(
         render_table(
             ["job", "scheme", "messages", "words", "site space", "result"],
             rows,
             title=(
-                f"service: k={args.k}, n={total:,}, tenants={args.tenants}, "
-                f"burst={args.burst}, batch={args.batch}"
+                f"service: k={service.num_sites}, "
+                f"n={service.elements_processed:,}, tenants={args.tenants}, "
+                f"burst={args.burst}, batch={args.batch}{durability}"
             ),
         )
     )
     rate = total / elapsed if elapsed > 0 else float("inf")
+    resumed = f" (resumed past {skip:,})" if skip else ""
     print(
         f"ingested {total:,} events x {len(status['jobs'])} jobs "
-        f"in {elapsed:.2f}s ({rate:,.0f} events/s/job)"
+        f"in {elapsed:.2f}s ({rate:,.0f} events/s/job){resumed}"
     )
+    return 0
+
+
+def run_restore(args) -> int:
+    """The `repro restore` subcommand: recover and report, no ingestion."""
+    if not args.checkpoint_dir:
+        print("error: restore requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    try:
+        service = TrackingService.restore(args.checkpoint_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows, status = _service_rows(service, {})
+    print(
+        render_table(
+            ["job", "scheme", "messages", "words", "site space", "result"],
+            rows,
+            title=(
+                f"restored service: k={service.num_sites}, "
+                f"n={service.elements_processed:,}, "
+                f"jobs={len(status['jobs'])}, from {args.checkpoint_dir}"
+            ),
+        )
+    )
+    service.close()
     return 0
 
 
@@ -311,6 +483,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.problem == "serve":
         return run_serve(args)
+    if args.problem == "restore":
+        return run_restore(args)
     schemes = SCHEMES[args.problem]
     if args.list_schemes:
         for name in sorted(schemes):

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import math
 
+from ..persistence.codec import PersistableState
+
 __all__ = [
     "LocalDoubler",
     "GlobalCountTracker",
@@ -46,7 +48,7 @@ def report_probability(n_bar: float, k: int, eps: float) -> float:
     return 1.0 / floor_pow2(eps * n_bar / math.sqrt(k))
 
 
-class LocalDoubler:
+class LocalDoubler(PersistableState):
     """Site-side half: report the local count each time it doubles."""
 
     def __init__(self):
@@ -65,7 +67,7 @@ class LocalDoubler:
         return 2
 
 
-class GlobalCountTracker:
+class GlobalCountTracker(PersistableState):
     """Coordinator-side half: maintain n' and decide when to broadcast.
 
     ``update`` ingests one site's doubling report and returns the new

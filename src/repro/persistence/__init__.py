@@ -1,0 +1,66 @@
+"""Durability subsystem: snapshot codec, write-ahead log, recovery.
+
+Three layers, usable separately or through
+:class:`~repro.service.TrackingService`'s ``checkpoint_dir`` wiring:
+
+* :mod:`repro.persistence.codec` — versioned snapshot codec.  Every
+  protocol component (sites, coordinators, sketches, ledgers, RNG
+  streams) round-trips to JSON-safe dicts via ``state_dict()`` /
+  ``load_state_dict()``, preserving shared-RNG aliasing so restored
+  components draw the same random sequences.
+* :mod:`repro.persistence.wal` — segment-rotated write-ahead event log;
+  ingested batches and job (un)registrations are logged ahead of the
+  hot path and replayed on recovery.
+* :mod:`repro.persistence.recovery` — :class:`CheckpointManager` and
+  :func:`restore_service`: newest snapshot + WAL tail -> a service
+  transcript-identical to one that never died.
+
+Quickstart::
+
+    service = TrackingService(num_sites=32, seed=7, checkpoint_dir="ckpt")
+    service.register("total", RandomizedCountScheme(0.01))
+    service.ingest(site_ids, items)       # WAL'd ahead of the hot path
+    service.checkpoint()                  # snapshot + WAL prune
+    ...                                   # process dies here
+    service = TrackingService.restore("ckpt")   # identical state, resumes
+"""
+
+from .codec import (
+    StateCodecError,
+    StateDecoder,
+    StateEncoder,
+    decode_value,
+    encode_value,
+    load_object_state,
+    object_state,
+)
+from .recovery import CheckpointManager, restore_service
+from .snapshot import (
+    SnapshotError,
+    latest_snapshot,
+    list_snapshots,
+    prune_snapshots,
+    read_snapshot,
+    write_snapshot,
+)
+from .wal import WalCorruptionError, WriteAheadLog
+
+__all__ = [
+    "CheckpointManager",
+    "SnapshotError",
+    "StateCodecError",
+    "StateDecoder",
+    "StateEncoder",
+    "WalCorruptionError",
+    "WriteAheadLog",
+    "decode_value",
+    "encode_value",
+    "latest_snapshot",
+    "list_snapshots",
+    "load_object_state",
+    "object_state",
+    "prune_snapshots",
+    "read_snapshot",
+    "restore_service",
+    "write_snapshot",
+]

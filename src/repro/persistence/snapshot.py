@@ -1,0 +1,115 @@
+"""Versioned snapshot files: atomic write, latest-first discovery.
+
+A snapshot is one JSON document holding a full ``TrackingService`` state
+dict (see :meth:`TrackingService.state_dict`) plus the WAL position it
+covers.  Files are named ``snapshot-<covered>.json`` where ``covered``
+is the number of WAL records folded in (``wal_seq + 1``), so sorting by
+name finds the newest.  Writes go through a temp file + ``rename`` so a
+crash mid-checkpoint can never leave a half-written snapshot where the
+recovery manager would find it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "write_snapshot",
+    "read_snapshot",
+    "list_snapshots",
+    "latest_snapshot",
+    "prune_snapshots",
+]
+
+SNAPSHOT_FORMAT = "repro-tracking-snapshot"
+SNAPSHOT_VERSION = 1
+
+_PREFIX = "snapshot-"
+_SUFFIX = ".json"
+
+
+class SnapshotError(RuntimeError):
+    """Snapshot file missing, malformed, or from an unknown version."""
+
+
+def _snapshot_path(directory: str, covered: int) -> str:
+    return os.path.join(directory, f"{_PREFIX}{covered:012d}{_SUFFIX}")
+
+
+def list_snapshots(directory: str) -> List[Tuple[int, str]]:
+    """Sorted (covered_records, path) pairs, oldest first."""
+    if not os.path.isdir(directory):
+        return []
+    out = []
+    for name in os.listdir(directory):
+        if name.startswith(_PREFIX) and name.endswith(_SUFFIX):
+            try:
+                covered = int(name[len(_PREFIX):-len(_SUFFIX)])
+            except ValueError:
+                continue
+            out.append((covered, os.path.join(directory, name)))
+    out.sort()
+    return out
+
+
+def write_snapshot(directory: str, state: dict) -> str:
+    """Atomically persist one service state dict; returns the path.
+
+    ``state`` must carry ``wal_seq`` (the last WAL record it covers,
+    ``-1`` for none); the envelope adds format and version markers.
+    """
+    os.makedirs(directory, exist_ok=True)
+    covered = state.get("wal_seq", -1) + 1
+    document = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "state": state,
+    }
+    path = _snapshot_path(directory, covered)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(document, f, separators=(",", ":"))
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_snapshot(path: str) -> dict:
+    """Load and validate one snapshot file; returns the state dict."""
+    try:
+        with open(path) as f:
+            document = json.load(f)
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(f"unreadable snapshot {path}: {exc}") from exc
+    if document.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(f"{path} is not a tracking-service snapshot")
+    if document.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"{path} is snapshot version {document.get('version')!r}; "
+            f"this build reads version {SNAPSHOT_VERSION}"
+        )
+    return document["state"]
+
+
+def latest_snapshot(directory: str) -> Optional[dict]:
+    """State dict of the newest snapshot in ``directory``, or None."""
+    snapshots = list_snapshots(directory)
+    if not snapshots:
+        return None
+    return read_snapshot(snapshots[-1][1])
+
+
+def prune_snapshots(directory: str, keep: int = 2) -> int:
+    """Delete all but the ``keep`` newest snapshots; returns count removed."""
+    snapshots = list_snapshots(directory)
+    removed = 0
+    for _, path in snapshots[:-keep] if keep > 0 else snapshots:
+        os.remove(path)
+        removed += 1
+    return removed

@@ -4,19 +4,25 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from ..persistence.codec import PersistableState
 from .network import Network
 from .protocol import Message
 
 __all__ = ["Coordinator"]
 
 
-class Coordinator(ABC):
+class Coordinator(PersistableState, ABC):
     """The central party that continuously maintains the tracked function.
 
     Subclasses implement :meth:`on_message` plus one or more query methods
     (``estimate()``, ``estimate_frequency(item)``, ``estimate_rank(x)``,
     ...), and report their memory footprint through :meth:`space_words`.
+    ``state_dict()``/``load_state_dict()`` snapshot everything except the
+    network wiring.
     """
+
+    #: attributes rebuilt by constructors/wiring, never snapshotted
+    _persist_transient_ = ("network",)
 
     def __init__(self, network: Network):
         self.network = network

@@ -13,12 +13,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..persistence.codec import PersistableState
+
 __all__ = ["CommStats", "SpaceStats"]
 
 
 @dataclass
-class CommStats:
-    """Running totals of messages and words, split by direction."""
+class CommStats(PersistableState):
+    """Running totals of messages and words, split by direction.
+
+    ``state_dict()``/``load_state_dict()`` persist the ledger for
+    service snapshots.
+    """
 
     uplink_messages: int = 0
     uplink_words: int = 0
@@ -62,8 +68,12 @@ class CommStats:
 
 
 @dataclass
-class SpaceStats:
-    """Per-site space high-water marks, in words."""
+class SpaceStats(PersistableState):
+    """Per-site space high-water marks, in words.
+
+    ``state_dict()``/``load_state_dict()`` persist the marks for
+    service snapshots.
+    """
 
     max_words_per_site: dict = field(default_factory=dict)
     coordinator_max_words: int = 0

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 
+from ..persistence.codec import PersistableState
 from .metrics import CommStats
 from .protocol import Message
 
@@ -30,13 +31,21 @@ class OneWayViolation(RuntimeError):
     """Raised when a coordinator tries to talk on a one-way network."""
 
 
-class Network:
+class Network(PersistableState):
     """Routes messages between one coordinator and ``k`` sites.
 
     Delivery is synchronous and re-entrant: a message handler may itself
     send messages, which are delivered before the original call returns.
     A depth guard catches accidental infinite chatter.
+
+    ``state_dict()`` snapshots the ledger, drop counters and the loss
+    RNG stream; loading it into a freshly bound network resumes
+    identical accounting and identical fault-injection decisions.
     """
+
+    #: wiring and mirrors are rebuilt by bind()/attach_mirror(); the
+    #: delivery depth is always 0 between batches (snapshot points)
+    _persist_transient_ = ("_coordinator", "_sites", "_mirrors", "_depth")
 
     def __init__(
         self,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from ..persistence.codec import PersistableState
 from .coordinator import Coordinator
 from .network import Network
 from .site import Site
@@ -17,11 +18,13 @@ from .site import Site
 __all__ = ["TrackingScheme"]
 
 
-class TrackingScheme(ABC):
+class TrackingScheme(PersistableState, ABC):
     """Factory for one (coordinator, sites) protocol instance.
 
     Subclasses carry the protocol parameters (``epsilon`` etc.) and create
     fresh, independent state machines on each ``make_*`` call.
+    ``state_dict()`` captures those parameters (including inner schemes)
+    as the recipe from which recovery rebuilds an equivalent factory.
     """
 
     #: short human-readable identifier used in tables

@@ -4,19 +4,26 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from ..persistence.codec import PersistableState
 from .network import Network
 from .protocol import Message
 
 __all__ = ["Site"]
 
 
-class Site(ABC):
+class Site(PersistableState, ABC):
     """One of the ``k`` distributed sites receiving a local stream.
 
     Subclasses implement :meth:`on_element` (a new stream element arrived
     locally) and :meth:`on_message` (the coordinator sent us something),
     and report their memory footprint through :meth:`space_words`.
+    ``state_dict()``/``load_state_dict()`` snapshot everything except the
+    network wiring — counters, sketches, RNG streams — so a freshly
+    constructed site resumes the exact transcript.
     """
+
+    #: attributes rebuilt by constructors/wiring, never snapshotted
+    _persist_transient_ = ("network",)
 
     def __init__(self, site_id: int, network: Network):
         self.site_id = site_id

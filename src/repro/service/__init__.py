@@ -14,6 +14,12 @@ Components:
 * :class:`BatchIngestEngine` — decompose-once, drive-many batched hot
   path shared with :meth:`Simulation.run_batched`.
 * :class:`DuplicateJobError` / :class:`UnknownJobError` — registry errors.
+
+Durability is one constructor argument away:
+``TrackingService(checkpoint_dir=...)`` write-ahead-logs every batch and
+registration, ``service.checkpoint()`` snapshots the full protocol
+state, and ``TrackingService.restore(dir)`` rebuilds a crashed service
+transcript-identically (see :mod:`repro.persistence`).
 """
 
 from .engine import BatchIngestEngine

@@ -20,9 +20,16 @@ __all__ = ["TrackingJob", "DEFAULT_QUERY_METHODS"]
 DEFAULT_QUERY_METHODS = ("estimate", "estimate_total")
 
 #: coordinator methods that mutate protocol state or belong to the
-#: transport — the query API must never reach them.
+#: transport/persistence machinery — the query API must never reach them.
 _NON_QUERY_METHODS = frozenset(
-    {"on_message", "space_words", "send_to", "broadcast"}
+    {
+        "on_message",
+        "space_words",
+        "send_to",
+        "broadcast",
+        "state_dict",
+        "load_state_dict",
+    }
 )
 
 
@@ -129,6 +136,53 @@ class TrackingJob:
     def _default_estimate(self):
         fn = self._find_default_query()
         return fn() if fn is not None else None
+
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the full protocol stack of this job (JSON-safe).
+
+        One codec scope spans the scheme, network ledger, coordinator and
+        every site, so RNG instances shared across components stay shared
+        after :meth:`load_state_dict` and the restored job continues the
+        exact message/draw transcript.
+        """
+        from ..persistence.codec import StateEncoder  # deferred: cycle
+
+        encoder = StateEncoder()
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "elements_processed": self.elements_processed,
+            "space_budget_words": self.space_budget_words,
+            "scheme": encoder.encode(self.scheme),
+            "network": encoder.encode(self.network),
+            "coordinator": encoder.encode(self.coordinator),
+            "sites": encoder.encode(self.sites),
+            "space": encoder.encode(self.space),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this (fresh) job.
+
+        The job must have been built from the same scheme configuration
+        and fleet size; state is merged into the constructor-built
+        components so network wiring stays intact.
+        """
+        from ..persistence.codec import StateCodecError, StateDecoder
+
+        decoder = StateDecoder()
+        self.elements_processed = state["elements_processed"]
+        self.space_budget_words = state["space_budget_words"]
+        for attr in ("scheme", "network", "coordinator"):
+            current = getattr(self, attr)
+            if decoder.merge(current, state[attr]) is not current:
+                raise StateCodecError(
+                    f"job {self.name!r}: snapshot {attr} does not match the "
+                    f"registered scheme ({type(current).__qualname__})"
+                )
+        self.sites = decoder.merge(self.sites, state["sites"])
+        self.space = decoder.merge(self.space, state["space"])
 
     # -- snapshot ----------------------------------------------------------
 

@@ -51,6 +51,13 @@ class TrackingService:
     space_budget_words:
         Default per-job site-space budget reported by :meth:`status`
         (pods-style ``total``/``used``/``available``); None disables.
+    checkpoint_dir:
+        Enable durability: every ingested batch and job (un)registration
+        is written ahead to a segmented WAL under this directory, and
+        :meth:`checkpoint` persists full snapshots.  The directory must
+        be fresh — resume an existing one with :meth:`restore`.
+    wal_segment_records / wal_sync:
+        WAL tuning (records per segment file; fsync per append).
     """
 
     def __init__(
@@ -61,6 +68,9 @@ class TrackingService:
         uplink_drop_rate: float = 0.0,
         space_sample_interval: int = 4096,
         space_budget_words: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        wal_segment_records: int = 4096,
+        wal_sync: bool = False,
     ):
         if num_sites < 1:
             raise ValueError("need at least one site")
@@ -73,6 +83,28 @@ class TrackingService:
         self.engine = BatchIngestEngine(space_sample_interval)
         self.elements_processed = 0
         self._jobs: Dict[str, TrackingJob] = {}
+        self._manager = None  # CheckpointManager when durability is on
+        self._wal = None
+        self._wal_seq = -1  # last WAL record applied to in-memory state
+        self._replaying = False
+        if checkpoint_dir is not None:
+            from ..persistence.recovery import CheckpointManager  # cycle
+
+            manager = CheckpointManager(
+                checkpoint_dir,
+                segment_records=wal_segment_records,
+                sync=wal_sync,
+            )
+            if manager.has_data():
+                manager.close()
+                raise ValueError(
+                    f"checkpoint dir {checkpoint_dir!r} already holds "
+                    "state; resume it with TrackingService.restore(...)"
+                )
+            self._attach_checkpoints(manager)
+            # Initial snapshot: restore() then works even before the
+            # first explicit checkpoint (pure-WAL cold replay).
+            self.checkpoint()
 
     # -- job registry ------------------------------------------------------
 
@@ -92,26 +124,43 @@ class TrackingService:
             raise ValueError("job name must be a non-empty string")
         if name in self._jobs:
             raise DuplicateJobError(f"job {name!r} is already registered")
-        job = TrackingJob(
-            name,
-            scheme,
-            self.num_sites,
-            derive_seed(self.seed, "job", name) if seed is None else seed,
-            one_way=self.one_way,
-            uplink_drop_rate=self.uplink_drop_rate,
-            mirror=self.comm,
-            space_budget_words=(
-                self.space_budget_words
-                if space_budget_words is None
-                else space_budget_words
-            ),
+        resolved_seed = (
+            derive_seed(self.seed, "job", name) if seed is None else seed
         )
+        resolved_budget = (
+            self.space_budget_words
+            if space_budget_words is None
+            else space_budget_words
+        )
+        if self._wal is not None and not self._replaying:
+            # Write-ahead: the registration is durable before the job
+            # exists, so recovery replays it at the same stream position.
+            self._wal_seq = self._wal.append_register(
+                name, scheme.state_dict(), resolved_seed, resolved_budget
+            )
+        try:
+            job = TrackingJob(
+                name,
+                scheme,
+                self.num_sites,
+                resolved_seed,
+                one_way=self.one_way,
+                uplink_drop_rate=self.uplink_drop_rate,
+                mirror=self.comm,
+                space_budget_words=resolved_budget,
+            )
+        except BaseException:
+            self._rollback_wal()
+            raise
         self._jobs[name] = job
         return job
 
     def unregister(self, name: str) -> TrackingJob:
         """Remove and return a job; raises :class:`UnknownJobError`."""
-        return self._jobs.pop(self._checked(name))
+        checked = self._checked(name)
+        if self._wal is not None and not self._replaying:
+            self._wal_seq = self._wal.append_unregister(checked)
+        return self._jobs.pop(checked)
 
     def job(self, name: str) -> TrackingJob:
         """Look up a registered job by name."""
@@ -148,19 +197,49 @@ class TrackingService:
         count-style streams).  The batch is decomposed into per-site runs
         once and replayed into each job — transcripts are identical to
         per-event driving with the same seeds.  Returns the batch size.
+
+        With ``checkpoint_dir`` enabled the batch is appended to the WAL
+        *before* any job observes it (write-ahead), so a crash at any
+        point either replays the whole batch on recovery or none of it.
         """
-        n = self.engine.ingest(self._jobs.values(), site_ids, items)
+        if self._wal is not None and not self._replaying:
+            self._wal_seq = self._wal.append_batch(site_ids, items)
+        try:
+            n = self.engine.ingest(self._jobs.values(), site_ids, items)
+        except BaseException:
+            # A logged-but-unappliable batch (bad site id, hostile item)
+            # must not survive to poison every future restore.  The
+            # in-memory stacks may be part-driven — same caveat as a
+            # non-durable service whose ingest raised — but the durable
+            # log stays consistent.
+            self._rollback_wal()
+            raise
         self.elements_processed += n
         return n
 
-    def ingest_stream(self, stream: Iterable, batch_size: int = 8192) -> int:
+    def ingest_stream(
+        self,
+        stream: Iterable,
+        batch_size: int = 8192,
+        checkpoint_every: Optional[int] = None,
+    ) -> int:
         """Drain an iterable of ``(site_id, item)`` pairs in batches.
 
         Convenience bridge from the workload generators; returns the
-        total number of events ingested.
+        total number of events ingested.  With durability enabled,
+        ``checkpoint_every`` snapshots the service every time that many
+        events have been drained (measured from the start of this call).
         """
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be positive")
+            if self._manager is None:
+                raise RuntimeError(
+                    "checkpoint_every requires a checkpoint_dir"
+                )
+        next_checkpoint = checkpoint_every
         total = 0
         site_ids: list = []
         items: list = []
@@ -174,6 +253,9 @@ class TrackingService:
                 site_ids, items = [], []
                 append_site = site_ids.append
                 append_item = items.append
+                if next_checkpoint is not None and total >= next_checkpoint:
+                    self.checkpoint()
+                    next_checkpoint = total + checkpoint_every
         if site_ids:
             total += self.ingest(site_ids, items)
         return total
@@ -199,6 +281,120 @@ class TrackingService:
             "comm": self.comm.snapshot(),
             "jobs": {name: job.status() for name, job in self._jobs.items()},
         }
+
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full-service snapshot: config, ledgers, every job's stack.
+
+        The result is JSON-serializable and versioned (see
+        :mod:`repro.persistence.snapshot` for the file envelope).
+        :meth:`from_state` rebuilds a service that continues the exact
+        transcript — same messages, same RNG draws, same query answers.
+        """
+        from ..persistence.codec import object_state  # deferred: cycle
+
+        return {
+            "config": {
+                "num_sites": self.num_sites,
+                "seed": self.seed,
+                "one_way": self.one_way,
+                "uplink_drop_rate": self.uplink_drop_rate,
+                "space_sample_interval": self.engine.space_sample_interval,
+                "space_budget_words": self.space_budget_words,
+            },
+            "elements_processed": self.elements_processed,
+            "wal_seq": self._wal_seq,
+            "comm": object_state(self.comm),
+            "jobs": [job.state_dict() for job in self._jobs.values()],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TrackingService":
+        """Rebuild a service from :meth:`state_dict` output (in memory).
+
+        The returned service has no checkpoint directory attached; the
+        recovery manager wires one up after WAL replay.
+        """
+        from ..persistence.codec import decode_value, load_object_state
+
+        config = state["config"]
+        service = cls(
+            num_sites=config["num_sites"],
+            seed=config["seed"],
+            one_way=config["one_way"],
+            uplink_drop_rate=config["uplink_drop_rate"],
+            space_sample_interval=config["space_sample_interval"],
+            space_budget_words=config["space_budget_words"],
+        )
+        service.elements_processed = state["elements_processed"]
+        service._wal_seq = state.get("wal_seq", -1)
+        load_object_state(service.comm, state["comm"])
+        for job_state in state["jobs"]:
+            job = service.register(
+                job_state["name"],
+                decode_value(job_state["scheme"]),
+                seed=job_state["seed"],
+                space_budget_words=job_state["space_budget_words"],
+            )
+            job.load_state_dict(job_state)
+        return service
+
+    def checkpoint(self) -> str:
+        """Write a snapshot, prune covered WAL segments; returns the path.
+
+        Requires ``checkpoint_dir``.  After a checkpoint, recovery cost
+        is one snapshot load plus only the WAL tail written since.
+        """
+        if self._manager is None:
+            raise RuntimeError(
+                "no checkpoint_dir configured; pass checkpoint_dir= to "
+                "TrackingService or use state_dict() for in-memory snapshots"
+            )
+        return self._manager.save(self)
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint_dir: str,
+        wal_segment_records: int = 4096,
+        wal_sync: bool = False,
+    ) -> "TrackingService":
+        """Recover a service from a checkpoint directory.
+
+        Loads the newest snapshot, replays the WAL tail through the
+        batched engine, and resumes durable logging to the same
+        directory.  The result is transcript-identical to a service that
+        never died.
+        """
+        from ..persistence.recovery import restore_service  # cycle
+
+        return restore_service(
+            checkpoint_dir,
+            segment_records=wal_segment_records,
+            sync=wal_sync,
+        )
+
+    def _attach_checkpoints(self, manager) -> None:
+        """Adopt a recovery manager (post-construction wiring)."""
+        self._manager = manager
+        self._wal = manager.wal
+
+    def _rollback_wal(self) -> None:
+        """Undo the write-ahead record of a mutation whose apply failed."""
+        if self._wal is not None and not self._replaying:
+            self._wal.rollback_last()
+            self._wal_seq -= 1
+
+    @property
+    def checkpoint_dir(self) -> Optional[str]:
+        """The attached checkpoint directory, or None."""
+        return None if self._manager is None else self._manager.directory
+
+    def close(self) -> None:
+        """Release the WAL file handle (no-op without durability)."""
+        if self._manager is not None:
+            self._manager.close()
 
     def __repr__(self) -> str:
         return (

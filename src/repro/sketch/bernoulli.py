@@ -15,10 +15,12 @@ import random
 
 from ..runtime.rng import coin, trailing_level
 
+from ..persistence.codec import PersistableState
+
 __all__ = ["BernoulliSampler", "LevelSampler"]
 
 
-class BernoulliSampler:
+class BernoulliSampler(PersistableState):
     """Keep each offered element independently with probability ``p``."""
 
     def __init__(self, p: float, rng: random.Random):
@@ -45,7 +47,7 @@ class BernoulliSampler:
         return len(self.sample) + 2
 
 
-class LevelSampler:
+class LevelSampler(PersistableState):
     """Binary-Bernoulli sampler with an adjustable level threshold.
 
     Elements are stored as ``(item, level)``.  ``raise_level`` discards

@@ -12,10 +12,12 @@ from __future__ import annotations
 import math
 from collections import deque
 
+from ..persistence.codec import PersistableState
+
 __all__ = ["ExponentialHistogram"]
 
 
-class ExponentialHistogram:
+class ExponentialHistogram(PersistableState):
     """Approximate count of events within a sliding time window.
 
     Parameters

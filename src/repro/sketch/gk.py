@@ -11,10 +11,12 @@ from __future__ import annotations
 import bisect
 import math
 
+from ..persistence.codec import PersistableState
+
 __all__ = ["GKSummary"]
 
 
-class GKSummary:
+class GKSummary(PersistableState):
     """Greenwald–Khanna summary with error parameter ``eps``."""
 
     def __init__(self, eps: float):

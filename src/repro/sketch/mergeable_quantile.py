@@ -19,10 +19,12 @@ import bisect
 import math
 import random
 
+from ..persistence.codec import PersistableState
+
 __all__ = ["QuantileSketchBuilder", "QuantileSummary"]
 
 
-class QuantileSummary:
+class QuantileSummary(PersistableState):
     """Immutable weighted sample supporting unbiased rank queries."""
 
     def __init__(self, values, weights):
@@ -84,7 +86,7 @@ def _merge_sorted(a, b):
     return out
 
 
-class QuantileSketchBuilder:
+class QuantileSketchBuilder(PersistableState):
     """Streaming builder for :class:`QuantileSummary`.
 
     Parameters

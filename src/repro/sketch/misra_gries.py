@@ -8,10 +8,12 @@ deterministic heavy-hitters guarantee in ``O(1/eps)`` space.
 
 from __future__ import annotations
 
+from ..persistence.codec import PersistableState
+
 __all__ = ["MisraGries"]
 
 
-class MisraGries:
+class MisraGries(PersistableState):
     """Deterministic heavy-hitters summary with bounded undercount.
 
     Parameters

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import random
 
+from ..persistence.codec import PersistableState
+
 __all__ = ["ReservoirSampler"]
 
 
-class ReservoirSampler:
+class ReservoirSampler(PersistableState):
     """Uniform sample without replacement of fixed size over a stream."""
 
     def __init__(self, size: int, rng: random.Random):

@@ -7,10 +7,12 @@ Keeps ``capacity`` (item, count, overestimate) triples.  Reported counts
 
 from __future__ import annotations
 
+from ..persistence.codec import PersistableState
+
 __all__ = ["SpaceSaving"]
 
 
-class SpaceSaving:
+class SpaceSaving(PersistableState):
     """Deterministic heavy-hitters summary with bounded overcount."""
 
     def __init__(self, capacity: int):

@@ -16,10 +16,12 @@ import random
 
 from ..runtime.rng import coin
 
+from ..persistence.codec import PersistableState
+
 __all__ = ["StickySampler"]
 
 
-class StickySampler:
+class StickySampler(PersistableState):
     """Probabilistic counter list with creation probability ``p``."""
 
     def __init__(self, p: float, rng: random.Random):

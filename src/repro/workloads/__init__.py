@@ -7,6 +7,7 @@ from .generators import (
     round_robin,
     single_site,
     skewed_sites,
+    timestamped,
     uniform_sites,
     with_items,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "single_site",
     "skewed_sites",
     "multi_tenant",
+    "timestamped",
     "uniform_sites",
     "with_items",
     "gaussian_values",

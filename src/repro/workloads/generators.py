@@ -41,6 +41,7 @@ __all__ = [
     "skewed_sites",
     "bursty_sites",
     "multi_tenant",
+    "timestamped",
     "with_items",
 ]
 
@@ -145,3 +146,36 @@ def with_items(
     """Replace the item of each arrival with ``item_source(t)``."""
     for t, (site_id, _) in enumerate(arrivals):
         yield site_id, item_source(t)
+
+
+def timestamped(
+    arrivals: Iterator,
+    seed: int = 0,
+    mean_gap: float = 1.0,
+    period: Optional[float] = None,
+    swing: float = 0.8,
+) -> Iterator:
+    """Replace item payloads with non-decreasing integer timestamps.
+
+    Bridges any arrival pattern to the sliding-window trackers, whose
+    elements are their own clock (``repro.core.window``): inter-arrival
+    gaps are exponential with mean ``mean_gap``, optionally modulated by
+    a sinusoidal rate of the given ``period`` (in time units) and
+    relative ``swing`` — the day/night shape of the sliding-window
+    example, so window counts rise and fall instead of pinning at W.
+    """
+    import math
+
+    if mean_gap <= 0:
+        raise ValueError("mean_gap must be positive")
+    if not 0.0 <= swing < 1.0:
+        raise ValueError("swing must be in [0, 1)")
+    rng = derive_rng(seed, "timestamped")
+    t = 0.0
+    base_rate = 1.0 / mean_gap
+    for site_id, _ in arrivals:
+        rate = base_rate
+        if period:
+            rate *= 1.0 + swing * math.sin(2 * math.pi * t / period)
+        t += rng.expovariate(max(rate, base_rate * 1e-3))
+        yield site_id, int(t)

@@ -16,6 +16,7 @@ EXAMPLES = [
     ("lower_bound_tour.py", ["Theorem 2.2", "1-bit problem", "x0"]),
     ("sliding_window.py", ["Sliding-window count", "window count ~ 0"]),
     ("multi_tenant_service.py", ["Multi-tenant service", "fleet aggregate"]),
+    ("crash_recovery.py", ["crash recovery", "killed-and-restarted == never died"]),
 ]
 
 
