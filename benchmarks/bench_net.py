@@ -1,0 +1,188 @@
+"""S3 — distributed runtime costs: transport overhead and gateway latency.
+
+What the real wire costs relative to the in-process engine:
+
+1. **Transport tax**: the same seeded stream driven through (a) the
+   in-process batched simulator, (b) the actor runtime over the
+   in-process loopback transport, and (c) the actor runtime over framed
+   TCP on localhost.  Lockstep dispatch pays one hub<->site round trip
+   per run (plus one per protocol message), so burst length is the
+   lever: the bench reports events/s at a service-realistic burst.
+2. **Gateway service**: HTTP ingest throughput (batched POSTs through
+   the bounded coalescing queue) and query latency percentiles against
+   a live gateway over a keep-alive connection.
+
+Results go to ``benchmarks/results/net.txt`` (table) and the
+machine-readable ``BENCH_service.json`` at the repo root.
+
+Run directly::
+
+    python benchmarks/bench_net.py [--quick]
+"""
+
+import argparse
+import http.client
+import json
+import statistics
+import time
+
+from repro import (
+    DeterministicCountScheme,
+    RandomizedCountScheme,
+    TrackingService,
+)
+from repro.net import Cluster
+from repro.net.gateway import GatewayThread
+from repro.runtime import Simulation, batch_from_stream
+from repro.workloads import bursty_sites
+
+from _common import save_bench_json, save_table
+
+K = 8
+N = 200_000
+N_QUICK = 20_000
+BURST = 512
+SEED = 13
+QUERY_SAMPLES = 300
+QUERY_SAMPLES_QUICK = 60
+SCHEME_EPS = 0.02
+
+
+def make_stream(n):
+    return batch_from_stream(bursty_sites(n, K, burst=BURST, seed=SEED))
+
+
+def bench_simulation(site_ids, items):
+    sim = Simulation(DeterministicCountScheme(SCHEME_EPS), K, seed=SEED)
+    start = time.perf_counter()
+    sim.run_batched(site_ids, items)
+    elapsed = time.perf_counter() - start
+    return len(site_ids) / elapsed, sim.comm.total_messages
+
+
+def bench_cluster(site_ids, items, transport):
+    with Cluster(
+        DeterministicCountScheme(SCHEME_EPS),
+        K,
+        seed=SEED,
+        transport=transport,
+        record_transcript=False,
+    ) as cluster:
+        start = time.perf_counter()
+        cluster.ingest(site_ids, items)
+        elapsed = time.perf_counter() - start
+        return len(site_ids) / elapsed, cluster.comm.total_messages
+
+
+def bench_gateway(n, samples):
+    service = TrackingService(num_sites=K, seed=SEED)
+    service.register("events", RandomizedCountScheme(SCHEME_EPS))
+    service.register("events-lb", DeterministicCountScheme(SCHEME_EPS))
+    results = {}
+    with GatewayThread(service) as gw:
+        host, port = gw.url.split("//")[1].rsplit(":", 1)
+        conn = http.client.HTTPConnection(host, int(port), timeout=60)
+
+        def call(method, path, obj=None):
+            body = None if obj is None else json.dumps(obj)
+            conn.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 200, payload
+            return payload
+
+        site_ids, _ = make_stream(n)
+        batch = 4096
+        start = time.perf_counter()
+        for i in range(0, len(site_ids), batch):
+            call("POST", "/v1/ingest", {"site_ids": site_ids[i : i + batch]})
+        elapsed = time.perf_counter() - start
+        results["http_ingest_events_per_s"] = round(len(site_ids) / elapsed)
+
+        latencies = []
+        for i in range(samples):
+            job = "events" if i % 2 else "events-lb"
+            t0 = time.perf_counter()
+            call("POST", "/v1/query", {"job": job})
+            latencies.append((time.perf_counter() - t0) * 1000.0)
+        latencies.sort()
+        results["query_latency_ms"] = {
+            "mean": round(statistics.mean(latencies), 3),
+            "p50": round(latencies[len(latencies) // 2], 3),
+            "p99": round(latencies[int(len(latencies) * 0.99) - 1], 3),
+            "samples": samples,
+        }
+        conn.close()
+    service.close()
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    args = parser.parse_args()
+    n = N_QUICK if args.quick else N
+    samples = QUERY_SAMPLES_QUICK if args.quick else QUERY_SAMPLES
+
+    site_ids, items = make_stream(n)
+    sim_rate, sim_msgs = bench_simulation(site_ids, items)
+    loop_rate, loop_msgs = bench_cluster(site_ids, items, "loopback")
+    tcp_rate, tcp_msgs = bench_cluster(site_ids, items, "tcp")
+    assert sim_msgs == loop_msgs == tcp_msgs, (
+        "runtimes disagree on protocol messages; equivalence is broken"
+    )
+    gateway = bench_gateway(n, samples)
+
+    rows = [
+        ["simulation (in-process)", f"{sim_rate:,.0f}", "1.00x"],
+        ["cluster loopback", f"{loop_rate:,.0f}", f"{sim_rate / loop_rate:.1f}x"],
+        ["cluster TCP", f"{tcp_rate:,.0f}", f"{sim_rate / tcp_rate:.1f}x"],
+        [
+            "gateway HTTP ingest",
+            f"{gateway['http_ingest_events_per_s']:,.0f}",
+            f"{sim_rate / gateway['http_ingest_events_per_s']:.1f}x",
+        ],
+    ]
+    save_table(
+        "net",
+        ["path", "events/s", "slowdown vs sim"],
+        rows,
+        title=(
+            f"distributed runtime: n={n:,}, k={K}, burst={BURST}, "
+            f"scheme=count/deterministic eps={SCHEME_EPS}"
+        ),
+    )
+    latency = gateway["query_latency_ms"]
+    print(
+        f"gateway query latency: mean={latency['mean']}ms "
+        f"p50={latency['p50']}ms p99={latency['p99']}ms "
+        f"({latency['samples']} samples)"
+    )
+    save_bench_json(
+        "net",
+        {
+            "config": {
+                "n": n,
+                "k": K,
+                "burst": BURST,
+                "scheme": "count/deterministic",
+                "eps": SCHEME_EPS,
+                "quick": args.quick,
+            },
+            "ingest_events_per_s": {
+                "simulation": round(sim_rate),
+                "cluster_loopback": round(loop_rate),
+                "cluster_tcp": round(tcp_rate),
+                "gateway_http": gateway["http_ingest_events_per_s"],
+            },
+            "protocol_messages": sim_msgs,
+            "query_latency_ms": latency,
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

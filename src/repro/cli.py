@@ -7,30 +7,23 @@ Examples::
     python -m repro rank --scheme sampling --workload sorted -n 50000
     python -m repro count --compare          # all count schemes, one table
     python -m repro serve -k 32 -n 500000    # multi-tenant service demo
+    python -m repro gateway --listen :8791   # HTTP/JSON query gateway
+    python -m repro site --listen :9200      # a TCP site-actor host
+    python -m repro query http://host:8791 total   # query a gateway
 """
 
 from __future__ import annotations
 
 import argparse
 import itertools
+import json
 import sys
 import time
 
-from . import (
-    Cormode05RankScheme,
-    DeterministicCountScheme,
-    DeterministicFrequencyScheme,
-    DeterministicRankScheme,
-    DistributedSamplingScheme,
-    RandomizedCountScheme,
-    RandomizedFrequencyScheme,
-    RandomizedRankScheme,
-    Simulation,
-    TrackingService,
-    WindowedCountScheme,
-)
+from . import Simulation, TrackingService
 from .analysis import render_table
 from .service import ServiceError
+from .service.jobspec import SCHEMES, parse_job_spec
 from .workloads import (
     bursty_sites,
     multi_tenant,
@@ -44,25 +37,6 @@ from .workloads import (
     with_items,
     zipf_items,
 )
-
-SCHEMES = {
-    "count": {
-        "randomized": RandomizedCountScheme,
-        "deterministic": DeterministicCountScheme,
-        "sampling": DistributedSamplingScheme,
-    },
-    "frequency": {
-        "randomized": RandomizedFrequencyScheme,
-        "deterministic": DeterministicFrequencyScheme,
-        "sampling": DistributedSamplingScheme,
-    },
-    "rank": {
-        "randomized": RandomizedRankScheme,
-        "deterministic": DeterministicRankScheme,
-        "cormode05": Cormode05RankScheme,
-        "sampling": DistributedSamplingScheme,
-    },
-}
 
 ARRIVALS = {
     "uniform": lambda n, k, seed: uniform_sites(n, k, seed=seed),
@@ -112,6 +86,14 @@ durability:
   the newest snapshot, replays the WAL tail and ingests only the
   remainder of the stream.  `repro restore --checkpoint-dir DIR` recovers
   and prints the service state without ingesting anything.
+
+distributed:
+  `repro gateway --listen HOST:PORT` serves the tracking service over
+  HTTP/JSON (register/ingest/query/status endpoints with a bounded,
+  coalescing ingest queue); `repro site --listen HOST:PORT` runs a TCP
+  site-actor host for distributed scheme runs (repro.net.Cluster);
+  `repro query URL JOB [METHOD] [ARG...]` queries a running gateway and
+  pretty-prints the JSON answer.  Each subcommand has its own --help.
 """
 
 
@@ -188,70 +170,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="recover --checkpoint-dir and ingest only the stream remainder",
     )
     return parser
-
-
-def parse_job_spec(spec: str, default_eps: float):
-    """Parse ``NAME=PROBLEM/SCHEME[:EPS]`` into (name, problem, scheme).
-
-    ``PROBLEM`` is ``count``/``frequency``/``rank`` or ``window:W`` (a
-    sliding window of ``W`` time units, scheme ``count``), e.g.
-    ``lastmin=window:60000/count:0.05``.
-    """
-    name, sep, rest = spec.partition("=")
-    if not sep or not name or not rest:
-        raise ValueError(
-            f"bad job spec {spec!r}: expected NAME=PROBLEM/SCHEME[:EPS]"
-        )
-    problem_part, sep, scheme_part = rest.partition("/")
-    if not sep or not scheme_part:
-        raise ValueError(
-            f"bad job spec {spec!r}: expected NAME=PROBLEM/SCHEME[:EPS]"
-        )
-    scheme_name, sep, eps_part = scheme_part.partition(":")
-    if ":" in eps_part:
-        raise ValueError(f"bad job spec {spec!r}: too many ':' fields")
-    if sep:
-        try:
-            eps = float(eps_part)
-        except ValueError:
-            raise ValueError(
-                f"bad job spec {spec!r}: eps {eps_part!r} is not a number"
-            ) from None
-    else:
-        eps = default_eps
-
-    problem, sep, window_part = problem_part.partition(":")
-    if problem == "window":
-        if not sep:
-            raise ValueError(
-                f"bad job spec {spec!r}: window jobs need a length, "
-                "e.g. window:60000/count"
-            )
-        try:
-            window = int(window_part)
-        except ValueError:
-            raise ValueError(
-                f"bad job spec {spec!r}: window length {window_part!r} "
-                "is not an integer"
-            ) from None
-        if scheme_name != "count":
-            raise ValueError(
-                f"bad job spec {spec!r}: unknown scheme {scheme_name!r} "
-                "for window (choose from ['count'])"
-            )
-        return name, "window", WindowedCountScheme(window, eps)
-    if sep or problem not in SCHEMES:
-        raise ValueError(
-            f"bad job spec {spec!r}: unknown problem {problem_part!r} "
-            f"(choose from {sorted(SCHEMES) + ['window:W']})"
-        )
-    factory = SCHEMES[problem].get(scheme_name)
-    if factory is None:
-        raise ValueError(
-            f"bad job spec {spec!r}: unknown scheme {scheme_name!r} for "
-            f"{problem} (choose from {sorted(SCHEMES[problem])})"
-        )
-    return name, problem, factory(eps)
 
 
 def _problem_of(job) -> str:
@@ -478,7 +396,247 @@ def describe(problem: str, sim: Simulation, n: int) -> list:
     ]
 
 
+def run_gateway(argv) -> int:
+    """The `repro gateway` subcommand: HTTP/JSON service frontend."""
+    import asyncio
+
+    from .net.gateway import Gateway
+    from .net.transport import parse_address
+
+    parser = argparse.ArgumentParser(
+        prog="repro gateway",
+        description="Serve a multi-tenant tracking service over HTTP/JSON.",
+    )
+    parser.add_argument(
+        "--listen", default="127.0.0.1:8791", metavar="HOST:PORT",
+        help="bind address (default 127.0.0.1:8791; port 0 = ephemeral)",
+    )
+    parser.add_argument("-k", type=int, default=16, help="number of sites")
+    parser.add_argument("--seed", type=int, default=0, help="service root seed")
+    parser.add_argument("--eps", type=float, default=0.02, help="default error target")
+    parser.add_argument(
+        "--job", action="append", metavar="NAME=PROBLEM/SCHEME[:EPS]",
+        help="register a job at startup (repeatable); default: a demo set",
+    )
+    parser.add_argument(
+        "--no-default-jobs", action="store_true",
+        help="start with an empty registry (register via POST /v1/jobs)",
+    )
+    parser.add_argument(
+        "--queue-events", type=int, default=1 << 16,
+        help="ingest queue bound, in events (backpressure threshold)",
+    )
+    parser.add_argument(
+        "--coalesce-events", type=int, default=8192,
+        help="max events merged into one engine call",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="arm durability (WAL + snapshots) under DIR",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="restore --checkpoint-dir instead of starting fresh",
+    )
+    args = parser.parse_args(argv)
+    for flag, value in (
+        ("--queue-events", args.queue_events),
+        ("--coalesce-events", args.coalesce_events),
+    ):
+        if value < 1:
+            print(f"error: {flag} must be positive", file=sys.stderr)
+            return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    try:
+        host, port = parse_address(args.listen)
+        if args.resume:
+            service = TrackingService.restore(args.checkpoint_dir)
+            specs = args.job or []
+        else:
+            service = TrackingService(
+                num_sites=args.k,
+                seed=args.seed,
+                checkpoint_dir=args.checkpoint_dir,
+            )
+            specs = args.job
+            if specs is None and not args.no_default_jobs:
+                specs = list(DEFAULT_SERVE_JOBS)
+        for spec in specs or []:
+            name, _, scheme = parse_job_spec(spec, args.eps)
+            if name not in service:
+                service.register(name, scheme)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    served = False
+
+    async def serve() -> None:
+        nonlocal served
+        gateway = Gateway(
+            service,
+            host=host,
+            port=port,
+            capacity_events=args.queue_events,
+            max_batch_events=args.coalesce_events,
+            default_eps=args.eps,
+        )
+        await gateway.start()
+        served = True
+        print(
+            f"gateway listening on {gateway.url} "
+            f"(k={service.num_sites}, jobs={sorted(service.jobs)})",
+            flush=True,
+        )
+        try:
+            await _until_stopped()
+        finally:
+            await gateway.close()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:  # e.g. the port is already taken
+        print(f"error: {exc}", file=sys.stderr)
+        service.close()
+        return 2
+    finally:
+        if served:
+            print("gateway: shutting down", flush=True)
+            if service.checkpoint_dir is not None:
+                service.checkpoint()
+            service.close()
+    return 0
+
+
+async def _until_stopped() -> None:
+    """Sleep until SIGTERM/SIGINT (works for shell background jobs too,
+    where an inherited SIG_IGN would otherwise swallow SIGINT)."""
+    import asyncio
+    import signal
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, OSError, RuntimeError):
+            pass  # non-Unix loops: Ctrl-C still lands as KeyboardInterrupt
+    await stop.wait()
+
+
+def run_site(argv) -> int:
+    """The `repro site` subcommand: a TCP site-actor host."""
+    import asyncio
+
+    from .net.actors import SiteHost
+    from .net.transport import TcpTransport
+
+    parser = argparse.ArgumentParser(
+        prog="repro site",
+        description=(
+            "Host site actors over TCP; a coordinator hub "
+            "(repro.net.Cluster) connects and spawns its sites here."
+        ),
+    )
+    parser.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="bind address (default 127.0.0.1:0 = ephemeral port)",
+    )
+    args = parser.parse_args(argv)
+
+    async def serve() -> None:
+        host = await SiteHost(TcpTransport(), args.listen).start()
+        print(f"site host listening on {host.address}", flush=True)
+        try:
+            await _until_stopped()
+        finally:
+            await host.close()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print("site host: shutting down", flush=True)
+    return 0
+
+
+def run_query(argv) -> int:
+    """The `repro query` subcommand: hit a gateway, pretty-print JSON."""
+    import urllib.error
+    import urllib.request
+
+    parser = argparse.ArgumentParser(
+        prog="repro query",
+        description="Query a job on a running gateway.",
+        epilog=(
+            "examples: repro query http://127.0.0.1:8791 total | "
+            "repro query http://127.0.0.1:8791 median quantile 0.5"
+        ),
+    )
+    parser.add_argument("url", help="gateway base URL, e.g. http://127.0.0.1:8791")
+    parser.add_argument("job", help="registered job name")
+    parser.add_argument(
+        "kind", nargs="?", default=None,
+        help="query method (default: the job's default query)",
+    )
+    parser.add_argument(
+        "args", nargs="*",
+        help="query arguments (JSON literals; bare words pass as strings)",
+    )
+    args = parser.parse_args(argv)
+
+    from .service.jobspec import parse_query_literal
+
+    body = json.dumps(
+        {
+            "job": args.job,
+            "method": args.kind,
+            "args": [parse_query_literal(a) for a in args.args],
+        }
+    ).encode()
+    request = urllib.request.Request(
+        args.url.rstrip("/") + "/v1/query",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            payload = json.load(response)
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.load(exc).get("error", "")
+        except ValueError:
+            detail = ""
+        print(f"error: HTTP {exc.code} {exc.reason}: {detail}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+_NET_SUBCOMMANDS = {
+    "gateway": run_gateway,
+    "site": run_site,
+    "query": run_query,
+}
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _NET_SUBCOMMANDS:
+        return _NET_SUBCOMMANDS[argv[0]](argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.problem == "serve":

@@ -1,0 +1,630 @@
+"""The distributed runtime's actors: site workers and the coordinator hub.
+
+Topology is a star, like the paper's model: ``k`` site actors each hold
+one :class:`~repro.runtime.Site` state machine; the coordinator hub
+holds the :class:`~repro.runtime.Coordinator`, the *real*
+:class:`~repro.runtime.Network` ledger, and one connection per site.
+Stream events travel hub -> site as *run* commands (per-site chunks in
+arrival order); protocol messages travel site -> hub as *uplink* frames.
+
+**Why transcripts match the simulator.**  The paper's model delivers
+messages synchronously and re-entrantly: a site's report can trigger a
+coordinator broadcast whose per-site handlers run *inside* the original
+send — and those handlers may themselves report (the randomized count
+scheme's re-randomization adjusts do exactly this).  The runtime mirrors
+that depth-first cascade with blocking RPCs:
+
+1. *Lockstep runs* — the hub dispatches one run at a time, in global
+   arrival order (exactly the order ``Simulation.run_batched`` uses).
+2. *Uplink RPC* — a site's ``send()`` transmits the uplink and blocks
+   until the hub's ``ack``.  The hub only acks after the coordinator
+   has completely finished processing the message — including every
+   downlink/broadcast the processing emitted.
+3. *Deliver RPC* — each coordinator->site message is pushed to its site
+   as a ``deliver`` frame *at its exact position in the cascade* (the
+   hub hosts the real ``Network``, so a broadcast walks sites in
+   ascending order just like the simulator).  The site applies it and
+   replies ``deliver_done``; uplinks the handler emits in between are
+   processed inline, recursively.  A site blocked awaiting an ``ack``
+   services interleaved delivers — that is the simulator's re-entrant
+   delivery, reproduced on a wire.
+
+The hub's protocol core is synchronous (it *is* the simulator's
+``Network``/``Coordinator`` objects) and runs on an executor thread;
+per-connection asyncio pump tasks feed it thread-safe inboxes.  Site
+workers mirror the same split: sync state machine on a thread, asyncio
+pump for frames.  Per-connection FIFO plus the depth-first RPC
+discipline make the distributed transcript — every message, every RNG
+draw, every ledger entry — byte-identical to the in-process simulator
+with the same seed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+from typing import List, Optional
+
+from ..persistence.codec import (
+    StateDecoder,
+    StateEncoder,
+    decode_value,
+    encode_value,
+    load_object_state,
+    object_state,
+)
+from ..runtime import CommStats, Network, SpaceStats, TranscriptRecorder
+from ..runtime.batching import decompose_runs
+from ..service.job import resolve_query
+from .wire import decode_chunk, decode_message, encode_chunk, encode_message
+
+__all__ = [
+    "NetError",
+    "ProtocolError",
+    "RemoteActorError",
+    "SiteUnavailableError",
+    "SiteHost",
+    "SiteWorker",
+    "CoordinatorHub",
+]
+
+#: ceiling for any single blocking wait on a peer's frame
+DEFAULT_RPC_TIMEOUT = 600.0
+
+
+class NetError(RuntimeError):
+    """Base class for distributed-runtime failures."""
+
+
+class ProtocolError(NetError):
+    """A peer sent a frame the actor protocol does not allow here."""
+
+
+class RemoteActorError(NetError):
+    """A remote actor reported an exception while executing a command."""
+
+
+class SiteUnavailableError(NetError):
+    """A site actor is down (killed, crashed, or unreachable)."""
+
+
+class _RemoteNetwork:
+    """The network facade a site actor hands its protocol state machine.
+
+    Only the uplink exists on a site: ``send_to_coordinator`` turns into
+    a blocking RPC through the owning :class:`SiteWorker`.  The ledger
+    lives at the hub (the authoritative ``Network``); the local ``stats``
+    object exists only so wrappers like the boosting ``_TaggedChannel``
+    can hold a reference.
+    """
+
+    def __init__(self, worker: "SiteWorker", num_sites: int, one_way: bool):
+        self._worker = worker
+        self.num_sites = num_sites
+        self.one_way = one_way
+        self.stats = CommStats()
+
+    def send_to_coordinator(self, site_id: int, message) -> None:
+        self._worker.uplink(message)
+
+    def send_to_site(self, site_id: int, message) -> None:
+        raise ProtocolError("a site actor cannot send downlink traffic")
+
+    def broadcast(self, message) -> None:
+        raise ProtocolError("a site actor cannot broadcast")
+
+
+class SiteWorker:
+    """Synchronous state machine executing one logical site actor.
+
+    Driven entirely through two blocking callables (``send``/``recv``)
+    so it can run on a worker thread behind an asyncio connection — or
+    directly on queue pairs in unit tests.  Commands:
+
+    ``spawn``     build the site from an encoded scheme
+    ``restore``   merge a snapshot into the spawned site
+    ``run``       process one chunk of local elements
+    ``deliver``   apply coordinator messages, reply ``deliver_done``
+    ``snapshot``  reply with the site's encoded state
+    ``ping``      liveness probe
+    ``stop``      acknowledge and exit
+    """
+
+    def __init__(self, send, recv):
+        self._send = send
+        self._recv = recv
+        self.site = None
+
+    # -- the uplink RPC (called from inside protocol handlers) -------------
+
+    def uplink(self, message) -> None:
+        """Ship one report and block until the hub finished its cascade.
+
+        While waiting, interleaved ``deliver`` frames are serviced: the
+        coordinator's re-entrant responses (downlinks, our copy of a
+        broadcast) apply *inside* this send, exactly as the synchronous
+        network would, and may recurse into further uplinks.
+        """
+        self._send({"t": "uplink", "msg": encode_message(message)})
+        while True:
+            reply = self._recv()
+            if reply is None:
+                raise ConnectionError("hub vanished while awaiting ack")
+            kind = reply.get("t")
+            if kind == "deliver":
+                self._deliver(reply)
+            elif kind == "ack":
+                return
+            else:
+                raise ProtocolError(f"unexpected {kind!r} while awaiting ack")
+
+    def _deliver(self, command) -> None:
+        for encoded in command["msgs"]:
+            self.site.on_message(decode_message(encoded))
+        self._send({"t": "deliver_done"})
+
+    # -- command loop ------------------------------------------------------
+
+    def run(self) -> None:
+        """Serve commands until ``stop`` or connection EOF."""
+        while True:
+            command = self._recv()
+            if command is None:
+                return
+            kind = command.get("t")
+            try:
+                if kind == "spawn":
+                    self._spawn(command)
+                    self._send({"t": "ok"})
+                elif kind == "restore":
+                    load_object_state(self.site, command["state"])
+                    self._send({"t": "ok"})
+                elif kind == "run":
+                    chunk = decode_chunk(command["chunk"])
+                    self.site.on_elements(chunk)
+                    self._send(
+                        {
+                            "t": "run_done",
+                            "n": len(chunk),
+                            "space": self.site.space_words(),
+                        }
+                    )
+                elif kind == "deliver":
+                    self._deliver(command)
+                elif kind == "snapshot":
+                    self._send(
+                        {"t": "state", "state": object_state(self.site)}
+                    )
+                elif kind == "ping":
+                    self._send({"t": "pong"})
+                elif kind == "stop":
+                    self._send({"t": "bye"})
+                    return
+                else:
+                    self._send(
+                        {"t": "error", "error": f"unknown command {kind!r}"}
+                    )
+            except ConnectionError:
+                return
+            except Exception as exc:  # report, keep serving
+                try:
+                    self._send(
+                        {
+                            "t": "error",
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
+                    )
+                except ConnectionError:
+                    return
+
+    def _spawn(self, command) -> None:
+        scheme = decode_value(command["scheme"])
+        network = _RemoteNetwork(
+            self, command["k"], command.get("one_way", False)
+        )
+        self.site = scheme.make_site(
+            network, command["site_id"], command["k"], command["seed"]
+        )
+
+
+class SiteHost:
+    """Asyncio server hosting site actors, one per inbound connection.
+
+    The hub opens one connection per logical site and drives it with
+    ``spawn``; a single host can therefore carry any number of sites
+    (all of a small cluster, or one shard of a large one).  Protocol
+    execution happens on a thread per connection; the event loop only
+    pumps frames, so one host serves many sites concurrently.
+    """
+
+    def __init__(self, transport, address: str):
+        self.transport = transport
+        self._requested_address = address
+        self._listener = None
+
+    async def start(self) -> "SiteHost":
+        self._listener = await self.transport.listen(
+            self._requested_address, self._serve
+        )
+        return self
+
+    @property
+    def address(self) -> str:
+        """The bound address (differs from requested for port 0)."""
+        if self._listener is None:
+            return self._requested_address
+        return self._listener.address
+
+    async def _serve(self, conn) -> None:
+        loop = asyncio.get_running_loop()
+        inbox: queue.Queue = queue.Queue()
+
+        def send_threadsafe(obj) -> None:
+            future = asyncio.run_coroutine_threadsafe(conn.send(obj), loop)
+            try:
+                future.result(DEFAULT_RPC_TIMEOUT)
+            except Exception as exc:
+                raise ConnectionError(str(exc)) from exc
+
+        worker = SiteWorker(send=send_threadsafe, recv=inbox.get)
+        thread = threading.Thread(
+            target=worker.run, name="repro-site-worker", daemon=True
+        )
+        thread.start()
+        try:
+            while True:
+                message = await conn.recv()
+                inbox.put(message)
+                if message is None:
+                    break
+        finally:
+            inbox.put(None)  # a second EOF is harmless; worker exits once
+            await loop.run_in_executor(None, thread.join)
+
+    async def close(self) -> None:
+        if self._listener is not None:
+            await self._listener.close()
+            self._listener = None
+
+
+class SiteProxy:
+    """The hub-side stand-in bound into the ``Network`` as site ``i``.
+
+    ``on_message`` is invoked by the real ``Network`` at the exact
+    cascade position the simulator would use; it performs a synchronous
+    deliver-RPC to the remote site, so the distributed execution is the
+    same depth-first walk.  ``space_words`` reports the last value the
+    real site attached to a ``run_done``.
+    """
+
+    __slots__ = ("site_id", "hub", "last_space")
+
+    def __init__(self, site_id: int, hub: "CoordinatorHub"):
+        self.site_id = site_id
+        self.hub = hub
+        self.last_space = 0
+
+    def on_message(self, message) -> None:
+        self.hub._deliver_sync(self.site_id, message)
+
+    def space_words(self) -> int:
+        return self.last_space
+
+
+class CoordinatorHub:
+    """The coordinator actor: protocol brain plus run sequencer.
+
+    Owns the scheme's coordinator, the authoritative ``Network`` (ledger,
+    loss injection, transcript tracer — the same objects the simulator
+    uses) and one transport connection per site actor.  Constructed
+    exactly like a :class:`~repro.runtime.Simulation` with the same
+    seed, so both produce identical protocol randomness.
+
+    The protocol core is synchronous and runs on an executor thread
+    behind the async public methods; asyncio pump tasks feed one
+    thread-safe inbox per site connection.
+    """
+
+    def __init__(
+        self,
+        scheme,
+        num_sites: int,
+        seed: int = 0,
+        one_way: bool = False,
+        uplink_drop_rate: float = 0.0,
+        record_transcript: bool = True,
+        rpc_timeout: float = DEFAULT_RPC_TIMEOUT,
+    ):
+        self.scheme = scheme
+        self.num_sites = num_sites
+        self.seed = seed
+        self.one_way = one_way
+        self.uplink_drop_rate = uplink_drop_rate
+        self.rpc_timeout = rpc_timeout
+        # Mirrors Simulation.__init__ — same drop-seed derivation, same
+        # construction order — so transcripts can match byte for byte.
+        self.network = Network(
+            num_sites,
+            one_way=one_way,
+            uplink_drop_rate=uplink_drop_rate,
+            drop_seed=seed ^ 0x5EED,
+        )
+        self.recorder: Optional[TranscriptRecorder] = None
+        if record_transcript:
+            self.recorder = TranscriptRecorder().attach(self.network)
+        self.coordinator = scheme.make_coordinator(self.network, num_sites, seed)
+        self.proxies = [SiteProxy(site_id, self) for site_id in range(num_sites)]
+        self.network.bind(self.coordinator, self.proxies)
+        self.space = SpaceStats()
+        self.elements_processed = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._conns: List = [None] * num_sites
+        self._inboxes: List[Optional[queue.Queue]] = [None] * num_sites
+        self._pumps: List = [None] * num_sites
+        self._dead = set()
+
+    # -- wiring ------------------------------------------------------------
+
+    async def connect_sites(
+        self, transport, addresses, restore_states=None
+    ) -> None:
+        """Connect and spawn every site actor (round-robin over hosts).
+
+        ``addresses`` is one or more site-host addresses; site ``i``
+        lands on ``addresses[i % len(addresses)]``.  With
+        ``restore_states`` the spawned sites are immediately merged from
+        the given snapshots (cluster recovery).
+        """
+        if isinstance(addresses, str):
+            addresses = [addresses]
+        if not addresses:
+            raise ValueError("need at least one site-host address")
+        self._loop = asyncio.get_running_loop()
+        for site_id in range(self.num_sites):
+            conn = await transport.connect(addresses[site_id % len(addresses)])
+            self._conns[site_id] = conn
+            self._inboxes[site_id] = queue.Queue()
+            self._pumps[site_id] = asyncio.ensure_future(
+                self._pump(site_id, conn)
+            )
+        await self._loop.run_in_executor(
+            None, self._spawn_all_sync, restore_states
+        )
+
+    async def _pump(self, site_id: int, conn) -> None:
+        """Feed one connection's frames into its thread-safe inbox."""
+        inbox = self._inboxes[site_id]
+        try:
+            while True:
+                message = await conn.recv()
+                inbox.put(message)
+                if message is None:
+                    return
+        except Exception:
+            inbox.put(None)
+
+    def _spawn_all_sync(self, restore_states) -> None:
+        for site_id in range(self.num_sites):
+            self._send_sync(
+                site_id,
+                {
+                    "t": "spawn",
+                    "scheme": encode_value(self.scheme),
+                    "site_id": site_id,
+                    "k": self.num_sites,
+                    "seed": self.seed,
+                    "one_way": self.one_way,
+                },
+            )
+            self._expect_sync(site_id, "ok")
+            if restore_states is not None:
+                self._send_sync(
+                    site_id,
+                    {"t": "restore", "state": restore_states[site_id]},
+                )
+                self._expect_sync(site_id, "ok")
+
+    # -- sync plumbing (executor thread) -----------------------------------
+
+    def _send_sync(self, site_id: int, obj) -> None:
+        conn = self._conns[site_id]
+        if conn is None or site_id in self._dead:
+            raise SiteUnavailableError(f"site {site_id} is down")
+        future = asyncio.run_coroutine_threadsafe(conn.send(obj), self._loop)
+        try:
+            future.result(self.rpc_timeout)
+        except NetError:
+            raise
+        except Exception as exc:
+            self._dead.add(site_id)
+            raise SiteUnavailableError(
+                f"site {site_id} send failed: {exc}"
+            ) from exc
+
+    def _recv_sync(self, site_id: int) -> dict:
+        try:
+            message = self._inboxes[site_id].get(timeout=self.rpc_timeout)
+        except queue.Empty:
+            raise SiteUnavailableError(
+                f"site {site_id} did not respond within {self.rpc_timeout}s"
+            ) from None
+        if message is None:
+            self._dead.add(site_id)
+            raise SiteUnavailableError(f"site {site_id} closed the connection")
+        if message.get("t") == "error":
+            raise RemoteActorError(f"site {site_id}: {message.get('error')}")
+        return message
+
+    def _expect_sync(self, site_id: int, kind: str) -> dict:
+        message = self._recv_sync(site_id)
+        got = message.get("t")
+        if got != kind:
+            raise ProtocolError(
+                f"site {site_id}: expected {kind!r}, got {got!r}"
+            )
+        return message
+
+    def _deliver_sync(self, site_id: int, message) -> None:
+        """One coordinator->site message, delivered at cascade position.
+
+        Invoked (via :class:`SiteProxy`) from inside the ``Network``'s
+        synchronous delivery — possibly nested under an uplink that is
+        itself nested under a deliver.  Uplinks the remote handler emits
+        while applying are processed inline, recursing into the
+        coordinator exactly like the simulator's re-entrant network.
+        """
+        self._send_sync(
+            site_id, {"t": "deliver", "msgs": [encode_message(message)]}
+        )
+        while True:
+            reply = self._recv_sync(site_id)
+            kind = reply.get("t")
+            if kind == "uplink":
+                self._uplink_sync(site_id, reply)
+            elif kind == "deliver_done":
+                return
+            else:
+                raise ProtocolError(
+                    f"site {site_id}: unexpected {kind!r} during deliver"
+                )
+
+    def _uplink_sync(self, site_id: int, frame: dict) -> None:
+        """Route one uplink through the real network, then release."""
+        self.network.send_to_coordinator(
+            site_id, decode_message(frame["msg"])
+        )
+        self._send_sync(site_id, {"t": "ack"})
+
+    def _run_sync(self, site_id: int, chunk) -> int:
+        if site_id in self._dead or self._conns[site_id] is None:
+            raise SiteUnavailableError(f"site {site_id} is down")
+        self._send_sync(site_id, {"t": "run", "chunk": encode_chunk(chunk)})
+        while True:
+            message = self._recv_sync(site_id)
+            kind = message.get("t")
+            if kind == "uplink":
+                self._uplink_sync(site_id, message)
+            elif kind == "run_done":
+                self.proxies[site_id].last_space = message["space"]
+                self.space.record_site(site_id, message["space"])
+                return message["n"]
+            else:
+                raise ProtocolError(
+                    f"site {site_id}: unexpected {kind!r} during run"
+                )
+
+    def _ingest_sync(self, site_ids, items) -> int:
+        total = 0
+        for site_id, chunk in decompose_runs(site_ids, items):
+            total += self._run_sync(site_id, chunk)
+        self.elements_processed += total
+        self.space.record_coordinator(self.coordinator.space_words())
+        return total
+
+    def _snapshot_sync(self) -> dict:
+        sites = []
+        for site_id in range(self.num_sites):
+            if site_id in self._dead or self._conns[site_id] is None:
+                raise SiteUnavailableError(
+                    f"cannot snapshot: site {site_id} is down"
+                )
+            self._send_sync(site_id, {"t": "snapshot"})
+            sites.append(self._expect_sync(site_id, "state")["state"])
+        encoder = StateEncoder()
+        return {
+            "format": "repro-cluster",
+            "config": {
+                "scheme": encode_value(self.scheme),
+                "num_sites": self.num_sites,
+                "seed": self.seed,
+                "one_way": self.one_way,
+                "uplink_drop_rate": self.uplink_drop_rate,
+            },
+            "elements_processed": self.elements_processed,
+            "wal_seq": -1,  # stamped by the cluster facade
+            "coordinator": encoder.encode(self.coordinator),
+            "network": encoder.encode(self.network),
+            "space": encoder.encode(self.space),
+            "sites": sites,
+        }
+
+    def _close_sync(self) -> None:
+        for site_id in range(self.num_sites):
+            if self._conns[site_id] is None or site_id in self._dead:
+                continue
+            try:
+                self._send_sync(site_id, {"t": "stop"})
+                self._expect_sync(site_id, "bye")
+            except NetError:
+                pass
+
+    # -- async public surface ----------------------------------------------
+
+    async def ingest(self, site_ids, items=None) -> int:
+        """Drive one ordered event batch through the cluster.
+
+        The batch is decomposed into per-site runs exactly like
+        ``Simulation.run_batched`` and dispatched in lockstep.
+        """
+        return await self._loop.run_in_executor(
+            None, self._ingest_sync, site_ids, items
+        )
+
+    async def query(self, method: Optional[str] = None, *args, **kwargs):
+        """Run a coordinator query (same resolution rules as a job)."""
+        return resolve_query(self.coordinator, method)(*args, **kwargs)
+
+    async def snapshot_state(self) -> dict:
+        """Collect a full-cluster state bundle (hub + every site actor).
+
+        Hub-side components share one codec scope (like a job snapshot);
+        each site's state is encoded in its own actor, which is also why
+        cross-actor RNG sharing cannot exist in this runtime.
+        """
+        return await self._loop.run_in_executor(None, self._snapshot_sync)
+
+    def load_hub_state(self, state: dict) -> None:
+        """Merge the hub-side half of a snapshot bundle (one scope)."""
+        decoder = StateDecoder()
+        decoder.merge(self.coordinator, state["coordinator"])
+        decoder.merge(self.network, state["network"])
+        self.space = decoder.merge(self.space, state["space"])
+        self.elements_processed = state["elements_processed"]
+
+    @property
+    def comm(self) -> CommStats:
+        return self.network.stats
+
+    def summary(self) -> dict:
+        """Flat cost metrics, shaped like ``Simulation.summary``."""
+        out = self.comm.snapshot()
+        out["max_site_space_words"] = self.space.max_site_words
+        out["mean_site_space_words"] = self.space.mean_site_words
+        out["coordinator_space_words"] = self.space.coordinator_max_words
+        out["elements"] = self.elements_processed
+        return out
+
+    # -- failure injection and shutdown -----------------------------------
+
+    async def kill_site(self, site_id: int) -> None:
+        """Abruptly drop a site actor (failure injection)."""
+        self._dead.add(site_id)
+        conn = self._conns[site_id]
+        if conn is not None:
+            await conn.close()
+
+    @property
+    def dead_sites(self) -> set:
+        return set(self._dead)
+
+    async def close(self) -> None:
+        if self._loop is not None:
+            await self._loop.run_in_executor(None, self._close_sync)
+        for site_id, conn in enumerate(self._conns):
+            if conn is not None:
+                await conn.close()
+            self._conns[site_id] = None
+        for pump in self._pumps:
+            if pump is not None and not pump.done():
+                pump.cancel()

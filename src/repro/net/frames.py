@@ -1,0 +1,138 @@
+"""Length-prefixed frame codec for the distributed runtime's wire.
+
+Every frame is a 4-byte big-endian payload length followed by the
+payload bytes.  The codec is transport-agnostic byte plumbing:
+:func:`encode_frame` produces one frame, :class:`FrameDecoder` consumes
+an arbitrary chunking of the byte stream (TCP gives no message
+boundaries) and yields complete payloads.
+
+Failure modes are explicit:
+
+* a frame whose declared length exceeds ``max_frame`` raises
+  :class:`FrameTooLargeError` *before* buffering the body — a corrupt or
+  hostile peer cannot make the decoder allocate unbounded memory;
+* a stream that ends mid-frame is a *torn frame*; callers detect it by
+  checking :attr:`FrameDecoder.pending_bytes` (or calling
+  :meth:`FrameDecoder.finish`) at EOF.
+
+On top of raw frames, :func:`encode_json_frame` / :func:`decode_json`
+carry the runtime's JSON control messages (compact separators, UTF-8).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import List, Optional
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "FrameError",
+    "FrameTooLargeError",
+    "TornFrameError",
+    "FrameDecoder",
+    "encode_frame",
+    "encode_json_frame",
+    "decode_json",
+]
+
+_HEADER = struct.Struct(">I")
+HEADER_BYTES = _HEADER.size
+
+#: ceiling on one frame's payload; a run of a few million packed ints
+#: fits comfortably, a corrupted length prefix does not
+DEFAULT_MAX_FRAME = 64 * 1024 * 1024
+
+
+class FrameError(RuntimeError):
+    """Base class for framing failures."""
+
+
+class FrameTooLargeError(FrameError):
+    """A frame's declared payload length exceeds the configured maximum."""
+
+
+class TornFrameError(FrameError):
+    """The byte stream ended in the middle of a frame."""
+
+
+def encode_frame(payload: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Wrap ``payload`` in a length prefix; rejects oversized payloads."""
+    if len(payload) > max_frame:
+        raise FrameTooLargeError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(max {max_frame})"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrarily-chunked stream.
+
+    Feed it whatever the transport produced — single bytes, half a
+    header, three frames at once — and it returns the payloads that
+    completed::
+
+        decoder = FrameDecoder()
+        for chunk in stream:
+            for payload in decoder.feed(chunk):
+                handle(payload)
+        decoder.finish()   # raises TornFrameError on a mid-frame EOF
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME):
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        self._need: Optional[int] = None  # body length once header parsed
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Consume one chunk; returns every payload it completed."""
+        self._buffer.extend(data)
+        out: List[bytes] = []
+        while True:
+            if self._need is None:
+                if len(self._buffer) < HEADER_BYTES:
+                    break
+                (self._need,) = _HEADER.unpack_from(self._buffer)
+                if self._need > self.max_frame:
+                    raise FrameTooLargeError(
+                        f"incoming frame declares {self._need} bytes "
+                        f"(max {self.max_frame})"
+                    )
+                del self._buffer[:HEADER_BYTES]
+            if len(self._buffer) < self._need:
+                break
+            body = bytes(self._buffer[: self._need])
+            del self._buffer[: self._need]
+            self._need = None
+            out.append(body)
+        return out
+
+    def finish(self) -> None:
+        """Assert the stream ended on a frame boundary."""
+        if self._buffer or self._need is not None:
+            pending = len(self._buffer) + (
+                HEADER_BYTES if self._need is not None else 0
+            )
+            raise TornFrameError(
+                f"stream ended mid-frame with {pending} buffered byte(s)"
+            )
+
+
+def encode_json_frame(obj, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """One JSON control message as a complete frame."""
+    payload = json.dumps(obj, separators=(",", ":")).encode()
+    return encode_frame(payload, max_frame)
+
+
+def decode_json(payload: bytes):
+    """Parse one frame payload as a JSON control message."""
+    try:
+        return json.loads(payload)
+    except ValueError as exc:
+        raise FrameError(f"malformed JSON frame: {exc}") from exc

@@ -1,0 +1,424 @@
+"""HTTP/JSON query gateway over a multi-tenant tracking service.
+
+A small asyncio HTTP/1.1 server (stdlib only — hand-rolled request
+parsing over ``asyncio.start_server``) exposing the
+:class:`~repro.service.TrackingService` surface:
+
+====== ========================== ========================================
+GET    /healthz                    liveness + ingest-queue gauges
+GET    /v1/status                  full service status (pods-style)
+GET    /v1/jobs                    registered jobs, compact
+POST   /v1/jobs                    register: ``{"name", "spec", ...}``
+DELETE /v1/jobs/<name>             unregister
+POST   /v1/ingest                  ``{"site_ids": [...], "items": [...]}``
+POST   /v1/query                   ``{"job", "method", "args"}``
+GET    /v1/query/<job>             ``?method=...&arg=...`` (repeatable)
+====== ========================== ========================================
+
+Ingestion goes through the :class:`~repro.service.AsyncBatchIngestor`:
+requests are coalesced into engine batches and admission is bounded —
+when the queue is full the handler *waits* (the client sees latency,
+never a drop), and a 200 response means the events have been applied
+(post-WAL when the service is durable).
+
+Queries and mutations take the ingestor's service lock on an executor
+thread, so readers always see a batch boundary, and the event loop is
+never blocked by protocol work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+from urllib.parse import parse_qsl, urlsplit
+
+from ..service import ServiceError, TrackingService
+from ..service.async_ingest import AsyncBatchIngestor
+from ..service.errors import DuplicateJobError, UnknownJobError
+from ..service.jobspec import parse_job_spec, parse_query_literal
+
+__all__ = ["Gateway", "GatewayThread", "jsonable"]
+
+_MAX_BODY = 64 * 1024 * 1024
+_MAX_HEADER_LINE = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def jsonable(value):
+    """Make a query result JSON-renderable without losing structure.
+
+    Tuples and sets become lists; dict keys that are not strings are
+    stringified via ``json``-style rendering (so a tuple key shows as
+    ``"[tenant, item]"`` rather than crashing the encoder).
+    """
+    if isinstance(value, dict):
+        return {_key(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((jsonable(v) for v in value), key=repr)
+    return value
+
+
+def _key(key) -> str:
+    if isinstance(key, str):
+        return key
+    try:
+        return json.dumps(jsonable(key), separators=(",", ":"))
+    except (TypeError, ValueError):
+        return repr(key)
+
+
+class Gateway:
+    """The asyncio HTTP server; owns an ingest queue, not the service.
+
+    Parameters
+    ----------
+    service:
+        The :class:`TrackingService` to expose (caller keeps ownership —
+        and responsibility for ``close()``).
+    host / port:
+        Bind address; port 0 picks an ephemeral port (see :attr:`port`).
+    capacity_events / max_batch_events:
+        Ingest-queue bound and coalescing ceiling
+        (:class:`AsyncBatchIngestor`).
+    default_eps:
+        Error target used when a registered job spec omits ``:EPS``.
+    """
+
+    def __init__(
+        self,
+        service: TrackingService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        capacity_events: int = 1 << 16,
+        max_batch_events: int = 8192,
+        default_eps: float = 0.02,
+    ):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.default_eps = default_eps
+        self.ingestor = AsyncBatchIngestor(
+            service,
+            capacity_events=capacity_events,
+            max_batch_events=max_batch_events,
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "Gateway":
+        await self.ingestor.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+        return self
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.ingestor.close()
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    # Parse-level failures (malformed request line, huge
+                    # header/body) still deserve their coded response;
+                    # the stream position is unknown afterwards, so the
+                    # connection closes.
+                    await self._respond(
+                        writer, exc.status, {"error": exc.message}, True
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, query, headers, body = request
+                try:
+                    status, payload = await self._route(
+                        method, path, query, body
+                    )
+                except _HttpError as exc:
+                    status, payload = exc.status, {"error": exc.message}
+                except (UnknownJobError, AttributeError) as exc:
+                    status, payload = 404, {"error": str(exc)}
+                except DuplicateJobError as exc:
+                    status, payload = 409, {"error": str(exc)}
+                except (ValueError, TypeError, ServiceError) as exc:
+                    status, payload = 400, {"error": str(exc)}
+                except Exception as exc:  # keep serving other clients
+                    status, payload = 500, {
+                        "error": f"{type(exc).__name__}: {exc}"
+                    }
+                close = headers.get("connection", "").lower() == "close"
+                await self._respond(writer, status, payload, close)
+                if close:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            OSError,
+        ):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers = {}
+        while True:
+            header = await reader.readline()
+            if len(header) > _MAX_HEADER_LINE:
+                raise _HttpError(400, "header line too long")
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", 0) or 0)
+        except ValueError:
+            raise _HttpError(400, "malformed Content-Length header") from None
+        if length > _MAX_BODY:
+            raise _HttpError(413, f"body exceeds {_MAX_BODY} bytes")
+        body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        # query stays a pair list: repeatable keys (``arg``) must survive
+        return method.upper(), split.path, parse_qsl(split.query), headers, body
+
+    async def _respond(self, writer, status, payload, close) -> None:
+        body = json.dumps(payload, separators=(",", ":")).encode()
+        reason = _REASONS.get(status, "Unknown")
+        connection = "close" if close else "keep-alive"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route(self, method, path, query, body):
+        segments = [s for s in path.split("/") if s]
+        if path == "/healthz" and method == "GET":
+            return 200, {
+                "ok": True,
+                "elements": self.service.elements_processed,
+                "jobs": sorted(self.service.jobs),
+                "queue": dict(
+                    self.ingestor.stats,
+                    queued_events=self.ingestor.queued_events,
+                    capacity_events=self.ingestor.capacity_events,
+                ),
+            }
+        if segments[:1] != ["v1"]:
+            raise _HttpError(404, f"no route {path!r}")
+        rest = segments[1:]
+        if rest == ["status"] and method == "GET":
+            return 200, jsonable(await self._locked(self.service.status))
+        if rest == ["jobs"]:
+            if method == "GET":
+                return 200, {
+                    "jobs": {
+                        name: {
+                            "scheme": job.scheme.name,
+                            "elements": job.elements_processed,
+                        }
+                        for name, job in self.service.jobs.items()
+                    }
+                }
+            if method == "POST":
+                return await self._register(self._json_body(body))
+            raise _HttpError(405, f"{method} not allowed on /v1/jobs")
+        if len(rest) == 2 and rest[0] == "jobs" and method == "DELETE":
+            await self._locked(self.service.unregister, rest[1])
+            return 200, {"unregistered": rest[1]}
+        if rest == ["ingest"] and method == "POST":
+            return await self._ingest(self._json_body(body))
+        if rest == ["query"] and method == "POST":
+            payload = self._json_body(body)
+            return await self._query(
+                payload.get("job"),
+                payload.get("method"),
+                payload.get("args") or [],
+            )
+        if len(rest) == 2 and rest[0] == "query" and method == "GET":
+            params = dict(query)
+            args = [
+                parse_query_literal(value) for key, value in query if key == "arg"
+            ]
+            return await self._query(rest[1], params.get("method"), args)
+        raise _HttpError(404, f"no route {method} {path!r}")
+
+    # -- handlers ----------------------------------------------------------
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        if not body:
+            raise _HttpError(400, "expected a JSON body")
+        try:
+            payload = json.loads(body)
+        except ValueError as exc:
+            raise _HttpError(400, f"malformed JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return payload
+
+    async def _locked(self, fn, *args, **kwargs):
+        """Run a service operation under the ingest lock, off-loop."""
+        loop = asyncio.get_running_loop()
+
+        def call():
+            with self.ingestor.lock:
+                return fn(*args, **kwargs)
+
+        return await loop.run_in_executor(None, call)
+
+    async def _register(self, payload):
+        name = payload.get("name")
+        spec = payload.get("spec")
+        if not name or not isinstance(name, str):
+            raise _HttpError(400, "register needs a job 'name'")
+        if not spec or not isinstance(spec, str):
+            raise _HttpError(
+                400, "register needs a 'spec' like 'count/randomized:0.01'"
+            )
+        _, problem, scheme = parse_job_spec(
+            f"{name}={spec}", payload.get("eps", self.default_eps)
+        )
+        await self._locked(
+            self.service.register,
+            name,
+            scheme,
+            seed=payload.get("seed"),
+            space_budget_words=payload.get("space_budget_words"),
+        )
+        return 200, {
+            "registered": name,
+            "problem": problem,
+            "scheme": scheme.name,
+        }
+
+    async def _ingest(self, payload):
+        site_ids = payload.get("site_ids")
+        if not isinstance(site_ids, list) or not site_ids:
+            raise _HttpError(400, "ingest needs a non-empty 'site_ids' list")
+        items = payload.get("items")
+        if items is not None and (
+            not isinstance(items, list) or len(items) != len(site_ids)
+        ):
+            raise _HttpError(400, "'items' must match 'site_ids' in length")
+        ingested = await self.ingestor.submit(site_ids, items)
+        return 200, {
+            "ingested": ingested,
+            "elements": self.service.elements_processed,
+        }
+
+    async def _query(self, job, method, args):
+        if not job or not isinstance(job, str):
+            raise _HttpError(400, "query needs a 'job' name")
+        if not isinstance(args, list):
+            raise _HttpError(400, "'args' must be a list")
+        result = await self._locked(self.service.query, job, method, *args)
+        return 200, {
+            "job": job,
+            "method": method,
+            "args": args,
+            "result": jsonable(result),
+        }
+
+
+class GatewayThread:
+    """Run a gateway (and its loop) on a background thread.
+
+    For benchmarks, examples and tests that need a live HTTP endpoint
+    inside one process::
+
+        with GatewayThread(service) as gw:
+            urllib.request.urlopen(gw.url + "/healthz")
+    """
+
+    def __init__(self, service: TrackingService, **gateway_kwargs):
+        self.service = service
+        self.gateway_kwargs = gateway_kwargs
+        self.gateway: Optional[Gateway] = None
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "GatewayThread":
+        import threading
+
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-gateway", daemon=True
+        )
+        self._thread.start()
+        self.gateway = asyncio.run_coroutine_threadsafe(
+            Gateway(self.service, **self.gateway_kwargs).start(), self._loop
+        ).result(60)
+        return self
+
+    @property
+    def url(self) -> str:
+        return self.gateway.url
+
+    def __exit__(self, *exc) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.gateway.close(), self._loop
+        ).result(60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        if not self._thread.is_alive():
+            self._loop.close()

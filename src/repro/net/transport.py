@@ -1,0 +1,245 @@
+"""Pluggable actor transports: in-process loopback and framed TCP.
+
+A *transport* moves JSON control messages between actors.  Both
+implementations expose the same tiny surface so the runtime is wired
+identically in tests and in production:
+
+* ``await transport.listen(address, handler)`` — serve connections;
+  ``handler(conn)`` is an async callable invoked once per connection.
+* ``await transport.connect(address)`` — open a client connection.
+
+Connections speak whole messages: ``await conn.send(obj)`` /
+``await conn.recv()`` (``None`` at EOF).  Per-connection ordering is
+FIFO — the delivery guarantee the distributed runtime's transcript
+equivalence rests on.
+
+:class:`LoopbackTransport` routes through paired ``asyncio.Queue``s in
+one process (no sockets, no serialization) — the reference wiring for
+tests and the loopback side of the benchmarks.  :class:`TcpTransport`
+carries the same messages as length-prefixed JSON frames
+(:mod:`repro.net.frames`) over asyncio TCP streams; addresses are
+``"host:port"`` strings (port 0 binds an ephemeral port; the listener
+reports the bound address).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+from .frames import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    decode_json,
+    encode_json_frame,
+)
+
+__all__ = [
+    "ConnectionClosedError",
+    "LoopbackTransport",
+    "TcpTransport",
+    "parse_address",
+    "format_address",
+]
+
+_EOF = object()
+
+
+class ConnectionClosedError(ConnectionError):
+    """An operation hit a connection that is already closed."""
+
+
+def parse_address(address: str):
+    """``"host:port"`` -> ``(host, port)`` (IPv6 hosts may be bracketed)."""
+    text = address.strip()
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        raise ValueError(f"bad address {address!r}: expected HOST:PORT")
+    host = host.strip("[]") or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"bad address {address!r}: port {port_text!r} is not an integer"
+        ) from None
+    return host, port
+
+
+def format_address(host: str, port: int) -> str:
+    return f"[{host}]:{port}" if ":" in host else f"{host}:{port}"
+
+
+class _LoopbackConnection:
+    """One side of an in-process queue pair."""
+
+    def __init__(self, rx: asyncio.Queue, tx: asyncio.Queue):
+        self._rx = rx
+        self._tx = tx
+        self._closed = False
+
+    async def send(self, obj) -> None:
+        if self._closed:
+            raise ConnectionClosedError("loopback connection is closed")
+        await self._tx.put(obj)
+
+    async def recv(self):
+        if self._closed:
+            return None
+        obj = await self._rx.get()
+        if obj is _EOF:
+            self._closed = True
+            return None
+        return obj
+
+    async def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            await self._tx.put(_EOF)
+
+
+class _LoopbackListener:
+    def __init__(self, transport: "LoopbackTransport", address: str):
+        self.address = address
+        self._transport = transport
+        self.tasks = set()
+
+    async def close(self) -> None:
+        self._transport._servers.pop(self.address, None)
+        for task in list(self.tasks):
+            task.cancel()
+        for task in list(self.tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self.tasks.clear()
+
+
+class LoopbackTransport:
+    """In-process transport: queue pairs, FIFO, same event loop.
+
+    One transport instance is one namespace: ``connect`` resolves the
+    address against this instance's listeners only.
+    """
+
+    def __init__(self):
+        self._servers: Dict[str, tuple] = {}
+
+    async def listen(self, address: str, handler) -> _LoopbackListener:
+        if address in self._servers:
+            raise ValueError(f"loopback address {address!r} already bound")
+        listener = _LoopbackListener(self, address)
+        self._servers[address] = (handler, listener)
+        return listener
+
+    async def connect(self, address: str) -> _LoopbackConnection:
+        try:
+            handler, listener = self._servers[address]
+        except KeyError:
+            raise ConnectionClosedError(
+                f"nothing listening on loopback address {address!r}"
+            ) from None
+        client_to_server: asyncio.Queue = asyncio.Queue()
+        server_to_client: asyncio.Queue = asyncio.Queue()
+        client = _LoopbackConnection(server_to_client, client_to_server)
+        server = _LoopbackConnection(client_to_server, server_to_client)
+        task = asyncio.ensure_future(self._serve(handler, server))
+        listener.tasks.add(task)
+        task.add_done_callback(listener.tasks.discard)
+        return client
+
+    @staticmethod
+    async def _serve(handler, conn: _LoopbackConnection) -> None:
+        try:
+            await handler(conn)
+        finally:
+            await conn.close()
+
+
+class _TcpConnection:
+    """Framed JSON messages over one asyncio TCP stream."""
+
+    def __init__(self, reader, writer, max_frame: int = DEFAULT_MAX_FRAME):
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder(max_frame)
+        self._pending = []
+        self._max_frame = max_frame
+        self._closed = False
+
+    async def send(self, obj) -> None:
+        if self._closed:
+            raise ConnectionClosedError("TCP connection is closed")
+        try:
+            self._writer.write(encode_json_frame(obj, self._max_frame))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._closed = True
+            raise ConnectionClosedError(str(exc)) from exc
+
+    async def recv(self):
+        while not self._pending:
+            if self._closed:
+                return None
+            try:
+                data = await self._reader.read(65536)
+            except (ConnectionError, OSError):
+                self._closed = True
+                return None
+            if not data:
+                self._closed = True
+                # A mid-frame EOF is a torn frame; surface it loudly
+                # rather than silently dropping the partial message.
+                self._decoder.finish()
+                return None
+            self._pending.extend(self._decoder.feed(data))
+        return decode_json(self._pending.pop(0))
+
+    async def close(self) -> None:
+        self._closed = True
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class _TcpListener:
+    def __init__(self, server: asyncio.base_events.Server, address: str):
+        self._server = server
+        self.address = address
+
+    async def close(self) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+
+
+class TcpTransport:
+    """Length-prefixed-frame TCP transport (asyncio streams)."""
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME):
+        self.max_frame = max_frame
+
+    async def listen(self, address: str, handler) -> _TcpListener:
+        host, port = parse_address(address)
+
+        async def _serve(reader, writer):
+            conn = _TcpConnection(reader, writer, self.max_frame)
+            try:
+                await handler(conn)
+            finally:
+                await conn.close()
+
+        server = await asyncio.start_server(_serve, host, port)
+        bound = server.sockets[0].getsockname()
+        return _TcpListener(server, format_address(bound[0], bound[1]))
+
+    async def connect(self, address: str) -> _TcpConnection:
+        host, port = parse_address(address)
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except (ConnectionError, OSError) as exc:
+            raise ConnectionClosedError(
+                f"cannot connect to {address}: {exc}"
+            ) from exc
+        return _TcpConnection(reader, writer, self.max_frame)

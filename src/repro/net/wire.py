@@ -1,0 +1,53 @@
+"""Wire encoding of protocol messages and event runs.
+
+Two payload families cross the distributed runtime's wire:
+
+* **Protocol messages** (:class:`~repro.runtime.Message`): the kind tag
+  and word count ride as-is; the payload — arbitrary immutable Python
+  (tuples, floats, nested repro objects for shipped summaries) — goes
+  through the persistence snapshot codec, so a decoded message compares
+  ``==`` to the original and transcripts stay byte-identical across the
+  wire.
+* **Event runs** (the per-site chunks of an ingested batch): these reuse
+  the write-ahead log's packed-int codec (base64 numpy arrays for all-int
+  payloads, snapshot-coded values otherwise), so shipping a run costs the
+  same as logging it.
+"""
+
+from __future__ import annotations
+
+from ..persistence.codec import decode_value, encode_value
+from ..persistence.wal import decode_items, encode_items
+from ..runtime.protocol import Message
+
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "encode_chunk",
+    "decode_chunk",
+]
+
+
+def encode_message(message: Message) -> dict:
+    """A :class:`Message` as a JSON-safe dict (payload snapshot-coded)."""
+    return {
+        "k": message.kind,
+        "p": encode_value(message.payload),
+        "w": message.words,
+    }
+
+
+def decode_message(obj: dict) -> Message:
+    """Inverse of :func:`encode_message`; payload values round-trip."""
+    return Message(obj["k"], decode_value(obj["p"]), obj["w"])
+
+
+def encode_chunk(items) -> dict:
+    """One run's item list as a JSON-safe dict (packed-int fast path)."""
+    payload, coded = encode_items(items)
+    return {"items": payload, "coded": coded}
+
+
+def decode_chunk(obj: dict) -> list:
+    """Inverse of :func:`encode_chunk`."""
+    return decode_items(obj["items"], obj.get("coded", False))

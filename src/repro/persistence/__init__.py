@@ -43,7 +43,14 @@ from .snapshot import (
     read_snapshot,
     write_snapshot,
 )
-from .wal import WalCorruptionError, WriteAheadLog
+from .wal import (
+    WalCorruptionError,
+    WriteAheadLog,
+    decode_int_array,
+    decode_items,
+    encode_int_array,
+    encode_items,
+)
 
 __all__ = [
     "CheckpointManager",
@@ -53,7 +60,11 @@ __all__ = [
     "StateEncoder",
     "WalCorruptionError",
     "WriteAheadLog",
+    "decode_int_array",
+    "decode_items",
     "decode_value",
+    "encode_int_array",
+    "encode_items",
     "encode_value",
     "latest_snapshot",
     "list_snapshots",

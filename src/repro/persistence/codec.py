@@ -56,6 +56,7 @@ _SCALARS = (bool, int, float, str, type(None))
 # these reserved keys, so raw JSON objects never collide with tags
 # (plain dicts are themselves encoded through TAG_DICT pair lists).
 TAG_TUPLE = "__tuple__"
+TAG_NTUPLE = "__ntuple__"
 TAG_SET = "__set__"
 TAG_FROZENSET = "__frozenset__"
 TAG_DEQUE = "__deque__"
@@ -147,6 +148,19 @@ class StateEncoder:
         if isinstance(value, list):
             return [self.encode(v) for v in value]
         if isinstance(value, tuple):
+            cls = type(value)
+            if (
+                cls is not tuple
+                and cls.__module__.split(".", 1)[0] == "repro"
+            ):
+                # repro-defined tuple subclasses (e.g. the protocol
+                # Message namedtuple, which rides *inside* payloads when
+                # schemes wrap each other) keep their class, so decoding
+                # rebuilds a real Message, not an anonymous triple.
+                return {
+                    TAG_NTUPLE: _type_tag(cls),
+                    "values": [self.encode(v) for v in value],
+                }
             return {TAG_TUPLE: [self.encode(v) for v in value]}
         if isinstance(value, dict):
             return {
@@ -220,6 +234,9 @@ class StateDecoder:
             return self._by_ref[encoded[TAG_REF]]
         if TAG_TUPLE in encoded:
             return tuple(self.merge(None, e) for e in encoded[TAG_TUPLE])
+        if TAG_NTUPLE in encoded:
+            cls = _resolve_type(encoded[TAG_NTUPLE])
+            return cls(*(self.merge(None, e) for e in encoded["values"]))
         if TAG_DEQUE in encoded:
             return deque(self.merge(None, e) for e in encoded[TAG_DEQUE])
         if TAG_SET in encoded:

@@ -64,7 +64,16 @@ class CheckpointManager:
 
     def save(self, service) -> str:
         """Checkpoint a service: snapshot, then prune covered WAL/snapshots."""
-        state = service.state_dict()
+        return self.save_state(service.state_dict())
+
+    def save_state(self, state: dict) -> str:
+        """Checkpoint a pre-collected state dict (``wal_seq`` required).
+
+        The state-collection side of :meth:`save`, split out for callers
+        whose state does not live in one object — the distributed runtime
+        (:mod:`repro.net.cluster`) gathers actor snapshots over the wire
+        and hands the assembled bundle here.
+        """
         path = write_snapshot(self.directory, state)
         self.wal.truncate_through(state["wal_seq"])
         prune_snapshots(self.directory, self.keep_snapshots)

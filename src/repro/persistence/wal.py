@@ -37,7 +37,14 @@ except ImportError:  # pragma: no cover
 from .codec import _SCALARS as _codec_scalars
 from .codec import decode_value, encode_value
 
-__all__ = ["WriteAheadLog", "WalCorruptionError"]
+__all__ = [
+    "WriteAheadLog",
+    "WalCorruptionError",
+    "encode_int_array",
+    "decode_int_array",
+    "encode_items",
+    "decode_items",
+]
 
 #: record type tags
 REC_BATCH = "batch"
@@ -74,11 +81,13 @@ def _pack_int_array(arr) -> dict:
     return {tag: base64.b64encode(arr.tobytes()).decode("ascii")}
 
 
-def _encode_array(values):
-    """Pack a site-id or all-int item list for the batch record.
+def encode_int_array(values):
+    """Pack a site-id or all-int item list into a JSON-safe payload.
 
     Values outside int64 (or anything numpy rejects) fall back to the
     raw JSON list path, which is lossless for arbitrary Python ints.
+    Shared with the network wire format (:mod:`repro.net.wire`), so
+    batches cost the same whether they hit the log or the wire.
     """
     if _np is not None:
         try:
@@ -93,7 +102,8 @@ def _encode_array(values):
     return values if isinstance(values, list) else list(values)
 
 
-def _decode_array(payload) -> list:
+def decode_int_array(payload) -> list:
+    """Inverse of :func:`encode_int_array`; always a list of exact ints."""
     if isinstance(payload, dict):
         if _np is None:  # pragma: no cover
             raise WalCorruptionError(
@@ -106,7 +116,7 @@ def _decode_array(payload) -> list:
     return payload
 
 
-def _encode_items(items) -> Tuple[Optional[object], bool]:
+def encode_items(items) -> Tuple[Optional[object], bool]:
     """(payload, codec_flag) for a batch's item list.
 
     All-int payloads take the packed-array fast path, other scalar mixes
@@ -119,7 +129,7 @@ def _encode_items(items) -> Tuple[Optional[object], bool]:
     items = list(items)
     types = set(map(type, items))
     if types <= {int}:
-        return _encode_array(items), False
+        return encode_int_array(items), False
     if (
         _np is not None
         and types
@@ -129,12 +139,26 @@ def _encode_items(items) -> Tuple[Optional[object], bool]:
     ):
         # numpy scalars smuggled in a plain list: replay as exact ints
         # (== and hash-equivalent, so transcripts are unaffected).
-        return _encode_array([int(v) for v in items]), False
+        return encode_int_array([int(v) for v in items]), False
     if types <= _SCALAR_TYPES:
         return items, False
     return [
         v if type(v) in _SCALAR_TYPES else encode_value(v) for v in items
     ], True
+
+
+def decode_items(payload, coded: bool = False) -> Optional[list]:
+    """Inverse of :func:`encode_items`; items compare and hash exactly."""
+    if payload is None:
+        return None
+    if isinstance(payload, dict):
+        return decode_int_array(payload)
+    if coded:
+        return [
+            decode_value(v) if isinstance(v, (dict, list)) else v
+            for v in payload
+        ]
+    return payload
 
 
 def _peek_seq(line: bytes) -> Optional[int]:
@@ -309,9 +333,9 @@ class WriteAheadLog:
         """Log one ingested batch ahead of applying it; returns its seq."""
         if hasattr(items, "tolist"):  # numpy array
             items = items.tolist()
-        payload, coded = _encode_items(items)
+        payload, coded = encode_items(items)
         return self._append(
-            [REC_BATCH, -1, _encode_array(site_ids), payload, coded]
+            [REC_BATCH, -1, encode_int_array(site_ids), payload, coded]
         )
 
     def append_register(self, name: str, scheme_state, seed: int,
@@ -359,17 +383,12 @@ class WriteAheadLog:
                         continue
                     if record[0] == REC_BATCH:
                         _, seq, site_ids, payload, coded = record
-                        site_ids = _decode_array(site_ids)
-                        if payload is not None:
-                            payload = _decode_array(payload)
-                            if coded:
-                                payload = [
-                                    decode_value(v)
-                                    if isinstance(v, (dict, list))
-                                    else v
-                                    for v in payload
-                                ]
-                        yield [REC_BATCH, seq, site_ids, payload]
+                        yield [
+                            REC_BATCH,
+                            seq,
+                            decode_int_array(site_ids),
+                            decode_items(payload, coded),
+                        ]
                     else:
                         yield record
 

@@ -16,6 +16,7 @@ from .rng import coin, derive_rng, derive_seed, geometric_failures, trailing_lev
 from .scheme import TrackingScheme
 from .simulation import Simulation
 from .site import Site
+from .trace import TranscriptRecorder
 
 __all__ = [
     "Coordinator",
@@ -35,6 +36,7 @@ __all__ = [
     "geometric_failures",
     "trailing_level",
     "TrackingScheme",
+    "TranscriptRecorder",
     "Simulation",
     "Site",
 ]

@@ -20,7 +20,7 @@ import random
 
 from ..persistence.codec import PersistableState
 from .metrics import CommStats
-from .protocol import Message
+from .protocol import BROADCAST, DOWNLINK, UPLINK, Message
 
 __all__ = ["Network", "OneWayViolation"]
 
@@ -43,9 +43,16 @@ class Network(PersistableState):
     identical accounting and identical fault-injection decisions.
     """
 
-    #: wiring and mirrors are rebuilt by bind()/attach_mirror(); the
-    #: delivery depth is always 0 between batches (snapshot points)
-    _persist_transient_ = ("_coordinator", "_sites", "_mirrors", "_depth")
+    #: wiring, mirrors and tracers are rebuilt by bind()/attach_mirror()/
+    #: set_tracer(); the delivery depth is always 0 between batches
+    #: (snapshot points)
+    _persist_transient_ = (
+        "_coordinator",
+        "_sites",
+        "_mirrors",
+        "_depth",
+        "_tracer",
+    )
 
     def __init__(
         self,
@@ -68,8 +75,21 @@ class Network(PersistableState):
         self._coordinator = None
         self._sites = {}
         self._depth = 0
+        self._tracer = None
 
     # -- wiring ----------------------------------------------------------
+
+    def set_tracer(self, tracer) -> None:
+        """Observe every send: ``tracer(direction, site_id, message)``.
+
+        ``direction`` is :data:`~repro.runtime.protocol.UPLINK`,
+        :data:`~repro.runtime.protocol.DOWNLINK` or
+        :data:`~repro.runtime.protocol.BROADCAST` (``site_id`` is None
+        for broadcasts).  Uplinks are traced before the loss knob rolls,
+        matching the ledger (the sender paid for the send either way).
+        One tracer per network; pass None to detach.
+        """
+        self._tracer = tracer
 
     def attach_mirror(self, stats: CommStats) -> None:
         """Mirror every charge into an extra ledger (multiplexing hook).
@@ -112,6 +132,8 @@ class Network(PersistableState):
         for mirror in self._mirrors:
             mirror.uplink_messages += 1
             mirror.uplink_words += words
+        if self._tracer is not None:
+            self._tracer(UPLINK, site_id, message)
         if (
             self.uplink_drop_rate > 0.0
             and self._drop_rng.random() < self.uplink_drop_rate
@@ -134,6 +156,8 @@ class Network(PersistableState):
         self.stats.record_downlink(message.words)
         for mirror in self._mirrors:
             mirror.record_downlink(message.words)
+        if self._tracer is not None:
+            self._tracer(DOWNLINK, site_id, message)
         self._enter()
         try:
             self._sites[site_id].on_message(message)
@@ -147,6 +171,8 @@ class Network(PersistableState):
         self.stats.record_broadcast(message.words, self.num_sites)
         for mirror in self._mirrors:
             mirror.record_broadcast(message.words, self.num_sites)
+        if self._tracer is not None:
+            self._tracer(BROADCAST, None, message)
         self._enter()
         try:
             for site_id in sorted(self._sites):

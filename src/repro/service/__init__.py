@@ -22,16 +22,22 @@ state, and ``TrackingService.restore(dir)`` rebuilds a crashed service
 transcript-identically (see :mod:`repro.persistence`).
 """
 
+from .async_ingest import AsyncBatchIngestor, IngestorClosedError
 from .engine import BatchIngestEngine
 from .errors import DuplicateJobError, ServiceError, UnknownJobError
 from .job import TrackingJob
+from .jobspec import SCHEMES, parse_job_spec
 from .service import TrackingService
 
 __all__ = [
+    "AsyncBatchIngestor",
     "BatchIngestEngine",
     "DuplicateJobError",
+    "IngestorClosedError",
+    "SCHEMES",
     "ServiceError",
     "TrackingJob",
     "TrackingService",
     "UnknownJobError",
+    "parse_job_spec",
 ]

@@ -1,0 +1,211 @@
+"""Asynchronous ingestion: a bounded queue in front of the batch engine.
+
+The HTTP gateway (and any other async frontend) cannot call
+``TrackingService.ingest`` straight from its handlers: the engine is
+CPU-bound Python, and unbounded buffering would let a fast producer
+out-run the protocol stacks until memory gives out.  The
+:class:`AsyncBatchIngestor` sits in between:
+
+* **Bounded queue, blocking backpressure.**  Admission is measured in
+  *events*, not requests.  When accepting a request would push the
+  queued-plus-in-flight total past ``capacity_events``, ``submit``
+  *waits* — it never drops and never reorders.  (A single request
+  larger than the whole capacity is admitted alone once the queue is
+  empty, so oversized batches degrade to serial, not deadlock.)
+* **Request coalescing.**  The worker drains consecutive requests into
+  one engine call (up to ``max_batch_events``), preserving arrival
+  order.  Concatenation is transcript-safe: ``Site.on_elements`` is
+  contractually equivalent to the per-event loop, so one call over the
+  concatenation equals two calls over the halves.
+* **One writer thread.**  The engine runs on an executor thread under
+  :attr:`lock`; the event loop stays responsive for queries and health
+  checks, which take the same lock for consistent reads.
+
+Every accepted request resolves to the number of events it contributed
+once its batch has been *applied* (post-WAL when durability is on), so
+an HTTP 200 from the gateway means the events are in the stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from typing import Optional
+
+__all__ = ["AsyncBatchIngestor", "IngestorClosedError"]
+
+
+class IngestorClosedError(RuntimeError):
+    """submit() was called on an ingestor that is shutting down."""
+
+
+class AsyncBatchIngestor:
+    """Bounded, coalescing, order-preserving front of a service's engine.
+
+    Parameters
+    ----------
+    service:
+        Anything with ``ingest(site_ids, items) -> int`` — normally a
+        :class:`~repro.service.TrackingService`.
+    capacity_events:
+        Queue bound, in events (queued + currently applying).
+    max_batch_events:
+        Coalescing ceiling per engine call.
+    """
+
+    def __init__(
+        self,
+        service,
+        capacity_events: int = 1 << 16,
+        max_batch_events: int = 8192,
+    ):
+        if capacity_events < 1 or max_batch_events < 1:
+            raise ValueError("capacity and batch ceilings must be positive")
+        self.service = service
+        self.capacity_events = capacity_events
+        self.max_batch_events = max_batch_events
+        #: serializes every touch of ``service`` (worker writes and any
+        #: reader wanting a consistent snapshot)
+        self.lock = threading.Lock()
+        self._cond: Optional[asyncio.Condition] = None
+        self._requests: deque = deque()
+        self._pending_events = 0
+        self._closing = False
+        self._worker: Optional[asyncio.Task] = None
+        self.stats = {
+            "submitted_requests": 0,
+            "ingested_events": 0,
+            "engine_calls": 0,
+            "coalesced_requests": 0,
+            "max_queued_events": 0,
+            "backpressure_waits": 0,
+        }
+
+    async def start(self) -> "AsyncBatchIngestor":
+        """Bind to the running loop and start the drain worker."""
+        if self._worker is not None:
+            raise RuntimeError("ingestor already started")
+        self._cond = asyncio.Condition()
+        self._worker = asyncio.ensure_future(self._drain())
+        return self
+
+    @property
+    def queued_events(self) -> int:
+        """Events admitted but not yet applied (the backpressure gauge)."""
+        return self._pending_events
+
+    # -- producer side -----------------------------------------------------
+
+    async def submit(self, site_ids, items=None) -> int:
+        """Admit one ordered batch; resolves once it has been applied.
+
+        Blocks (asynchronously) while the queue is at capacity — the
+        caller slows down to the engine's pace; nothing is ever dropped.
+        Returns the number of events ingested for this request.
+        """
+        if self._cond is None:
+            raise RuntimeError("ingestor not started")
+        n = len(site_ids)
+        if items is not None and len(items) != n:
+            raise ValueError(
+                f"site_ids and items length mismatch: {n} vs {len(items)}"
+            )
+        future = asyncio.get_running_loop().create_future()
+        async with self._cond:
+            if self._closing:
+                raise IngestorClosedError("ingestor is shutting down")
+            while (
+                self._pending_events > 0
+                and self._pending_events + n > self.capacity_events
+            ):
+                self.stats["backpressure_waits"] += 1
+                await self._cond.wait()
+                if self._closing:
+                    raise IngestorClosedError("ingestor is shutting down")
+            self._requests.append((site_ids, items, n, future))
+            self._pending_events += n
+            self.stats["submitted_requests"] += 1
+            if self._pending_events > self.stats["max_queued_events"]:
+                self.stats["max_queued_events"] = self._pending_events
+            self._cond.notify_all()
+        return await future
+
+    # -- consumer side -----------------------------------------------------
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            async with self._cond:
+                while not self._requests:
+                    if self._closing:
+                        return
+                    await self._cond.wait()
+                batch = [self._requests.popleft()]
+                total = batch[0][2]
+                while (
+                    self._requests
+                    and total + self._requests[0][2] <= self.max_batch_events
+                ):
+                    request = self._requests.popleft()
+                    batch.append(request)
+                    total += request[2]
+            site_ids, items = _concatenate(batch)
+            try:
+                await loop.run_in_executor(None, self._apply, site_ids, items)
+            except Exception as exc:
+                for _, _, _, future in batch:
+                    if not future.cancelled():
+                        future.set_exception(exc)
+            else:
+                self.stats["engine_calls"] += 1
+                self.stats["coalesced_requests"] += len(batch) - 1
+                self.stats["ingested_events"] += total
+                for _, _, n, future in batch:
+                    if not future.cancelled():
+                        future.set_result(n)
+            async with self._cond:
+                self._pending_events -= total
+                self._cond.notify_all()
+
+    def _apply(self, site_ids, items) -> int:
+        with self.lock:
+            return self.service.ingest(site_ids, items)
+
+    # -- shutdown ----------------------------------------------------------
+
+    async def close(self) -> None:
+        """Finish everything already admitted, then stop the worker."""
+        if self._cond is None:
+            return
+        async with self._cond:
+            self._closing = True
+            self._cond.notify_all()
+        if self._worker is not None:
+            await self._worker
+            self._worker = None
+
+
+def _concatenate(batch):
+    """Merge admitted requests into one ordered engine batch.
+
+    ``None`` item carriers (count-style unit streams) stay ``None`` when
+    every request agrees; otherwise they are materialized as unit items
+    so mixed submissions concatenate correctly.
+    """
+    if len(batch) == 1:
+        return batch[0][0], batch[0][1]
+    site_ids: list = []
+    for ids, _, _, _ in batch:
+        site_ids.extend(ids.tolist() if hasattr(ids, "tolist") else ids)
+    if all(items is None for _, items, _, _ in batch):
+        return site_ids, None
+    merged: list = []
+    for _, items, n, _ in batch:
+        if items is None:
+            merged.extend([1] * n)
+        else:
+            merged.extend(
+                items.tolist() if hasattr(items, "tolist") else items
+            )
+    return site_ids, merged

@@ -13,7 +13,13 @@ from typing import Optional
 
 from ..runtime import CommStats, Network, SpaceStats, TrackingScheme
 
-__all__ = ["TrackingJob", "DEFAULT_QUERY_METHODS"]
+__all__ = [
+    "TrackingJob",
+    "DEFAULT_QUERY_METHODS",
+    "query_methods",
+    "find_default_query",
+    "resolve_query",
+]
 
 #: no-argument coordinator queries tried, in order, when ``query()`` is
 #: called without an explicit method name.
@@ -31,6 +37,54 @@ _NON_QUERY_METHODS = frozenset(
         "load_state_dict",
     }
 )
+
+
+def query_methods(coordinator) -> list:
+    """Public query methods a coordinator exposes, sorted."""
+    return sorted(
+        name
+        for name in dir(coordinator)
+        if not name.startswith("_")
+        and name not in _NON_QUERY_METHODS
+        and callable(getattr(coordinator, name))
+    )
+
+
+def find_default_query(coordinator):
+    """The first available no-argument default query, or None."""
+    for candidate in DEFAULT_QUERY_METHODS:
+        fn = getattr(coordinator, candidate, None)
+        if callable(fn):
+            return fn
+    return None
+
+
+def resolve_query(coordinator, method):
+    """Resolve a query name on a coordinator to a bound callable.
+
+    ``method=None`` picks the default query
+    (:data:`DEFAULT_QUERY_METHODS`).  Mutating/transport/persistence
+    methods and anything underscored are refused.  Shared by
+    :class:`TrackingJob` and the distributed runtime's coordinator hub,
+    so the query surface is identical however the protocol is hosted.
+    """
+    if method is None:
+        fn = find_default_query(coordinator)
+        if fn is None:
+            raise AttributeError(
+                f"{type(coordinator).__qualname__} has no default query; "
+                f"pass one of {query_methods(coordinator)!r} explicitly"
+            )
+        return fn
+    if method.startswith("_") or method in _NON_QUERY_METHODS:
+        raise AttributeError(f"{method!r} is not a public query method")
+    fn = getattr(coordinator, method, None)
+    if not callable(fn):
+        raise AttributeError(
+            f"{type(coordinator).__qualname__} has no query method "
+            f"{method!r}; available: {query_methods(coordinator)!r}"
+        )
+    return fn
 
 
 class TrackingJob:
@@ -99,42 +153,16 @@ class TrackingJob:
         ``method`` names any public coordinator method, e.g.
         ``job.query("estimate_rank", 500)`` or ``job.query("top_items", 10)``.
         """
-        if method is None:
-            fn = self._find_default_query()
-            if fn is None:
-                raise AttributeError(
-                    f"job {self.name!r} ({self.scheme.name}) has no default "
-                    f"query; pass one of {self._query_methods()!r} explicitly"
-                )
-            return fn()
-        if method.startswith("_") or method in _NON_QUERY_METHODS:
-            raise AttributeError(f"{method!r} is not a public query method")
-        fn = getattr(self.coordinator, method, None)
-        if not callable(fn):
+        try:
+            fn = resolve_query(self.coordinator, method)
+        except AttributeError as exc:
             raise AttributeError(
-                f"job {self.name!r} ({self.scheme.name}) has no query "
-                f"method {method!r}; available: {self._query_methods()!r}"
-            )
+                f"job {self.name!r} ({self.scheme.name}): {exc}"
+            ) from None
         return fn(*args, **kwargs)
 
-    def _query_methods(self) -> list:
-        return sorted(
-            name
-            for name in dir(self.coordinator)
-            if not name.startswith("_")
-            and name not in _NON_QUERY_METHODS
-            and callable(getattr(self.coordinator, name))
-        )
-
-    def _find_default_query(self):
-        for candidate in DEFAULT_QUERY_METHODS:
-            fn = getattr(self.coordinator, candidate, None)
-            if callable(fn):
-                return fn
-        return None
-
     def _default_estimate(self):
-        fn = self._find_default_query()
+        fn = find_default_query(self.coordinator)
         return fn() if fn is not None else None
 
     # -- persistence -------------------------------------------------------

@@ -1,0 +1,124 @@
+"""Job specifications: ``NAME=PROBLEM/SCHEME[:EPS]`` -> scheme instances.
+
+The one grammar for naming tracking jobs everywhere a job can be
+created — the ``repro serve`` CLI flags, the gateway's
+``POST /v1/jobs`` body, and programmatic callers.  ``PROBLEM`` is
+``count``/``frequency``/``rank`` or ``window:W`` (a sliding window of
+``W`` time units, scheme ``count``).
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    Cormode05RankScheme,
+    DeterministicCountScheme,
+    DeterministicFrequencyScheme,
+    DeterministicRankScheme,
+    DistributedSamplingScheme,
+    RandomizedCountScheme,
+    RandomizedFrequencyScheme,
+    RandomizedRankScheme,
+    WindowedCountScheme,
+)
+
+__all__ = ["SCHEMES", "parse_job_spec", "parse_query_literal"]
+
+
+def parse_query_literal(text: str):
+    """Best-effort typed parse of a query argument.
+
+    JSON literals come back typed (``0.5`` -> float, ``[1,2]`` -> list);
+    bare words pass through as strings.  The one grammar for query
+    arguments arriving as text — the gateway's ``?arg=`` parameters and
+    the ``repro query`` CLI both use it, so an argument means the same
+    thing on every path.
+    """
+    import json
+
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+SCHEMES = {
+    "count": {
+        "randomized": RandomizedCountScheme,
+        "deterministic": DeterministicCountScheme,
+        "sampling": DistributedSamplingScheme,
+    },
+    "frequency": {
+        "randomized": RandomizedFrequencyScheme,
+        "deterministic": DeterministicFrequencyScheme,
+        "sampling": DistributedSamplingScheme,
+    },
+    "rank": {
+        "randomized": RandomizedRankScheme,
+        "deterministic": DeterministicRankScheme,
+        "cormode05": Cormode05RankScheme,
+        "sampling": DistributedSamplingScheme,
+    },
+}
+
+
+def parse_job_spec(spec: str, default_eps: float):
+    """Parse ``NAME=PROBLEM/SCHEME[:EPS]`` into (name, problem, scheme).
+
+    ``PROBLEM`` is ``count``/``frequency``/``rank`` or ``window:W`` (a
+    sliding window of ``W`` time units, scheme ``count``), e.g.
+    ``lastmin=window:60000/count:0.05``.
+    """
+    name, sep, rest = spec.partition("=")
+    if not sep or not name or not rest:
+        raise ValueError(
+            f"bad job spec {spec!r}: expected NAME=PROBLEM/SCHEME[:EPS]"
+        )
+    problem_part, sep, scheme_part = rest.partition("/")
+    if not sep or not scheme_part:
+        raise ValueError(
+            f"bad job spec {spec!r}: expected NAME=PROBLEM/SCHEME[:EPS]"
+        )
+    scheme_name, sep, eps_part = scheme_part.partition(":")
+    if ":" in eps_part:
+        raise ValueError(f"bad job spec {spec!r}: too many ':' fields")
+    if sep:
+        try:
+            eps = float(eps_part)
+        except ValueError:
+            raise ValueError(
+                f"bad job spec {spec!r}: eps {eps_part!r} is not a number"
+            ) from None
+    else:
+        eps = default_eps
+
+    problem, sep, window_part = problem_part.partition(":")
+    if problem == "window":
+        if not sep:
+            raise ValueError(
+                f"bad job spec {spec!r}: window jobs need a length, "
+                "e.g. window:60000/count"
+            )
+        try:
+            window = int(window_part)
+        except ValueError:
+            raise ValueError(
+                f"bad job spec {spec!r}: window length {window_part!r} "
+                "is not an integer"
+            ) from None
+        if scheme_name != "count":
+            raise ValueError(
+                f"bad job spec {spec!r}: unknown scheme {scheme_name!r} "
+                "for window (choose from ['count'])"
+            )
+        return name, "window", WindowedCountScheme(window, eps)
+    if sep or problem not in SCHEMES:
+        raise ValueError(
+            f"bad job spec {spec!r}: unknown problem {problem_part!r} "
+            f"(choose from {sorted(SCHEMES) + ['window:W']})"
+        )
+    factory = SCHEMES[problem].get(scheme_name)
+    if factory is None:
+        raise ValueError(
+            f"bad job spec {spec!r}: unknown scheme {scheme_name!r} for "
+            f"{problem} (choose from {sorted(SCHEMES[problem])})"
+        )
+    return name, problem, factory(eps)

@@ -17,6 +17,11 @@ EXAMPLES = [
     ("sliding_window.py", ["Sliding-window count", "window count ~ 0"]),
     ("multi_tenant_service.py", ["Multi-tenant service", "fleet aggregate"]),
     ("crash_recovery.py", ["crash recovery", "killed-and-restarted == never died"]),
+    (
+        "distributed_cluster.py",
+        ["Distributed cluster", "byte-identical: True", "answers match the never-failed run: True"],
+    ),
+    ("load_gen.py", ["self-hosted gateway", "verified: HTTP == in-process"]),
 ]
 
 

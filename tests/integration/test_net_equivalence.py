@@ -1,0 +1,288 @@
+"""The distributed runtime is transcript-identical to the simulator.
+
+Acceptance oracle for the real runtime: for every scheme family, one
+seeded run driven through actors (loopback, and TCP for a
+representative case) must produce a message transcript *byte-identical*
+to the per-event in-process :class:`Simulation`, along with equal
+communication ledgers and query answers.  On top of that, the
+checkpoint-backed failure harness: killing a site actor mid-stream and
+restoring the cluster from its snapshot + WAL leaves final query
+answers (and ledgers) exactly as if nothing ever failed.
+"""
+
+import os
+
+import pytest
+
+from repro import (
+    Cormode05RankScheme,
+    DeterministicCountScheme,
+    DeterministicFrequencyScheme,
+    DeterministicRankScheme,
+    DistributedSamplingScheme,
+    MedianBoostedScheme,
+    RandomizedCountScheme,
+    RandomizedFrequencyScheme,
+    RandomizedRankScheme,
+    Simulation,
+    WindowedCountScheme,
+)
+from repro.net import Cluster, SiteUnavailableError, restore_cluster
+from repro.runtime import TranscriptRecorder
+from repro.service.job import resolve_query
+from repro.workloads import (
+    random_permutation_values,
+    timestamped,
+    uniform_sites,
+    with_items,
+    zipf_items,
+)
+
+K = 4
+N = 3000
+SEED = 42
+
+
+def count_stream(n=N, k=K, seed=SEED):
+    return list(uniform_sites(n, k, seed=seed))
+
+
+def frequency_stream(n=N, k=K, seed=SEED):
+    return list(
+        with_items(
+            uniform_sites(n, k, seed=seed),
+            zipf_items(max(10, n // 50), alpha=1.2, seed=seed + 1),
+        )
+    )
+
+
+def rank_stream(n=N, k=K, seed=SEED):
+    sites = [s for s, _ in uniform_sites(n, k, seed=seed)]
+    return list(zip(sites, random_permutation_values(n, seed=seed + 2)))
+
+
+def window_stream(n=N, k=K, seed=SEED):
+    return list(
+        timestamped(uniform_sites(n, k, seed=seed), seed=seed, period=500.0)
+    )
+
+
+CASES = [
+    pytest.param(
+        lambda: RandomizedCountScheme(0.05),
+        count_stream,
+        [(None,), ("estimate",)],
+        id="count-randomized",
+    ),
+    pytest.param(
+        lambda: DeterministicCountScheme(0.05),
+        count_stream,
+        [("estimate",)],
+        id="count-deterministic",
+    ),
+    pytest.param(
+        lambda: RandomizedFrequencyScheme(0.1),
+        frequency_stream,
+        [("top_items", 3), ("estimate_frequency", 1)],
+        id="frequency-randomized",
+    ),
+    pytest.param(
+        lambda: DeterministicFrequencyScheme(0.1),
+        frequency_stream,
+        [("top_items", 3), ("estimate_frequency", 1)],
+        id="frequency-deterministic",
+    ),
+    pytest.param(
+        lambda: RandomizedRankScheme(0.15),
+        rank_stream,
+        [("estimate_rank", N // 2), ("estimate_total",)],
+        id="rank-randomized",
+    ),
+    pytest.param(
+        lambda: DeterministicRankScheme(0.15),
+        rank_stream,
+        [("estimate_rank", N // 2)],
+        id="rank-deterministic",
+    ),
+    pytest.param(
+        lambda: Cormode05RankScheme(0.15),
+        rank_stream,
+        [("estimate_rank", N // 2)],
+        id="rank-cormode05",
+    ),
+    pytest.param(
+        lambda: DistributedSamplingScheme(0.2),
+        count_stream,
+        [("estimate",), ("estimate_rank", K // 2)],
+        id="sampling-level",
+    ),
+    pytest.param(
+        lambda: MedianBoostedScheme(RandomizedCountScheme(0.1), 3),
+        count_stream,
+        [("estimate",)],
+        id="count-boosted-median3",
+    ),
+    pytest.param(
+        lambda: WindowedCountScheme(200, 0.2),
+        window_stream,
+        [("estimate",)],
+        id="window-count",
+    ),
+]
+
+
+def simulate(scheme, stream, seed=SEED, k=K):
+    """Per-event reference run with an attached transcript recorder."""
+    sim = Simulation(scheme, k, seed=seed)
+    recorder = TranscriptRecorder().attach(sim.network)
+    sim.run(stream)
+    return sim, recorder
+
+
+class TestLoopbackEquivalence:
+    @pytest.mark.parametrize("make_scheme,make_stream,queries", CASES)
+    def test_transcript_and_answers_identical(
+        self, make_scheme, make_stream, queries
+    ):
+        stream = make_stream()
+        sim, recorder = simulate(make_scheme(), stream)
+        with Cluster(make_scheme(), K, seed=SEED) as cluster:
+            cluster.run(stream, batch_size=512)
+            assert cluster.transcript_bytes() == recorder.to_bytes()
+            assert cluster.comm.snapshot() == sim.comm.snapshot()
+            assert cluster.elements_processed == sim.elements_processed
+            sim_answers = [
+                resolve_query(sim.coordinator, q[0])(*q[1:]) for q in queries
+            ]
+            net_answers = [cluster.query(*q) for q in queries]
+            assert net_answers == sim_answers
+
+
+class TestTcpEquivalence:
+    def test_tcp_transcript_byte_identical(self):
+        """The acceptance case: a scheme run over real TCP framing."""
+        stream = count_stream(n=4000)
+        sim, recorder = simulate(RandomizedCountScheme(0.05), stream)
+        with Cluster(
+            RandomizedCountScheme(0.05), K, seed=SEED, transport="tcp"
+        ) as cluster:
+            cluster.run(stream, batch_size=1024)
+            assert cluster.transcript_bytes() == recorder.to_bytes()
+            assert cluster.comm.snapshot() == sim.comm.snapshot()
+            assert cluster.query() == sim.coordinator.estimate()
+
+    def test_tcp_rank_summaries_survive_framing(self):
+        """Rank ships nested summary payloads; they must round-trip."""
+        stream = rank_stream(n=2000)
+        sim, recorder = simulate(RandomizedRankScheme(0.2), stream)
+        with Cluster(
+            RandomizedRankScheme(0.2), K, seed=SEED, transport="tcp"
+        ) as cluster:
+            cluster.run(stream, batch_size=512)
+            assert cluster.transcript_bytes() == recorder.to_bytes()
+            assert cluster.query("estimate_rank", 1000) == (
+                sim.coordinator.estimate_rank(1000)
+            )
+
+
+class TestFailureInjection:
+    @pytest.mark.parametrize(
+        "make_scheme,query",
+        [
+            (lambda: RandomizedCountScheme(0.05), ("estimate",)),
+            (lambda: RandomizedFrequencyScheme(0.1), ("top_items", 3)),
+        ],
+        ids=["count", "frequency"],
+    )
+    def test_kill_and_restore_preserves_answers(
+        self, tmp_path, make_scheme, query
+    ):
+        stream = (
+            count_stream() if query[0] == "estimate" else frequency_stream()
+        )
+        third = len(stream) // 3
+        sim, _ = simulate(make_scheme(), stream)
+        reference = getattr(sim.coordinator, query[0])(*query[1:])
+
+        ckpt = os.path.join(str(tmp_path), "cluster-ckpt")
+        cluster = Cluster(make_scheme(), K, seed=SEED, checkpoint_dir=ckpt)
+        try:
+            cluster.run(stream[:third], batch_size=512)
+            cluster.checkpoint()
+            # Post-checkpoint ingestion lives only in the WAL tail.
+            cluster.run(stream[third : 2 * third], batch_size=512)
+            cluster.kill_site(1)
+            with pytest.raises(SiteUnavailableError):
+                cluster.run(stream[2 * third :], batch_size=512)
+        finally:
+            cluster.close()
+
+        restored = Cluster.restore(ckpt)
+        try:
+            # The failed batch was rolled back from the WAL; re-send the
+            # remainder of the stream after recovery.
+            restored.run(stream[2 * third :], batch_size=512)
+            assert restored.query(*query) == reference
+            assert restored.comm.snapshot() == sim.comm.snapshot()
+            assert restored.elements_processed == len(stream)
+        finally:
+            restored.close()
+
+    def test_dead_site_blocks_snapshots_too(self, tmp_path):
+        ckpt = os.path.join(str(tmp_path), "ckpt")
+        cluster = Cluster(
+            DeterministicCountScheme(0.1), K, seed=1, checkpoint_dir=ckpt
+        )
+        try:
+            cluster.run(count_stream(n=400, seed=1), batch_size=128)
+            cluster.kill_site(0)
+            with pytest.raises(SiteUnavailableError):
+                cluster.checkpoint()
+        finally:
+            cluster.close()
+
+    def test_restore_without_failure_continues_transcript(self, tmp_path):
+        """Close cleanly mid-stream, restore, finish: same answers."""
+        stream = count_stream()
+        half = len(stream) // 2
+        sim, _ = simulate(RandomizedCountScheme(0.05), stream)
+
+        ckpt = os.path.join(str(tmp_path), "ckpt")
+        cluster = Cluster(
+            RandomizedCountScheme(0.05), K, seed=SEED, checkpoint_dir=ckpt
+        )
+        cluster.run(stream[:half], batch_size=512)
+        cluster.close()  # snapshot is stale; the WAL carries the rest
+
+        restored = Cluster.restore(ckpt)
+        try:
+            restored.run(stream[half:], batch_size=512)
+            assert restored.query() == sim.coordinator.estimate()
+            assert restored.comm.snapshot() == sim.comm.snapshot()
+        finally:
+            restored.close()
+
+
+class TestCheckpointHygiene:
+    def test_fresh_dir_required(self, tmp_path):
+        ckpt = os.path.join(str(tmp_path), "ckpt")
+        cluster = Cluster(
+            DeterministicCountScheme(0.1), 2, seed=0, checkpoint_dir=ckpt
+        )
+        cluster.close()
+        with pytest.raises(ValueError, match="already holds"):
+            Cluster(DeterministicCountScheme(0.1), 2, seed=0, checkpoint_dir=ckpt)
+
+    def test_restore_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            restore_cluster(os.path.join(str(tmp_path), "nothing"))
+
+    def test_service_checkpoint_rejected(self, tmp_path):
+        from repro import TrackingService
+
+        directory = os.path.join(str(tmp_path), "svc")
+        service = TrackingService(num_sites=2, seed=0, checkpoint_dir=directory)
+        service.checkpoint()
+        service.close()
+        with pytest.raises(ValueError, match="tracking-service checkpoint"):
+            restore_cluster(directory)

@@ -1,0 +1,217 @@
+"""AsyncBatchIngestor: backpressure blocks (never drops), coalescing, order."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import RandomizedCountScheme, TrackingService
+from repro.service import AsyncBatchIngestor, IngestorClosedError
+
+
+class RecordingService:
+    """Duck-typed service capturing every engine call."""
+
+    def __init__(self):
+        self.batches = []
+        self.elements_processed = 0
+        self.gate = threading.Event()
+        self.gate.set()
+        self.entered = threading.Event()
+
+    def ingest(self, site_ids, items=None):
+        self.entered.set()
+        self.gate.wait(timeout=30)
+        self.batches.append((list(site_ids), None if items is None else list(items)))
+        self.elements_processed += len(site_ids)
+        return len(site_ids)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBackpressure:
+    def test_full_queue_blocks_then_completes_without_drops(self):
+        async def scenario():
+            service = RecordingService()
+            service.gate.clear()  # stall the engine: the queue must fill
+            ingestor = await AsyncBatchIngestor(
+                service, capacity_events=100, max_batch_events=50
+            ).start()
+            first = asyncio.ensure_future(ingestor.submit([0] * 60))
+            # Wait for the worker to pick the first batch up and stall.
+            await asyncio.get_running_loop().run_in_executor(
+                None, service.entered.wait, 10
+            )
+            second = asyncio.ensure_future(ingestor.submit([1] * 60))
+            # 60 in flight + 60 > 100: the second submit must be blocked.
+            await asyncio.sleep(0.1)
+            assert not second.done()
+            assert ingestor.stats["backpressure_waits"] >= 1
+            service.gate.set()  # unblock the engine; everything drains
+            assert await first == 60
+            assert await second == 60
+            await ingestor.close()
+            ingested = [sid for ids, _ in service.batches for sid in ids]
+            assert ingested == [0] * 60 + [1] * 60  # order kept, no drops
+            return ingestor
+
+        ingestor = run(scenario())
+        assert ingestor.stats["ingested_events"] == 120
+
+    def test_oversized_single_batch_admitted_alone(self):
+        async def scenario():
+            service = RecordingService()
+            ingestor = await AsyncBatchIngestor(
+                service, capacity_events=10, max_batch_events=10
+            ).start()
+            # Larger than the whole capacity: admitted when queue empty,
+            # so oversized producers serialize instead of deadlocking.
+            assert await ingestor.submit([0] * 50) == 50
+            await ingestor.close()
+
+        run(scenario())
+
+    def test_queue_gauge_counts_events(self):
+        async def scenario():
+            service = RecordingService()
+            service.gate.clear()
+            ingestor = await AsyncBatchIngestor(
+                service, capacity_events=1000
+            ).start()
+            task = asyncio.ensure_future(ingestor.submit([0] * 30))
+            await asyncio.sleep(0.05)
+            assert ingestor.queued_events == 30
+            service.gate.set()
+            await task
+            await ingestor.close()
+            assert ingestor.queued_events == 0
+
+        run(scenario())
+
+
+class TestCoalescing:
+    def test_requests_merge_into_one_engine_call(self):
+        async def scenario():
+            service = RecordingService()
+            service.gate.clear()  # hold the worker so requests pile up
+            ingestor = await AsyncBatchIngestor(
+                service, capacity_events=10_000, max_batch_events=10_000
+            ).start()
+            blocker = asyncio.ensure_future(ingestor.submit([9]))
+            await asyncio.get_running_loop().run_in_executor(
+                None, service.entered.wait, 10
+            )
+            tasks = [
+                asyncio.ensure_future(ingestor.submit([i] * 10, [i] * 10))
+                for i in range(5)
+            ]
+            await asyncio.sleep(0.1)
+            service.gate.set()
+            assert await blocker == 1
+            assert [await t for t in tasks] == [10] * 5
+            await ingestor.close()
+            # first call is the blocker alone; the five queued requests
+            # coalesce into one engine call, in submission order
+            assert len(service.batches) == 2
+            merged_ids, merged_items = service.batches[1]
+            assert merged_ids == [i for i in range(5) for _ in range(10)]
+            assert merged_items == merged_ids
+            return ingestor
+
+        ingestor = run(scenario())
+        assert ingestor.stats["coalesced_requests"] == 4
+
+    def test_mixed_unit_and_valued_items_concatenate(self):
+        async def scenario():
+            service = RecordingService()
+            service.gate.clear()
+            ingestor = await AsyncBatchIngestor(service).start()
+            blocker = asyncio.ensure_future(ingestor.submit([7]))
+            await asyncio.get_running_loop().run_in_executor(
+                None, service.entered.wait, 10
+            )
+            a = asyncio.ensure_future(ingestor.submit([0, 0]))  # unit items
+            b = asyncio.ensure_future(ingestor.submit([1, 1], [5, 6]))
+            await asyncio.sleep(0.1)
+            service.gate.set()
+            await asyncio.gather(blocker, a, b)
+            await ingestor.close()
+            _, merged_items = service.batches[1]
+            assert merged_items == [1, 1, 5, 6]
+
+        run(scenario())
+
+
+class TestLifecycleAndErrors:
+    def test_engine_error_propagates_to_submitter(self):
+        class FailingService:
+            elements_processed = 0
+
+            def ingest(self, site_ids, items=None):
+                raise ValueError("poisoned batch")
+
+        async def scenario():
+            ingestor = await AsyncBatchIngestor(FailingService()).start()
+            with pytest.raises(ValueError, match="poisoned"):
+                await ingestor.submit([0, 1])
+            await ingestor.close()
+
+        run(scenario())
+
+    def test_close_drains_admitted_work(self):
+        async def scenario():
+            service = RecordingService()
+            ingestor = await AsyncBatchIngestor(service).start()
+            tasks = [
+                asyncio.ensure_future(ingestor.submit([i] * 5))
+                for i in range(4)
+            ]
+            while ingestor.stats["submitted_requests"] < 4:
+                await asyncio.sleep(0.01)
+            await ingestor.close()
+            assert [await t for t in tasks] == [5] * 4
+            with pytest.raises(IngestorClosedError):
+                await ingestor.submit([0])
+
+        run(scenario())
+
+    def test_length_mismatch_rejected(self):
+        async def scenario():
+            ingestor = await AsyncBatchIngestor(RecordingService()).start()
+            with pytest.raises(ValueError, match="mismatch"):
+                await ingestor.submit([0, 1], [1])
+            await ingestor.close()
+
+        run(scenario())
+
+    def test_real_service_round_trip(self):
+        async def scenario():
+            service = TrackingService(num_sites=4, seed=2)
+            service.register("total", RandomizedCountScheme(0.1))
+            ingestor = await AsyncBatchIngestor(service).start()
+            total = sum(
+                await asyncio.gather(
+                    *(ingestor.submit([i % 4] * 100) for i in range(8))
+                )
+            )
+            await ingestor.close()
+            assert total == 800
+            assert service.elements_processed == 800
+            assert service.query("total") > 0
+            return service
+
+        service = run(scenario())
+
+        # The same stream ingested directly must agree exactly: the
+        # ingest queue may only batch, never reorder.
+        direct = TrackingService(num_sites=4, seed=2)
+        direct.register("total", RandomizedCountScheme(0.1))
+        for i in range(8):
+            direct.ingest([i % 4] * 100)
+        assert service.query("total") == direct.query("total")
+        assert (
+            service.job("total").comm.snapshot()
+            == direct.job("total").comm.snapshot()
+        )

@@ -1,0 +1,129 @@
+"""Frame codec: partial reads, torn frames, oversized rejection, wire codec."""
+
+import pytest
+
+from repro.net.frames import (
+    FrameDecoder,
+    FrameError,
+    FrameTooLargeError,
+    TornFrameError,
+    decode_json,
+    encode_frame,
+    encode_json_frame,
+)
+from repro.net.wire import (
+    decode_chunk,
+    decode_message,
+    encode_chunk,
+    encode_message,
+)
+from repro.runtime import Message
+
+
+class TestFrameRoundTrip:
+    def test_single_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"hello")) == [b"hello"]
+        assert decoder.pending_bytes == 0
+
+    def test_empty_payload(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"")) == [b""]
+
+    def test_many_frames_in_one_chunk(self):
+        payloads = [b"a", b"bb" * 100, b"", b"xyz"]
+        blob = b"".join(encode_frame(p) for p in payloads)
+        assert FrameDecoder().feed(blob) == payloads
+
+    def test_byte_by_byte_feed(self):
+        payloads = [b"alpha", b"beta-gamma", b""]
+        blob = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(blob)):
+            out.extend(decoder.feed(blob[i : i + 1]))
+        assert out == payloads
+        decoder.finish()  # clean boundary
+
+    def test_split_inside_header(self):
+        frame = encode_frame(b"payload")
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:2]) == []
+        assert decoder.feed(frame[2:]) == [b"payload"]
+
+    def test_split_inside_body(self):
+        frame = encode_frame(b"0123456789")
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:7]) == []
+        assert decoder.pending_bytes > 0
+        assert decoder.feed(frame[7:]) == [b"0123456789"]
+
+
+class TestFrameFailures:
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(FrameTooLargeError):
+            encode_frame(b"x" * 11, max_frame=10)
+
+    def test_oversized_decode_rejected_before_buffering(self):
+        frame = encode_frame(b"x" * 100)
+        decoder = FrameDecoder(max_frame=10)
+        # The header alone is enough to refuse; the body never arrives.
+        with pytest.raises(FrameTooLargeError):
+            decoder.feed(frame[:4])
+
+    def test_torn_frame_mid_body(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b"abcdef")[:6])
+        with pytest.raises(TornFrameError):
+            decoder.finish()
+
+    def test_torn_frame_mid_header(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b"abcdef")[:2])
+        with pytest.raises(TornFrameError):
+            decoder.finish()
+
+    def test_clean_eof_passes(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b"whole"))
+        decoder.finish()
+
+    def test_malformed_json_payload(self):
+        with pytest.raises(FrameError):
+            decode_json(b"{not json")
+
+
+class TestJsonFrames:
+    def test_round_trip(self):
+        obj = {"t": "run", "items": [1, 2, 3], "nested": {"a": None}}
+        frames = FrameDecoder().feed(encode_json_frame(obj))
+        assert [decode_json(f) for f in frames] == [obj]
+
+
+class TestWireCodec:
+    def test_message_payload_tuples_survive(self):
+        message = Message("summary", (3, 0, (1, 2), [4.5, "x"]), words=7)
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+        assert isinstance(decoded.payload, tuple)
+        assert isinstance(decoded.payload[2], tuple)
+
+    def test_message_none_payload(self):
+        assert decode_message(encode_message(Message("ping"))) == Message("ping")
+
+    def test_chunk_int_fast_path(self):
+        chunk = list(range(1000))
+        encoded = encode_chunk(chunk)
+        # all-int chunks take the WAL's packed-array representation
+        assert isinstance(encoded["items"], (dict, list))
+        assert decode_chunk(encoded) == chunk
+
+    def test_chunk_rich_items(self):
+        chunk = [(0, 5), (1, 7), "label", 2.5]
+        decoded = decode_chunk(encode_chunk(chunk))
+        assert decoded == chunk
+        assert isinstance(decoded[0], tuple)
+
+    def test_unit_chunk(self):
+        chunk = [1] * 64
+        assert decode_chunk(encode_chunk(chunk)) == chunk

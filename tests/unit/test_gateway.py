@@ -1,0 +1,251 @@
+"""HTTP gateway endpoints, error mapping, and the `repro query` CLI."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import TrackingService
+from repro.cli import main as cli_main
+from repro.net.gateway import GatewayThread, jsonable
+
+
+@pytest.fixture()
+def gateway():
+    service = TrackingService(num_sites=8, seed=5)
+    with GatewayThread(service) as gw:
+        yield gw
+    service.close()
+
+
+def get(gw, path):
+    with urllib.request.urlopen(gw.url + path, timeout=30) as response:
+        return response.status, json.load(response)
+
+
+def request(gw, method, path, obj=None):
+    data = None if obj is None else json.dumps(obj).encode()
+    req = urllib.request.Request(
+        gw.url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+class TestEndpoints:
+    def test_healthz(self, gateway):
+        status, body = get(gateway, "/healthz")
+        assert status == 200
+        assert body["ok"] is True
+        assert body["queue"]["capacity_events"] > 0
+
+    def test_register_ingest_query_status(self, gateway):
+        status, body = request(
+            gateway,
+            "POST",
+            "/v1/jobs",
+            {"name": "total", "spec": "count/randomized:0.05"},
+        )
+        assert (status, body["registered"]) == (200, "total")
+        status, body = request(
+            gateway,
+            "POST",
+            "/v1/jobs",
+            {"name": "hh", "spec": "frequency/deterministic:0.1"},
+        )
+        assert status == 200
+
+        site_ids = [i % 8 for i in range(4000)]
+        items = [i % 5 for i in range(4000)]
+        status, body = request(
+            gateway, "POST", "/v1/ingest", {"site_ids": site_ids, "items": items}
+        )
+        assert status == 200
+        assert body["ingested"] == 4000
+
+        status, body = request(gateway, "POST", "/v1/query", {"job": "total"})
+        assert status == 200
+        assert body["result"] > 0
+
+        status, body = get(gateway, "/v1/query/hh?method=top_items&arg=2")
+        assert status == 200
+        assert len(body["result"]) == 2
+
+        status, body = get(gateway, "/v1/status")
+        assert status == 200
+        assert set(body["jobs"]) == {"total", "hh"}
+        assert body["elements"] == 4000
+
+        status, body = get(gateway, "/v1/jobs")
+        assert body["jobs"]["total"]["elements"] == 4000
+
+    def test_gateway_matches_in_process_service(self, gateway):
+        """Transcript equivalence: HTTP ingestion == direct ingestion."""
+        request(
+            gateway,
+            "POST",
+            "/v1/jobs",
+            {"name": "total", "spec": "count/randomized:0.05"},
+        )
+        batches = [
+            [(i * 7 + j) % 8 for j in range(500)] for i in range(6)
+        ]
+        for batch in batches:
+            status, _ = request(
+                gateway, "POST", "/v1/ingest", {"site_ids": batch}
+            )
+            assert status == 200
+        _, body = request(gateway, "POST", "/v1/query", {"job": "total"})
+
+        direct = TrackingService(num_sites=8, seed=5)
+        direct.register("total", __import__("repro").RandomizedCountScheme(0.05))
+        for batch in batches:
+            direct.ingest(batch)
+        assert body["result"] == direct.query("total")
+
+    def test_unregister(self, gateway):
+        request(gateway, "POST", "/v1/jobs", {"name": "x", "spec": "count/deterministic"})
+        status, body = request(gateway, "DELETE", "/v1/jobs/x")
+        assert (status, body["unregistered"]) == (200, "x")
+        status, _ = request(gateway, "POST", "/v1/query", {"job": "x"})
+        assert status == 404
+
+
+class TestErrorMapping:
+    def test_unknown_route_404(self, gateway):
+        status, body = request(gateway, "GET", "/nope")
+        assert status == 404 and "error" in body
+
+    def test_unknown_job_404(self, gateway):
+        status, _ = request(gateway, "POST", "/v1/query", {"job": "ghost"})
+        assert status == 404
+
+    def test_duplicate_job_409(self, gateway):
+        spec = {"name": "dup", "spec": "count/deterministic"}
+        assert request(gateway, "POST", "/v1/jobs", spec)[0] == 200
+        assert request(gateway, "POST", "/v1/jobs", spec)[0] == 409
+
+    def test_bad_spec_400(self, gateway):
+        status, body = request(
+            gateway, "POST", "/v1/jobs", {"name": "bad", "spec": "nope/nope"}
+        )
+        assert status == 400 and "bad job spec" in body["error"]
+
+    def test_malformed_json_400(self, gateway):
+        req = urllib.request.Request(
+            gateway.url + "/v1/ingest",
+            data=b"{oops",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_ingest_without_sites_400(self, gateway):
+        status, _ = request(gateway, "POST", "/v1/ingest", {"site_ids": []})
+        assert status == 400
+
+    def test_items_length_mismatch_400(self, gateway):
+        status, _ = request(
+            gateway, "POST", "/v1/ingest", {"site_ids": [0, 1], "items": [1]}
+        )
+        assert status == 400
+
+    def test_method_not_allowed_405(self, gateway):
+        status, _ = request(gateway, "DELETE", "/v1/jobs")
+        assert status == 405
+
+    def _raw(self, gateway, blob: bytes) -> bytes:
+        import socket
+
+        host, port = gateway.url.split("//")[1].rsplit(":", 1)
+        with socket.create_connection((host, int(port)), timeout=30) as sock:
+            sock.sendall(blob)
+            sock.shutdown(socket.SHUT_WR)
+            out = b""
+            while chunk := sock.recv(65536):
+                out += chunk
+            return out
+
+    def test_malformed_content_length_gets_400(self, gateway):
+        """Parse-level failures still answer with a coded response."""
+        response = self._raw(
+            gateway,
+            b"POST /v1/ingest HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 400")
+
+    def test_oversized_body_gets_413(self, gateway):
+        response = self._raw(
+            gateway,
+            b"POST /v1/ingest HTTP/1.1\r\n"
+            b"Content-Length: 999999999999\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 413")
+
+    def test_malformed_request_line_gets_400(self, gateway):
+        response = self._raw(gateway, b"NONSENSE\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 400")
+
+
+class TestJsonable:
+    def test_tuples_and_sets(self):
+        assert jsonable(((1, 2), {3, 1})) == [[1, 2], [1, 3]]
+
+    def test_tuple_dict_keys(self):
+        out = jsonable({(0, "a"): 1.5, "plain": 2})
+        assert out == {'[0,"a"]': 1.5, "plain": 2}
+        json.dumps(out)  # renderable
+
+
+class TestQueryCli:
+    def test_query_cli_pretty_prints(self, gateway, capsys):
+        request(
+            gateway,
+            "POST",
+            "/v1/jobs",
+            {"name": "total", "spec": "count/deterministic:0.05"},
+        )
+        request(gateway, "POST", "/v1/ingest", {"site_ids": [0, 1, 2, 3] * 50})
+        rc = cli_main(["query", gateway.url, "total", "estimate"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert payload["job"] == "total"
+        assert payload["result"] == pytest.approx(200.0, rel=0.06)
+        assert out.count("\n") > 3  # indented, human-readable
+
+    def test_query_cli_json_args(self, gateway, capsys):
+        request(
+            gateway,
+            "POST",
+            "/v1/jobs",
+            {"name": "hh", "spec": "frequency/deterministic:0.1"},
+        )
+        request(
+            gateway,
+            "POST",
+            "/v1/ingest",
+            {"site_ids": [0, 1] * 100, "items": [7, 8] * 100},
+        )
+        rc = cli_main(["query", gateway.url, "hh", "top_items", "1"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["result"]) == 1
+
+    def test_query_cli_unknown_job_fails(self, gateway, capsys):
+        rc = cli_main(["query", gateway.url, "ghost"])
+        assert rc == 1
+        assert "HTTP 404" in capsys.readouterr().err
+
+    def test_query_cli_no_server(self, capsys):
+        rc = cli_main(["query", "http://127.0.0.1:9", "x"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
