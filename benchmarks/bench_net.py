@@ -11,6 +11,10 @@ What the real wire costs relative to the in-process engine:
 2. **Gateway service**: HTTP ingest throughput (batched POSTs through
    the bounded coalescing queue) and query latency percentiles against
    a live gateway over a keep-alive connection.
+3. **Wire byte volume**: the same rank-scheme run (chunky payloads:
+   event runs + shipped quantile summaries) over framed TCP with the
+   binary payload envelope vs legacy all-JSON frames — the before/after
+   of moving run chunks and summaries off JSON.
 
 Results go to ``benchmarks/results/net.txt`` (table) and the
 machine-readable ``BENCH_service.json`` at the repo root.
@@ -29,6 +33,7 @@ import time
 from repro import (
     DeterministicCountScheme,
     RandomizedCountScheme,
+    RandomizedRankScheme,
     TrackingService,
 )
 from repro.net import Cluster
@@ -120,6 +125,39 @@ def bench_gateway(n, samples):
     return results
 
 
+def bench_wire_bytes(n):
+    """Total framed TCP bytes: binary payload envelope vs all-JSON.
+
+    Rank tracking is the byte-heavy protocol (runs of large int values
+    up, quantile summaries with float weights back), so it shows what
+    the binary layout buys; answers must agree exactly — the encoding
+    must not change a single transcript bit.
+    """
+    from repro.workloads import random_permutation_values
+
+    values = random_permutation_values(n, seed=SEED + 2)
+    sites = [s for s, _ in bursty_sites(n, K, burst=BURST, seed=SEED)]
+    out = {}
+    answers = {}
+    for label, kind in (("binary", "tcp"), ("json", "tcp-json")):
+        with Cluster(
+            RandomizedRankScheme(0.05),
+            K,
+            seed=SEED,
+            transport=kind,
+            record_transcript=False,
+        ) as cluster:
+            cluster.ingest(sites, values)
+            stats = cluster.wire_stats
+            out[label] = stats["bytes_sent"] + stats["bytes_received"]
+            answers[label] = cluster.query("estimate_rank", n // 2)
+    assert answers["binary"] == answers["json"], (
+        "binary framing changed a query answer; encoding must be exact"
+    )
+    out["reduction"] = round(1.0 - out["binary"] / out["json"], 3)
+    return out
+
+
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
@@ -135,6 +173,7 @@ def main() -> None:
         "runtimes disagree on protocol messages; equivalence is broken"
     )
     gateway = bench_gateway(n, samples)
+    wire = bench_wire_bytes(max(2000, n // 10))
 
     rows = [
         ["simulation (in-process)", f"{sim_rate:,.0f}", "1.00x"],
@@ -161,6 +200,11 @@ def main() -> None:
         f"p50={latency['p50']}ms p99={latency['p99']}ms "
         f"({latency['samples']} samples)"
     )
+    print(
+        f"wire bytes (rank, n={max(2000, n // 10):,}): "
+        f"binary={wire['binary']:,} json={wire['json']:,} "
+        f"({wire['reduction']:.0%} smaller)"
+    )
     save_bench_json(
         "net",
         {
@@ -180,6 +224,7 @@ def main() -> None:
             },
             "protocol_messages": sim_msgs,
             "query_latency_ms": latency,
+            "wire_bytes": wire,
         },
     )
 

@@ -1,0 +1,245 @@
+"""S4 — sharded ingest: throughput scaling and cross-shard query costs.
+
+Measures what the shard subsystem (:mod:`repro.shard`) buys and costs:
+
+1. **Ingest scaling**: the same seeded multi-job stream driven through
+   ``ShardedTrackingService`` at 1/2/4/8 shards with one worker process
+   per shard (the production executor).  The 1-shard configuration is
+   transcript-identical to the unsharded ``TrackingService`` (identity
+   partition, pass-through seeds), so it is the honest baseline.
+   Speedup is wall-clock and therefore bounded by the machine's cores —
+   the bench records ``cpus`` next to the numbers.
+2. **Cross-shard query latency**: per-method p50/p99 of merged queries
+   (sum merges, candidate-union merges) against the 4-shard service.
+3. **Merge accuracy**: merged answers vs an unsharded inline reference
+   and vs ground truth, against the composed ``eps * n`` bound.
+
+Results go to ``benchmarks/results/shard.txt`` and the ``shard``
+section of ``BENCH_service.json``.
+
+Run directly::
+
+    python benchmarks/bench_shard.py [--quick]
+"""
+
+import argparse
+import bisect
+import os
+import statistics
+import time
+
+from repro import (
+    DeterministicCountScheme,
+    DeterministicFrequencyScheme,
+    RandomizedCountScheme,
+    RandomizedRankScheme,
+    ShardedTrackingService,
+    TrackingService,
+)
+from repro.workloads import uniform_sites, with_items, zipf_items
+
+from _common import save_bench_json, save_table
+
+K = 32
+N = 200_000
+N_QUICK = 40_000
+SEED = 23
+BATCH = 16_384
+SHARD_COUNTS = (1, 2, 4, 8)
+QUERY_SAMPLES = 50
+QUERY_SAMPLES_QUICK = 15
+
+JOBS = (
+    ("total", lambda: RandomizedCountScheme(0.02)),
+    ("total-lb", lambda: DeterministicCountScheme(0.02)),
+    ("hot", lambda: DeterministicFrequencyScheme(0.05)),
+    ("med", lambda: RandomizedRankScheme(0.05)),
+)
+
+
+def make_stream(n):
+    stream = list(
+        with_items(
+            uniform_sites(n, K, seed=SEED),
+            zipf_items(max(64, n // 50), alpha=1.2, seed=SEED + 1),
+        )
+    )
+    return [s for s, _ in stream], [v for _, v in stream]
+
+
+def build_service(shards, executor):
+    service = ShardedTrackingService(
+        num_sites=K, num_shards=shards, seed=SEED, executor=executor
+    )
+    for name, factory in JOBS:
+        service.register(name, factory())
+    return service
+
+
+def drive(service, site_ids, items):
+    """Ingest the stream in service-sized batches; returns events/s."""
+    n = len(site_ids)
+    start = time.perf_counter()
+    for i in range(0, n, BATCH):
+        service.ingest(site_ids[i : i + BATCH], items[i : i + BATCH])
+    elapsed = time.perf_counter() - start
+    return n / elapsed
+
+
+def bench_scaling(site_ids, items):
+    rates = {}
+    for shards in SHARD_COUNTS:
+        service = build_service(shards, "process")
+        try:
+            rates[shards] = drive(service, site_ids, items)
+        finally:
+            service.close()
+        print(
+            f"[bench] shards={shards}: "
+            f"{rates[shards]:,.0f} events/s "
+            f"({rates[shards] / rates[SHARD_COUNTS[0]]:.2f}x vs 1 shard)"
+        )
+    return rates
+
+
+def bench_queries(service, n, samples):
+    """p50/p99 latency of merged cross-shard queries, per method."""
+    cases = [
+        ("estimate", ("total", None)),
+        ("estimate_rank", ("med", "estimate_rank", n // 2)),
+        ("quantile", ("med", "quantile", 0.5)),
+        ("top_items", ("hot", "top_items", 10)),
+        ("heavy_hitters", ("hot", "heavy_hitters", 0.02)),
+    ]
+    out = {}
+    for label, call in cases:
+        job, method, *args = call
+        latencies = []
+        for _ in range(samples):
+            t0 = time.perf_counter()
+            service.query(job, method, *args)
+            latencies.append((time.perf_counter() - t0) * 1000.0)
+        latencies.sort()
+        out[label] = {
+            "mean": round(statistics.mean(latencies), 3),
+            "p50": round(latencies[len(latencies) // 2], 3),
+            "p99": round(latencies[int(len(latencies) * 0.99) - 1], 3),
+        }
+    return out
+
+
+def bench_accuracy(site_ids, items):
+    """Merged 4-shard answers vs unsharded reference vs ground truth."""
+    n = len(site_ids)
+    reference = TrackingService(num_sites=K, seed=SEED)
+    for name, factory in JOBS:
+        reference.register(name, factory())
+    reference.ingest(site_ids, items)
+    sharded = build_service(4, "inline")
+    sharded.ingest(site_ids, items)
+
+    sorted_items = sorted(items)
+    true_median_rank = 0.5 * n
+    merged_median = sharded.query("med", "quantile", 0.5)
+    out = {
+        "count": {
+            "true": n,
+            "unsharded": reference.query("total"),
+            "sharded": sharded.query("total"),
+            "bound": 0.02 * n,
+        },
+        "count_deterministic_exact": (
+            sharded.query("total-lb") == reference.query("total-lb")
+        ),
+        "median_rank_error": {
+            "sharded": abs(
+                bisect.bisect_left(sorted_items, merged_median)
+                - true_median_rank
+            ),
+            "bound": 0.05 * n,
+        },
+        "composed_bound": sharded.error_bound("total"),
+    }
+    reference.close()
+    sharded.close()
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    args = parser.parse_args()
+    n = N_QUICK if args.quick else N
+    samples = QUERY_SAMPLES_QUICK if args.quick else QUERY_SAMPLES
+
+    site_ids, items = make_stream(n)
+    rates = bench_scaling(site_ids, items)
+
+    query_service = build_service(4, "process")
+    try:
+        drive(query_service, site_ids, items)
+        latency = bench_queries(query_service, n, samples)
+    finally:
+        query_service.close()
+
+    accuracy = bench_accuracy(site_ids, items)
+    cpus = os.cpu_count() or 1
+
+    base = rates[SHARD_COUNTS[0]]
+    rows = [
+        [
+            f"{shards} shard{'s' if shards > 1 else ''}",
+            f"{rates[shards]:,.0f}",
+            f"{rates[shards] / base:.2f}x",
+        ]
+        for shards in SHARD_COUNTS
+    ]
+    save_table(
+        "shard",
+        ["configuration", "ingest events/s", "speedup vs 1 shard"],
+        rows,
+        title=(
+            f"sharded ingest (process workers): n={n:,}, k={K}, "
+            f"jobs={len(JOBS)}, batch={BATCH}, cpus={cpus}"
+        ),
+    )
+    for label, stats in latency.items():
+        print(
+            f"merged query {label}: p50={stats['p50']}ms "
+            f"p99={stats['p99']}ms"
+        )
+    print(
+        f"accuracy: count sharded={accuracy['count']['sharded']:,.0f} "
+        f"(true {n:,}, bound +-{accuracy['count']['bound']:,.0f}); "
+        f"deterministic count merge exact="
+        f"{accuracy['count_deterministic_exact']}; median rank error "
+        f"{accuracy['median_rank_error']['sharded']:,.0f} "
+        f"(bound {accuracy['median_rank_error']['bound']:,.0f})"
+    )
+    save_bench_json(
+        "shard",
+        {
+            "config": {
+                "n": n,
+                "k": K,
+                "jobs": [name for name, _ in JOBS],
+                "batch": BATCH,
+                "executor": "process",
+                "quick": args.quick,
+            },
+            "cpus": cpus,
+            "ingest_events_per_s": {
+                str(shards): round(rate) for shards, rate in rates.items()
+            },
+            "speedup_vs_1_shard": {
+                str(shards): round(rate / base, 3)
+                for shards, rate in rates.items()
+            },
+            "query_latency_ms": latency,
+            "accuracy": accuracy,
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

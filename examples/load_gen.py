@@ -24,7 +24,7 @@ import time
 import urllib.error
 import urllib.request
 
-from repro import TrackingService
+from repro import ShardedTrackingService, TrackingService
 from repro.service.jobspec import parse_job_spec
 from repro.workloads import uniform_sites, with_items, zipf_items
 
@@ -34,6 +34,9 @@ JOBS = (
     ("lg-total", "count/randomized:0.02", 1234),
     ("lg-hot", "frequency/deterministic:0.05", 5678),
 )
+
+#: error target of lg-total, used for the sharded-vs-unsharded bound
+TOTAL_EPS = 0.02
 
 
 class GatewayClient:
@@ -83,6 +86,13 @@ def main() -> int:
         "-k", type=int, default=8, help="fleet size for self-hosted mode"
     )
     parser.add_argument(
+        "--shards", type=int, default=0,
+        help="the gateway runs sharded with this many shard hubs; the "
+        "verification mirror shards identically (exact equality) and an "
+        "unsharded mirror checks the composed error bound "
+        "(default 0 = unsharded gateway)",
+    )
+    parser.add_argument(
         "--no-verify", action="store_true",
         help="skip the in-process equivalence check",
     )
@@ -96,7 +106,13 @@ def main() -> int:
     else:
         from repro.net.gateway import GatewayThread
 
-        service = TrackingService(num_sites=args.k, seed=args.seed)
+        if args.shards > 0:
+            service = ShardedTrackingService(
+                num_sites=args.k, num_shards=args.shards, seed=args.seed,
+                executor="thread",
+            )
+        else:
+            service = TrackingService(num_sites=args.k, seed=args.seed)
         self_hosted = GatewayThread(service)
         self_hosted.__enter__()
         client = GatewayClient(self_hosted.url)
@@ -105,7 +121,12 @@ def main() -> int:
     try:
         status = client.call("GET", "/v1/status")
         k = status["sites"]
-        print(f"load_gen: fleet k={k}, existing jobs={sorted(status['jobs'])}")
+        shards = status.get("shards", 0)  # present only on sharded gateways
+        shard_note = f", shards={shards}" if shards else ""
+        print(
+            f"load_gen: fleet k={k}{shard_note}, "
+            f"existing jobs={sorted(status['jobs'])}"
+        )
 
         for name, spec, seed in JOBS:
             reply = client.call(
@@ -159,7 +180,15 @@ def main() -> int:
         )
 
         if not args.no_verify:
-            mirror = TrackingService(num_sites=k, seed=args.seed)
+            # Mirror the gateway's topology exactly: explicit job seeds
+            # make the transcripts service-seed independent, and a
+            # sharded mirror derives the same per-shard seeds.
+            if shards:
+                mirror = ShardedTrackingService(
+                    num_sites=k, num_shards=shards, seed=args.seed
+                )
+            else:
+                mirror = TrackingService(num_sites=k, seed=args.seed)
             for name, spec, seed in JOBS:
                 _, _, scheme = parse_job_spec(f"{name}={spec}", 0.02)
                 mirror.register(name, scheme, seed=seed)
@@ -179,6 +208,29 @@ def main() -> int:
                 )
                 return 2
             print("load_gen: verified: HTTP == in-process (transcript-identical)")
+            if shards:
+                # Sharded vs unsharded: the merged count must sit within
+                # the composed error bound of an unsharded reference.
+                reference = TrackingService(num_sites=k, seed=args.seed)
+                for name, spec, seed in JOBS:
+                    _, _, scheme = parse_job_spec(f"{name}={spec}", 0.02)
+                    reference.register(name, scheme, seed=seed)
+                reference.ingest(site_ids, items)
+                bound = 2 * TOTAL_EPS * args.events
+                drift = abs(
+                    gateway_answers["lg-total"] - reference.query("lg-total")
+                )
+                if drift > bound:
+                    print(
+                        f"FAIL: sharded/unsharded divergence {drift:,.0f} "
+                        f"exceeds composed bound {bound:,.0f}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                print(
+                    f"load_gen: verified: sharded within composed bound "
+                    f"(|drift|={drift:,.0f} <= {bound:,.0f})"
+                )
         return 0
     finally:
         if self_hosted is not None:

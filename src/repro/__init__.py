@@ -10,6 +10,9 @@ Algorithms for Tracking Distributed Count, Frequencies, and Ranks*
   shared site fleet with batched ingestion (:mod:`repro.service`), with
   optional durability: write-ahead logging, snapshots and
   crash-recovery via ``checkpoint_dir`` (:mod:`repro.persistence`).
+* :class:`ShardedTrackingService` — the same surface over N shard-local
+  hubs with hash-partitioned ingest and a cross-shard query merge plane
+  (:mod:`repro.shard`); scales ingest with cores/machines.
 * Count: :class:`RandomizedCountScheme` (Theorem 2.1),
   :class:`DeterministicCountScheme` (the trivial optimum).
 * Frequency: :class:`RandomizedFrequencyScheme` (Theorem 3.1),
@@ -47,8 +50,9 @@ from .core import (
 )
 from .runtime import Simulation, TrackingScheme
 from .service import TrackingService
+from .shard import ShardedTrackingService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Cormode05RankScheme",
@@ -62,6 +66,7 @@ __all__ = [
     "RandomizedRankScheme",
     "WindowedCountScheme",
     "copies_for_confidence",
+    "ShardedTrackingService",
     "Simulation",
     "TrackingScheme",
     "TrackingService",

@@ -90,7 +90,10 @@ durability:
 distributed:
   `repro gateway --listen HOST:PORT` serves the tracking service over
   HTTP/JSON (register/ingest/query/status endpoints with a bounded,
-  coalescing ingest queue); `repro site --listen HOST:PORT` runs a TCP
+  coalescing ingest queue); `--shards N` partitions the fleet across N
+  shard-local ingest hubs (worker processes by default) with queries
+  merged across shards, and `--ingest-rate`/`--space-budget` enforce
+  quotas as HTTP 429/413.  `repro site --listen HOST:PORT` runs a TCP
   site-actor host for distributed scheme runs (repro.net.Cluster);
   `repro query URL JOB [METHOD] [ARG...]` queries a running gateway and
   pretty-prints the JSON answer.  Each subcommand has its own --help.
@@ -423,12 +426,38 @@ def run_gateway(argv) -> int:
         help="start with an empty registry (register via POST /v1/jobs)",
     )
     parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition the fleet across N shard-local ingest hubs; "
+        "queries fan out and merge (default 1 = unsharded)",
+    )
+    parser.add_argument(
+        "--shard-workers", default="process",
+        choices=["inline", "thread", "process"],
+        help="how shard hubs execute when --shards > 1 (default: one "
+        "worker process per shard, so ingest scales with cores)",
+    )
+    parser.add_argument(
         "--queue-events", type=int, default=1 << 16,
         help="ingest queue bound, in events (backpressure threshold)",
     )
     parser.add_argument(
         "--coalesce-events", type=int, default=8192,
         help="max events merged into one engine call",
+    )
+    parser.add_argument(
+        "--ingest-rate", type=float, metavar="EVENTS_PER_S",
+        help="quota: reject ingest above this rate with HTTP 429 "
+        "(default: unlimited)",
+    )
+    parser.add_argument(
+        "--ingest-burst", type=int, metavar="EVENTS",
+        help="token-bucket burst for --ingest-rate "
+        "(default: one queue capacity)",
+    )
+    parser.add_argument(
+        "--space-budget", type=int, metavar="WORDS",
+        help="default per-job site-space budget; jobs over budget turn "
+        "further ingests into HTTP 413",
     )
     parser.add_argument(
         "--checkpoint-dir", metavar="DIR",
@@ -442,24 +471,51 @@ def run_gateway(argv) -> int:
     for flag, value in (
         ("--queue-events", args.queue_events),
         ("--coalesce-events", args.coalesce_events),
+        ("--shards", args.shards),
     ):
         if value < 1:
             print(f"error: {flag} must be positive", file=sys.stderr)
             return 2
+    if args.ingest_rate is not None and args.ingest_rate <= 0:
+        print("error: --ingest-rate must be positive", file=sys.stderr)
+        return 2
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    from .shard import ShardedTrackingService
+
+    sharded = args.shards > 1
     try:
         host, port = parse_address(args.listen)
         if args.resume:
-            service = TrackingService.restore(args.checkpoint_dir)
+            import os as _os
+
+            if _os.path.exists(
+                _os.path.join(args.checkpoint_dir, "shards.json")
+            ):
+                service = ShardedTrackingService.restore(
+                    args.checkpoint_dir, executor=args.shard_workers
+                )
+            else:
+                service = TrackingService.restore(args.checkpoint_dir)
             specs = args.job or []
         else:
-            service = TrackingService(
-                num_sites=args.k,
-                seed=args.seed,
-                checkpoint_dir=args.checkpoint_dir,
-            )
+            if sharded:
+                service = ShardedTrackingService(
+                    num_sites=args.k,
+                    num_shards=args.shards,
+                    seed=args.seed,
+                    space_budget_words=args.space_budget,
+                    checkpoint_dir=args.checkpoint_dir,
+                    executor=args.shard_workers,
+                )
+            else:
+                service = TrackingService(
+                    num_sites=args.k,
+                    seed=args.seed,
+                    space_budget_words=args.space_budget,
+                    checkpoint_dir=args.checkpoint_dir,
+                )
             specs = args.job
             if specs is None and not args.no_default_jobs:
                 specs = list(DEFAULT_SERVE_JOBS)
@@ -485,12 +541,20 @@ def run_gateway(argv) -> int:
             capacity_events=args.queue_events,
             max_batch_events=args.coalesce_events,
             default_eps=args.eps,
+            max_ingest_rate=args.ingest_rate,
+            ingest_burst=args.ingest_burst,
         )
         await gateway.start()
         served = True
+        shard_note = (
+            f", shards={service.num_shards} ({service.executor})"
+            if hasattr(service, "num_shards") and service.num_shards > 1
+            else ""
+        )
         print(
             f"gateway listening on {gateway.url} "
-            f"(k={service.num_sites}, jobs={sorted(service.jobs)})",
+            f"(k={service.num_sites}{shard_note}, "
+            f"jobs={sorted(service.jobs)})",
             flush=True,
         )
         try:
@@ -504,14 +568,15 @@ def run_gateway(argv) -> int:
         pass
     except OSError as exc:  # e.g. the port is already taken
         print(f"error: {exc}", file=sys.stderr)
-        service.close()
         return 2
     finally:
+        # One shutdown path for every exit: checkpoint only a service
+        # that actually served (its workers are alive), close always.
         if served:
             print("gateway: shutting down", flush=True)
             if service.checkpoint_dir is not None:
                 service.checkpoint()
-            service.close()
+        service.close()
     return 0
 
 

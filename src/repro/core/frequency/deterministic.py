@@ -208,6 +208,17 @@ class DeterministicFrequencyCoordinator(Coordinator):
         scored = sorted(self.total.items(), key=lambda t: -t[1])
         return [(j, float(c)) for j, c in scored[:m]]
 
+    # -- merge hooks (cross-shard query plane) -----------------------------
+
+    def estimate_frequencies(self, items) -> list:
+        """Batched :meth:`estimate_frequency` for cross-shard merges."""
+        return [self.estimate_frequency(j) for j in items]
+
+    def frequency_basis(self) -> float:
+        """The stream-length basis heavy-hitter thresholds scale by
+        (the constant-factor tracker's n')."""
+        return float(self.tracker.n_prime)
+
     @property
     def n_bar(self) -> int:
         return self.tracker.n_bar

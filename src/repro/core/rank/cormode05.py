@@ -97,11 +97,17 @@ class _SnapshotCoordinator(Coordinator):
         return float(sum(c for c, _, _ in self.snapshots.values()))
 
     def quantile(self, phi: float):
-        candidates = sorted(
-            {v for _, _, vals in self.snapshots.values() for v in vals}
-        )
+        candidates = self.rank_candidates()
         target = min(max(phi, 0.0), 1.0) * self.estimate_total()
         return quantile_from_rank_fn(candidates, self.estimate_rank, target)
+
+    # -- merge hooks (cross-shard query plane) -----------------------------
+
+    def rank_candidates(self) -> list:
+        """Every snapshot value, sorted — the merge plane's candidates."""
+        return sorted(
+            {v for _, _, vals in self.snapshots.values() for v in vals}
+        )
 
     @property
     def n_bar(self) -> int:

@@ -286,6 +286,12 @@ class RandomizedRankCoordinator(Coordinator):
         target = min(max(phi, 0.0), 1.0) * self.estimate_total()
         return quantile_from_rank_fn(self._candidates(), self.estimate_rank, target)
 
+    # -- merge hooks (cross-shard query plane) -----------------------------
+
+    def rank_candidates(self) -> list:
+        """Every stored value, sorted — the merge plane's candidate set."""
+        return self._candidates()
+
     @property
     def n_bar(self) -> int:
         return self.tracker.n_bar

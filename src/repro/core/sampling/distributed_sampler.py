@@ -84,6 +84,11 @@ class _SamplingCoordinator(Coordinator):
         """Estimate of the total count n."""
         return len(self.sample) * self.scale
 
+    def estimate_total(self) -> float:
+        """Alias of :meth:`estimate` under the rank coordinators' name,
+        so the cross-shard quantile merge can fan out one method."""
+        return self.estimate()
+
     def estimate_frequency(self, item) -> float:
         """Estimate of the frequency of ``item``."""
         hits = sum(1 for (x, _) in self.sample if x == item)
@@ -123,6 +128,20 @@ class _SamplingCoordinator(Coordinator):
             return bisect.bisect_left(values, x) * self.scale
 
         return quantile_from_rank_fn(values, rank, target)
+
+    # -- merge hooks (cross-shard query plane) -----------------------------
+
+    def rank_candidates(self) -> list:
+        """Sorted sample values — the merge plane's candidate set."""
+        return sorted(v for (v, _) in self.sample)
+
+    def estimate_frequencies(self, items) -> list:
+        """Batched :meth:`estimate_frequency` for cross-shard merges."""
+        return [self.estimate_frequency(j) for j in items]
+
+    def frequency_basis(self) -> float:
+        """The stream-length basis heavy-hitter thresholds scale by."""
+        return self.estimate()
 
     def space_words(self) -> int:
         return 2 * len(self.sample) + 2

@@ -89,6 +89,15 @@ class _WindowCoordinator(Coordinator):
             return 0.0
         return sum(m.estimate(now) for m in self.mirrors.values())
 
+    def latest_timestamp(self):
+        """Newest timestamp this coordinator has seen (None if silent).
+
+        The cross-shard merge plane takes the max over shards and
+        evaluates every shard's :meth:`estimate` at it, so shard mirrors
+        decay against one common clock.
+        """
+        return self.now
+
     def space_words(self) -> int:
         return sum(m.space_words() for m in self.mirrors.values()) + 2
 

@@ -45,7 +45,13 @@ def _make_transport(kind: str):
         return LoopbackTransport()
     if kind == "tcp":
         return TcpTransport()
-    raise ValueError(f"unknown transport {kind!r} (loopback or tcp)")
+    if kind == "tcp-json":
+        # Legacy all-JSON frames; kept for the byte-volume comparison in
+        # bench_net (binary payload envelope vs JSON-only encoding).
+        return TcpTransport(binary=False)
+    raise ValueError(
+        f"unknown transport {kind!r} (loopback, tcp or tcp-json)"
+    )
 
 
 class Cluster:
@@ -135,6 +141,7 @@ class Cluster:
 
     async def _start(self, site_addresses, restore_state) -> None:
         transport = _make_transport(self.transport_kind)
+        self._transport = transport
         if site_addresses is None:
             # Self-host every site actor in this process.  One host
             # serves all k logical sites (one connection each).
@@ -216,6 +223,13 @@ class Cluster:
     def comm(self):
         """The hub's communication ledger (:class:`CommStats`)."""
         return self.hub.comm
+
+    @property
+    def wire_stats(self):
+        """Framed byte/frame counters of a TCP transport (None for
+        loopback, which ships objects without serialization)."""
+        transport = getattr(self, "_transport", None)
+        return getattr(transport, "stats", None)
 
     @property
     def elements_processed(self) -> int:

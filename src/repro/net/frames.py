@@ -17,16 +17,35 @@ Failure modes are explicit:
 
 On top of raw frames, :func:`encode_json_frame` / :func:`decode_json`
 carry the runtime's JSON control messages (compact separators, UTF-8).
+
+**Binary payloads.**  Control frames stay JSON, but the bulky payloads —
+run chunks and shipped summaries — are mostly long homogeneous number
+lists, which JSON (and the WAL's base64 packed-int codec) render at
+2-4x their raw size.  :func:`encode_payload` walks an object, lifts
+every long all-int / all-float list out into a raw little-endian typed
+blob, and emits a *binary envelope*::
+
+    0xF5 | u32 header_len | header JSON | u32 n_blobs | (u32 len | bytes)*
+
+where the header is the original object with each lifted list replaced
+by a ``{"__wblob__": [index, dtype]}`` placeholder.  Objects with no
+packable lists encode as plain JSON (UTF-8 never begins with ``0xF5``,
+so :func:`decode_payload` distinguishes the two without out-of-band
+signalling, and a binary-capable peer interoperates with a JSON one).
+Packing is exact: ints ride as ``i4``/``i8`` (bigger ints stay JSON),
+floats as IEEE ``f8`` — every value round-trips bit-identically, so
+transcript equivalence is untouched.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 __all__ = [
     "DEFAULT_MAX_FRAME",
+    "MIN_PACK",
     "FrameError",
     "FrameTooLargeError",
     "TornFrameError",
@@ -34,6 +53,8 @@ __all__ = [
     "encode_frame",
     "encode_json_frame",
     "decode_json",
+    "encode_payload",
+    "decode_payload",
 ]
 
 _HEADER = struct.Struct(">I")
@@ -136,3 +157,171 @@ def decode_json(payload: bytes):
         return json.loads(payload)
     except ValueError as exc:
         raise FrameError(f"malformed JSON frame: {exc}") from exc
+
+
+# -- binary payload envelope -----------------------------------------------
+
+_BINARY_MAGIC = 0xF5  # never a valid first byte of UTF-8 JSON
+_U32 = struct.Struct(">I")
+
+#: shortest list worth lifting into a typed blob; below this the JSON
+#: rendering is competitive and the placeholder overhead is not
+MIN_PACK = 16
+
+_BLOB_KEY = "__wblob__"
+_ESC_KEY = "__wesc__"
+
+_I8_MIN, _I8_MAX = -(1 << 63), (1 << 63) - 1
+
+#: dtype -> (struct format template, item size in bytes)
+_PACKERS = {
+    "u1": ("<%dB", 1),
+    "i2": ("<%dh", 2),
+    "i4": ("<%di", 4),
+    "i8": ("<%dq", 8),
+    "f8": ("<%dd", 8),
+}
+
+#: per-blob envelope overhead (placeholder JSON + length prefix), used
+#: by the size gate below
+_BLOB_OVERHEAD = 28
+
+
+def _classify(values) -> Optional[str]:
+    """The blob dtype for a list, or None when it must stay JSON.
+
+    Ints pick the smallest fixed width that holds the whole list;
+    bigger-than-i8 ints and mixed-type lists stay JSON.
+    """
+    first = type(values[0])
+    if first is int:
+        lo = hi = values[0]
+        for v in values:
+            if type(v) is not int:
+                return None
+            if v < lo:
+                lo = v
+            elif v > hi:
+                hi = v
+        if 0 <= lo and hi <= 0xFF:
+            return "u1"
+        if -0x8000 <= lo and hi <= 0x7FFF:
+            return "i2"
+        if -(1 << 31) <= lo and hi <= (1 << 31) - 1:
+            return "i4"
+        if _I8_MIN <= lo and hi <= _I8_MAX:
+            return "i8"
+        return None  # bigints stay JSON
+    if first is float:
+        for v in values:
+            if type(v) is not float:
+                return None
+        return "f8"
+    return None
+
+
+def _json_length(values) -> int:
+    """Byte length the list costs inside a JSON rendering.
+
+    ``repr`` of ints and (finite) floats matches their JSON rendering;
+    the +1 per element covers the comma/bracket.  Exactness does not
+    matter — this only gates whether a raw blob is the smaller layout.
+    """
+    return sum(len(repr(v)) + 1 for v in values) + 1
+
+
+def _pack_walk(obj, blobs: List[bytes]):
+    if isinstance(obj, (list, tuple)):
+        if len(obj) >= MIN_PACK:
+            dtype = _classify(obj)
+            if dtype is not None:
+                template, item_size = _PACKERS[dtype]
+                blob_size = item_size * len(obj) + _BLOB_OVERHEAD
+                # Size gate: small numbers (single-digit ints, "1.0"
+                # floats) render tighter as JSON than as fixed-width
+                # blobs; only pack when raw bytes actually win.
+                if blob_size < _json_length(obj):
+                    index = len(blobs)
+                    blobs.append(struct.pack(template % len(obj), *obj))
+                    return {_BLOB_KEY: [index, dtype]}
+        return [_pack_walk(v, blobs) for v in obj]
+    if isinstance(obj, dict):
+        packed = {k: _pack_walk(v, blobs) for k, v in obj.items()}
+        if _BLOB_KEY in obj or _ESC_KEY in obj:
+            # A literal payload key collides with the envelope's markers;
+            # wrap so the decoder treats this dict's keys as data.
+            return {_ESC_KEY: packed}
+        return packed
+    return obj
+
+
+def _unpack_walk(obj, blobs: List[bytes]):
+    if isinstance(obj, list):
+        return [_unpack_walk(v, blobs) for v in obj]
+    if isinstance(obj, dict):
+        keys = obj.keys()
+        if len(obj) == 1 and _BLOB_KEY in keys:
+            index, dtype = obj[_BLOB_KEY]
+            blob = blobs[index]
+            template, item_size = _PACKERS[dtype]
+            count, rem = divmod(len(blob), item_size)
+            if rem:
+                raise FrameError(
+                    f"blob {index} is not a whole number of {dtype} items"
+                )
+            return list(struct.unpack(template % count, blob))
+        if len(obj) == 1 and _ESC_KEY in keys:
+            return {
+                k: _unpack_walk(v, blobs) for k, v in obj[_ESC_KEY].items()
+            }
+        return {k: _unpack_walk(v, blobs) for k, v in obj.items()}
+    return obj
+
+
+def encode_payload(obj) -> bytes:
+    """One wire object as a frame payload, numeric bulk in raw blobs.
+
+    Falls back to plain JSON when nothing is packable, so small control
+    messages pay zero envelope overhead.
+    """
+    blobs: List[bytes] = []
+    header_obj = _pack_walk(obj, blobs)
+    if not blobs:
+        return json.dumps(obj, separators=(",", ":")).encode()
+    header = json.dumps(header_obj, separators=(",", ":")).encode()
+    parts = [bytes([_BINARY_MAGIC]), _U32.pack(len(header)), header,
+             _U32.pack(len(blobs))]
+    for blob in blobs:
+        parts.append(_U32.pack(len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def _read_u32(payload: bytes, offset: int) -> Tuple[int, int]:
+    if offset + 4 > len(payload):
+        raise FrameError("truncated binary payload")
+    return _U32.unpack_from(payload, offset)[0], offset + 4
+
+
+def decode_payload(payload: bytes):
+    """Inverse of :func:`encode_payload`; also accepts plain JSON."""
+    if not payload or payload[0] != _BINARY_MAGIC:
+        return decode_json(payload)
+    header_len, offset = _read_u32(payload, 1)
+    if offset + header_len > len(payload):
+        raise FrameError("binary payload header overruns the frame")
+    header = decode_json(payload[offset:offset + header_len])
+    offset += header_len
+    n_blobs, offset = _read_u32(payload, offset)
+    blobs: List[bytes] = []
+    for _ in range(n_blobs):
+        blob_len, offset = _read_u32(payload, offset)
+        if offset + blob_len > len(payload):
+            raise FrameError("binary payload blob overruns the frame")
+        blobs.append(payload[offset:offset + blob_len])
+        offset += blob_len
+    if offset != len(payload):
+        raise FrameError(
+            f"{len(payload) - offset} trailing byte(s) after the last blob"
+        )
+    return _unpack_walk(header, blobs)

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
+import time
 from typing import Optional
 from urllib.parse import parse_qsl, urlsplit
 
@@ -38,7 +40,7 @@ from ..service.async_ingest import AsyncBatchIngestor
 from ..service.errors import DuplicateJobError, UnknownJobError
 from ..service.jobspec import parse_job_spec, parse_query_literal
 
-__all__ = ["Gateway", "GatewayThread", "jsonable"]
+__all__ = ["Gateway", "GatewayThread", "TokenBucket", "jsonable"]
 
 _MAX_BODY = 64 * 1024 * 1024
 _MAX_HEADER_LINE = 16 * 1024
@@ -50,15 +52,53 @@ _REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
 }
 
 
+class TokenBucket:
+    """Event-rate limiter for ingest admission (quota enforcement).
+
+    Classic token bucket: ``rate`` tokens (events) per second refill up
+    to ``burst``.  :meth:`try_admit` is non-blocking — it either debits
+    the request or returns the seconds until enough tokens exist, which
+    the gateway surfaces as ``Retry-After`` on a 429.  A request larger
+    than the whole burst is admitted whenever the bucket is full (the
+    balance goes negative, charging the overdraft to later requests), so
+    oversized batches degrade to serial instead of being unserveable.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._clock = clock
+        self._last = clock()
+
+    def try_admit(self, n: int) -> float:
+        """Admit ``n`` events now (return 0.0) or return the wait, in
+        seconds, after which a retry would succeed."""
+        now = self._clock()
+        self.tokens = min(
+            self.burst, self.tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+        need = min(float(n), self.burst)
+        if self.tokens >= need:
+            self.tokens -= n
+            return 0.0
+        return (need - self.tokens) / self.rate
+
+
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, headers: Optional[dict] = None):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = headers
 
 
 def jsonable(value):
@@ -101,6 +141,14 @@ class Gateway:
         (:class:`AsyncBatchIngestor`).
     default_eps:
         Error target used when a registered job spec omits ``:EPS``.
+    max_ingest_rate / ingest_burst:
+        Ingest quota: admit at most ``max_ingest_rate`` events/second
+        (token bucket of ``ingest_burst`` events, default one queue
+        capacity).  Requests over quota get **429** with ``Retry-After``
+        instead of queueing.  ``None`` (default) disables the limiter.
+        Space budgets are enforced independently: while any job exceeds
+        its registered ``space_budget_words``, further ingests get
+        **413** until the operator widens the budget or drops the job.
     """
 
     def __init__(
@@ -111,6 +159,8 @@ class Gateway:
         capacity_events: int = 1 << 16,
         max_batch_events: int = 8192,
         default_eps: float = 0.02,
+        max_ingest_rate: Optional[float] = None,
+        ingest_burst: Optional[int] = None,
     ):
         self.service = service
         self.host = host
@@ -121,6 +171,13 @@ class Gateway:
             capacity_events=capacity_events,
             max_batch_events=max_batch_events,
         )
+        self.rate_limiter: Optional[TokenBucket] = None
+        if max_ingest_rate is not None:
+            self.rate_limiter = TokenBucket(
+                max_ingest_rate, ingest_burst or capacity_events
+            )
+        self.rejected_429 = 0
+        self.rejected_413 = 0
         self._server: Optional[asyncio.base_events.Server] = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -173,12 +230,14 @@ class Gateway:
                 if request is None:
                     break
                 method, path, query, headers, body = request
+                extra_headers = None
                 try:
                     status, payload = await self._route(
                         method, path, query, body
                     )
                 except _HttpError as exc:
                     status, payload = exc.status, {"error": exc.message}
+                    extra_headers = exc.headers
                 except (UnknownJobError, AttributeError) as exc:
                     status, payload = 404, {"error": str(exc)}
                 except DuplicateJobError as exc:
@@ -190,7 +249,9 @@ class Gateway:
                         "error": f"{type(exc).__name__}: {exc}"
                     }
                 close = headers.get("connection", "").lower() == "close"
-                await self._respond(writer, status, payload, close)
+                await self._respond(
+                    writer, status, payload, close, extra_headers
+                )
                 if close:
                     break
         except (
@@ -235,14 +296,20 @@ class Gateway:
         # query stays a pair list: repeatable keys (``arg``) must survive
         return method.upper(), split.path, parse_qsl(split.query), headers, body
 
-    async def _respond(self, writer, status, payload, close) -> None:
+    async def _respond(
+        self, writer, status, payload, close, headers: Optional[dict] = None
+    ) -> None:
         body = json.dumps(payload, separators=(",", ":")).encode()
         reason = _REASONS.get(status, "Unknown")
         connection = "close" if close else "keep-alive"
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {connection}\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + body)
@@ -262,6 +329,14 @@ class Gateway:
                     queued_events=self.ingestor.queued_events,
                     capacity_events=self.ingestor.capacity_events,
                 ),
+                "quota": {
+                    "max_ingest_rate": (
+                        None if self.rate_limiter is None
+                        else self.rate_limiter.rate
+                    ),
+                    "rejected_429": self.rejected_429,
+                    "rejected_413": self.rejected_413,
+                },
             }
         if segments[:1] != ["v1"]:
             raise _HttpError(404, f"no route {path!r}")
@@ -360,6 +435,29 @@ class Gateway:
             not isinstance(items, list) or len(items) != len(site_ids)
         ):
             raise _HttpError(400, "'items' must match 'site_ids' in length")
+        if self.rate_limiter is not None:
+            wait = self.rate_limiter.try_admit(len(site_ids))
+            if wait > 0.0:
+                self.rejected_429 += 1
+                raise _HttpError(
+                    429,
+                    f"ingest rate limit exceeded "
+                    f"({self.rate_limiter.rate:g} events/s); retry in "
+                    f"{wait:.2f}s",
+                    headers={"Retry-After": str(max(1, math.ceil(wait)))},
+                )
+        if self.service.has_space_budgets():
+            overages = await self._locked(self.service.space_overages)
+            if overages:
+                self.rejected_413 += 1
+                detail = ", ".join(
+                    f"{name} (used {info['used']} > budget "
+                    f"{info['budget']} words)"
+                    for name, info in sorted(overages.items())
+                )
+                raise _HttpError(
+                    413, f"space budget exceeded for job(s): {detail}"
+                )
         ingested = await self.ingestor.submit(site_ids, items)
         return 200, {
             "ingested": ingested,

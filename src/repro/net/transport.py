@@ -16,10 +16,15 @@ equivalence rests on.
 :class:`LoopbackTransport` routes through paired ``asyncio.Queue``s in
 one process (no sockets, no serialization) — the reference wiring for
 tests and the loopback side of the benchmarks.  :class:`TcpTransport`
-carries the same messages as length-prefixed JSON frames
-(:mod:`repro.net.frames`) over asyncio TCP streams; addresses are
-``"host:port"`` strings (port 0 binds an ephemeral port; the listener
-reports the bound address).
+carries the same messages as length-prefixed frames
+(:mod:`repro.net.frames`) over asyncio TCP streams: JSON for control
+traffic, the binary payload envelope for frames with numeric bulk (run
+chunks, shipped summaries) — pass ``binary=False`` to force the legacy
+all-JSON encoding (the byte-volume comparison in ``bench_net``).
+Addresses are ``"host:port"`` strings (port 0 binds an ephemeral port;
+the listener reports the bound address).  Per-transport byte counters
+(:attr:`TcpTransport.stats`) aggregate the framed traffic of every
+connection the instance created.
 """
 
 from __future__ import annotations
@@ -30,8 +35,10 @@ from typing import Dict, Optional
 from .frames import (
     DEFAULT_MAX_FRAME,
     FrameDecoder,
-    decode_json,
+    decode_payload,
+    encode_frame,
     encode_json_frame,
+    encode_payload,
 )
 
 __all__ = [
@@ -157,21 +164,36 @@ class LoopbackTransport:
 
 
 class _TcpConnection:
-    """Framed JSON messages over one asyncio TCP stream."""
+    """Framed messages over one asyncio TCP stream."""
 
-    def __init__(self, reader, writer, max_frame: int = DEFAULT_MAX_FRAME):
+    def __init__(
+        self,
+        reader,
+        writer,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        binary: bool = True,
+        stats: Optional[dict] = None,
+    ):
         self._reader = reader
         self._writer = writer
         self._decoder = FrameDecoder(max_frame)
         self._pending = []
         self._max_frame = max_frame
+        self._binary = binary
+        self._stats = stats if stats is not None else _fresh_stats()
         self._closed = False
 
     async def send(self, obj) -> None:
         if self._closed:
             raise ConnectionClosedError("TCP connection is closed")
         try:
-            self._writer.write(encode_json_frame(obj, self._max_frame))
+            if self._binary:
+                frame = encode_frame(encode_payload(obj), self._max_frame)
+            else:
+                frame = encode_json_frame(obj, self._max_frame)
+            self._stats["bytes_sent"] += len(frame)
+            self._stats["frames_sent"] += 1
+            self._writer.write(frame)
             await self._writer.drain()
         except (ConnectionError, OSError) as exc:
             self._closed = True
@@ -192,8 +214,13 @@ class _TcpConnection:
                 # rather than silently dropping the partial message.
                 self._decoder.finish()
                 return None
+            self._stats["bytes_received"] += len(data)
             self._pending.extend(self._decoder.feed(data))
-        return decode_json(self._pending.pop(0))
+        payload = self._pending.pop(0)
+        self._stats["frames_received"] += 1
+        # decode_payload auto-detects binary vs JSON, so either peer
+        # encoding is accepted regardless of this side's send mode.
+        return decode_payload(payload)
 
     async def close(self) -> None:
         self._closed = True
@@ -214,17 +241,38 @@ class _TcpListener:
         await self._server.wait_closed()
 
 
-class TcpTransport:
-    """Length-prefixed-frame TCP transport (asyncio streams)."""
+def _fresh_stats() -> dict:
+    return {
+        "bytes_sent": 0,
+        "bytes_received": 0,
+        "frames_sent": 0,
+        "frames_received": 0,
+    }
 
-    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME):
+
+class TcpTransport:
+    """Length-prefixed-frame TCP transport (asyncio streams).
+
+    ``binary=True`` (default) sends the binary payload envelope —
+    numeric bulk as raw typed blobs; ``binary=False`` forces the legacy
+    all-JSON frames.  :attr:`stats` aggregates framed byte/frame counts
+    over every connection this transport instance created (both sides,
+    for listeners it spawned).
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME,
+                 binary: bool = True):
         self.max_frame = max_frame
+        self.binary = binary
+        self.stats = _fresh_stats()
 
     async def listen(self, address: str, handler) -> _TcpListener:
         host, port = parse_address(address)
 
         async def _serve(reader, writer):
-            conn = _TcpConnection(reader, writer, self.max_frame)
+            conn = _TcpConnection(
+                reader, writer, self.max_frame, self.binary, self.stats
+            )
             try:
                 await handler(conn)
             finally:
@@ -242,4 +290,6 @@ class TcpTransport:
             raise ConnectionClosedError(
                 f"cannot connect to {address}: {exc}"
             ) from exc
-        return _TcpConnection(reader, writer, self.max_frame)
+        return _TcpConnection(
+            reader, writer, self.max_frame, self.binary, self.stats
+        )

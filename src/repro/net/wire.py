@@ -8,16 +8,19 @@ Two payload families cross the distributed runtime's wire:
   through the persistence snapshot codec, so a decoded message compares
   ``==`` to the original and transcripts stay byte-identical across the
   wire.
-* **Event runs** (the per-site chunks of an ingested batch): these reuse
-  the write-ahead log's packed-int codec (base64 numpy arrays for all-int
-  payloads, snapshot-coded values otherwise), so shipping a run costs the
-  same as logging it.
+* **Event runs** (the per-site chunks of an ingested batch): shipped as
+  plain item lists.  Serialization happens at the frame layer: the
+  binary payload envelope (:func:`repro.net.frames.encode_payload`)
+  lifts long numeric runs — and the number arrays inside snapshot-coded
+  summaries — into raw typed blobs, so TCP byte volume is raw-array
+  sized instead of JSON/base64 sized, and the loopback transport ships
+  the lists with no serialization at all.
 """
 
 from __future__ import annotations
 
 from ..persistence.codec import decode_value, encode_value
-from ..persistence.wal import decode_items, encode_items
+from ..persistence.wal import _SCALAR_TYPES, decode_items
 from ..runtime.protocol import Message
 
 __all__ = [
@@ -43,11 +46,37 @@ def decode_message(obj: dict) -> Message:
 
 
 def encode_chunk(items) -> dict:
-    """One run's item list as a JSON-safe dict (packed-int fast path)."""
-    payload, coded = encode_items(items)
-    return {"items": payload, "coded": coded}
+    """One run's item list as a frame-ready dict.
+
+    Count-style unit runs (``[1, 1, ...]``, what the run decomposition
+    materializes for item-less streams) collapse to their length — O(1)
+    wire bytes per run.  Other items ride as a plain list; the frame
+    layer's binary envelope packs all-int / all-float runs into raw
+    blobs on TCP.
+    """
+    if not isinstance(items, list):
+        items = list(items)
+    if items and all(type(v) is int and v == 1 for v in items):
+        return {"unit": len(items)}
+    if set(map(type, items)) <= _SCALAR_TYPES:
+        return {"items": items}
+    # Rich items (tuples, e.g. labeled multi-tenant events) go through
+    # the snapshot codec so JSON transports restore identical values.
+    return {
+        "items": [
+            v if type(v) in _SCALAR_TYPES else encode_value(v)
+            for v in items
+        ],
+        "coded": True,
+    }
 
 
 def decode_chunk(obj: dict) -> list:
-    """Inverse of :func:`encode_chunk`."""
-    return decode_items(obj["items"], obj.get("coded", False))
+    """Inverse of :func:`encode_chunk` (also reads the pre-binary
+    base64 packed-int layout, flagged by a ``coded`` field)."""
+    if "unit" in obj:
+        return [1] * obj["unit"]
+    if "coded" in obj:
+        return decode_items(obj["items"], obj["coded"])
+    items = obj["items"]
+    return items if isinstance(items, list) else list(items)

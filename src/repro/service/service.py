@@ -282,6 +282,33 @@ class TrackingService:
             "jobs": {name: job.status() for name, job in self._jobs.items()},
         }
 
+    # -- budgets -----------------------------------------------------------
+
+    def has_space_budgets(self) -> bool:
+        """True when any registered job carries a space budget."""
+        return any(
+            job.space_budget_words is not None
+            for job in self._jobs.values()
+        )
+
+    def space_overages(self) -> dict:
+        """Jobs whose high-water site space exceeds their budget.
+
+        Reads the engine's sampled high-water marks without a fresh
+        sweep, so it is O(jobs) and safe on a hot path; enforcement
+        therefore lags a budget breach by at most one
+        ``space_sample_interval`` of events.
+        """
+        out = {}
+        for name, job in self._jobs.items():
+            budget = job.space_budget_words
+            if budget is None:
+                continue
+            used = job.space.max_site_words
+            if used > budget:
+                out[name] = {"used": used, "budget": budget}
+        return out
+
     # -- persistence -------------------------------------------------------
 
     def state_dict(self) -> dict:

@@ -1,0 +1,33 @@
+"""Sharded ingest: partitioned shard-local hubs + a query merge plane.
+
+The sharded service is the first layer that lets ingest scale past one
+engine: :class:`ShardRouter` hash-partitions the site fleet across
+``N`` shard-local hubs (each a full
+:class:`~repro.service.TrackingService`), :class:`ShardedTrackingService`
+exposes the unsharded register/ingest/query surface over them (inline,
+worker-thread or worker-process execution), and the merge plane
+(:mod:`repro.shard.merge`) recombines per-shard answers — counts sum,
+frequency candidate sets union + re-threshold, rank functions add —
+with the composed error still meeting the job's ``eps * n`` target.
+"""
+
+from .merge import (
+    MERGEABLE_METHODS,
+    UnmergeableQueryError,
+    composed_error_bound,
+    merge_counts,
+    merged_query,
+)
+from .router import ShardRouter
+from .service import ShardedTrackingService, ShardJobView
+
+__all__ = [
+    "MERGEABLE_METHODS",
+    "ShardJobView",
+    "ShardRouter",
+    "ShardedTrackingService",
+    "UnmergeableQueryError",
+    "composed_error_bound",
+    "merge_counts",
+    "merged_query",
+]

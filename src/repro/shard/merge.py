@@ -1,0 +1,220 @@
+"""The cross-shard query merge plane.
+
+Each shard hub runs a full, independent protocol instance over its slice
+of the site fleet, so a cross-shard answer is a *merge* of per-shard
+answers.  The paper's trackers are exactly the mergeable kind:
+
+* **counts sum** — every count-style estimate (``estimate``,
+  ``estimate_total``, ``estimate_rank``, ``estimate_frequency``) is a
+  sum of per-site contributions, so the merged answer is the plain sum
+  of per-shard answers;
+* **frequency summaries merge** — heavy-hitter sets are recombined by
+  taking the union of per-shard candidates, summing each candidate's
+  per-shard frequency estimates, and re-thresholding against the global
+  stream length (an item with global frequency ``>= phi * n`` must reach
+  ``phi * n_s`` on at least one shard — pigeonhole — so the union of
+  per-shard heavy hitters contains every true global heavy hitter);
+* **quantile summaries merge** — rank estimators are additive, so the
+  merged rank function is the per-candidate sum of per-shard rank
+  estimates and a merged quantile is read off it by the same binary
+  search the single-hub coordinators use.
+
+**Error composition.**  Per-shard hubs run at the job's *full* target
+``eps`` — no budget splitting is needed:
+
+* deterministic trackers have additive absolute error at most
+  ``eps * n_s`` per shard, and ``sum_s eps * n_s = eps * n``: the merged
+  answer meets the same ``eps * n`` bound as a single hub;
+* randomized trackers are unbiased with per-shard variance
+  ``O((eps * n_s)^2)``; shards draw independent randomness (per-shard
+  derived job seeds), so the merged variance is
+  ``sum_s O((eps n_s)^2) <= O((eps n)^2)`` — by Chebyshev the merged
+  estimate is within ``eps * n`` with at least the same constant
+  probability as a single hub.  (No union bound over shards is paid:
+  the composition is on variances, not on per-shard failure events.)
+
+:func:`composed_error_bound` exposes this accounting so callers and
+tests can assert against it.
+
+The merge plane is transport-agnostic: it sees shards only through a
+``fanout(method, *args)`` callable that queries every shard hub and
+returns the per-shard results (inline objects, worker threads or worker
+processes — the facade decides).  Methods with no merge rule raise
+:class:`UnmergeableQueryError` naming the mergeable surface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..service.errors import ServiceError
+
+__all__ = [
+    "UnmergeableQueryError",
+    "MERGEABLE_METHODS",
+    "merge_counts",
+    "merged_query",
+    "composed_error_bound",
+]
+
+
+class UnmergeableQueryError(ServiceError):
+    """The query method has no cross-shard merge rule."""
+
+
+#: query methods the merge plane can answer across shards, per problem
+#: family (``None`` = the job's default query, resolved per scheme)
+MERGEABLE_METHODS = (
+    "estimate",
+    "estimate_total",
+    "estimate_rank",
+    "estimate_frequency",
+    "quantile",
+    "heavy_hitters",
+    "top_items",
+)
+
+
+def merge_counts(values: Sequence[float]) -> float:
+    """Sum per-shard count-style answers (the additive merge rule).
+
+    Empty input (no shards answered — e.g. all shards empty of a
+    windowed job's mirrors) merges to ``0.0``; a single value merges to
+    itself, so one shard degenerates to the unsharded answer.
+    """
+    return float(sum(values))
+
+
+def composed_error_bound(epsilon: float, shard_elements: Sequence[int]) -> dict:
+    """The merged additive error bound for a job at target ``epsilon``.
+
+    ``shard_elements`` is the per-shard ingested element count.  The
+    composed bound is ``epsilon * sum(shard_elements)`` — identical to
+    the single-hub bound — because per-shard absolute errors
+    ``epsilon * n_s`` are additive (deterministic) or compose on
+    variances (randomized, independent shard seeds); see the module
+    docstring.  Returns the full accounting for reporting/tests.
+    """
+    per_shard = [epsilon * n for n in shard_elements]
+    total = sum(shard_elements)
+    return {
+        "epsilon": epsilon,
+        "elements": total,
+        "per_shard_bounds": per_shard,
+        "bound": epsilon * total,
+    }
+
+
+def _require_single_method(replies) -> str:
+    names = {name for name, _ in replies}
+    if len(names) != 1:
+        raise UnmergeableQueryError(
+            f"shards resolved the default query differently: {sorted(names)}"
+        )
+    return next(iter(names))
+
+
+def merged_query(
+    fanout: Callable, problem: str, method, args: tuple, kwargs: dict
+):
+    """Answer one query across shards.
+
+    Parameters
+    ----------
+    fanout:
+        ``fanout(method, *args, **kwargs)`` queries every shard hub and
+        returns a list of ``(resolved_method_name, result)`` pairs, one
+        per shard, in shard order.
+    problem:
+        The job's problem family (``count``/``frequency``/``rank``/
+        ``window``), used to pick family-specific rules.
+    method / args / kwargs:
+        The query as the caller issued it (``method=None`` = the job's
+        default query).
+    """
+    if method in (None, "estimate", "estimate_total", "estimate_rank",
+                  "estimate_frequency"):
+        if problem == "window" and method in (None, "estimate") and not args:
+            # Shards see different newest timestamps; evaluate every
+            # mirror at the globally newest one so silent shards decay
+            # consistently instead of each reporting its own "now".
+            nows = [now for _, now in fanout("latest_timestamp")
+                    if now is not None]
+            if not nows:
+                return 0.0
+            return merge_counts(
+                r for _, r in fanout("estimate", max(nows))
+            )
+        replies = fanout(method, *args, **kwargs)
+        _require_single_method(replies)
+        return merge_counts(r for _, r in replies)
+
+    if method == "quantile":
+        if len(args) != 1 or kwargs:
+            raise UnmergeableQueryError(
+                "cross-shard quantile takes exactly one argument (phi)"
+            )
+        from ..core.rank.util import quantile_from_rank_fn
+
+        phi = args[0]
+        candidates: set = set()
+        for _, values in fanout("rank_candidates"):
+            candidates.update(values)
+        ordered = sorted(candidates)
+        if not ordered:
+            raise ValueError("no candidate values to search")
+        total = merge_counts(r for _, r in fanout("estimate_total"))
+        target = min(max(phi, 0.0), 1.0) * total
+
+        def merged_rank(x):
+            # Lazily evaluated: the binary search touches O(log C)
+            # candidates, each one fan-out, instead of ranking the
+            # whole candidate union on every shard.
+            return merge_counts(r for _, r in fanout("estimate_rank", x))
+
+        return quantile_from_rank_fn(ordered, merged_rank, target)
+
+    if method == "heavy_hitters":
+        if len(args) != 1 or kwargs:
+            raise UnmergeableQueryError(
+                "cross-shard heavy_hitters takes exactly one argument (phi)"
+            )
+        phi = args[0]
+        candidates = set()
+        for _, hitters in fanout("heavy_hitters", phi):
+            candidates.update(hitters)
+        ordered = sorted(candidates, key=repr)
+        if not ordered:
+            return {}
+        sums = _summed_frequencies(fanout, ordered)
+        basis = merge_counts(r for _, r in fanout("frequency_basis"))
+        threshold = phi * max(1.0, basis)
+        return {
+            item: f for item, f in zip(ordered, sums) if f >= threshold
+        }
+
+    if method == "top_items":
+        if len(args) != 1 or kwargs:
+            raise UnmergeableQueryError(
+                "cross-shard top_items takes exactly one argument (m)"
+            )
+        m = args[0]
+        candidates = set()
+        for _, scored in fanout("top_items", m):
+            candidates.update(item for item, _ in scored)
+        ordered = sorted(candidates, key=repr)
+        sums = _summed_frequencies(fanout, ordered)
+        merged = sorted(zip(ordered, sums), key=lambda t: -t[1])
+        return merged[:m]
+
+    raise UnmergeableQueryError(
+        f"{method!r} has no cross-shard merge rule; mergeable methods: "
+        f"{list(MERGEABLE_METHODS)} (use query_shard() for one shard's "
+        f"full query surface)"
+    )
+
+
+def _summed_frequencies(fanout, items: list) -> List[float]:
+    """Per-item frequency estimates summed over all shards."""
+    per_shard = [r for _, r in fanout("estimate_frequencies", items)]
+    return [float(sum(col)) for col in zip(*per_shard)]

@@ -1,0 +1,572 @@
+"""The sharded multi-tenant tracking service.
+
+A :class:`ShardedTrackingService` partitions the site fleet across
+``num_shards`` shard-local hubs (each a full
+:class:`~repro.service.TrackingService`: engine, per-job Network
+ledgers, optional checkpoint bundle) behind the *same*
+register/ingest/query surface as a single service, so every frontend —
+the HTTP gateway, ``repro serve``-style drivers, the benchmarks — runs
+unchanged on top of it.
+
+* **Routing**: a :class:`~repro.shard.router.ShardRouter` hash-
+  partitions global site ids; one facade ``ingest`` splits the batch
+  and drives every hub (inline, worker threads, or worker processes —
+  see :mod:`repro.shard.workers`).  Per-shard event order is preserved,
+  so each hub's transcript is deterministic given the seed.
+* **Query merging**: cross-shard reads go through the merge plane
+  (:mod:`repro.shard.merge`): counts sum, frequency candidate sets
+  union + re-threshold, rank functions add.  Per-shard hubs run at the
+  job's full epsilon; the composed bound is still ``eps * n`` (see the
+  merge module's error-composition notes and :meth:`error_bound`).
+* **Determinism**: per-shard job seeds derive from the job seed and the
+  shard index, so shards draw independent randomness.  With
+  ``num_shards=1`` the partition is the identity and seeds are passed
+  through untouched — a one-shard facade is transcript-identical to an
+  unsharded :class:`TrackingService` (asserted in the equivalence
+  tests), which also makes it the honest baseline for scaling runs.
+* **Durability**: ``checkpoint_dir`` arms per-hub WAL+snapshot bundles
+  under ``shard-NN/`` plus a ``shards.json`` manifest;
+  :meth:`restore` rebuilds the facade and recovers every hub.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Optional
+
+from ..runtime import TrackingScheme, derive_seed
+from ..service.errors import DuplicateJobError, UnknownJobError
+from .merge import UnmergeableQueryError, composed_error_bound, merged_query
+from .router import ShardRouter
+from .workers import EXECUTORS, make_backend
+
+__all__ = ["ShardedTrackingService", "ShardJobView"]
+
+_MANIFEST = "shards.json"
+_MANIFEST_FORMAT = "repro-shards-v1"
+
+
+class ShardJobView:
+    """The facade's handle for one registered job.
+
+    Mirrors the slice of :class:`~repro.service.TrackingJob` the
+    frontends read (``name``, ``scheme``, ``seed``,
+    ``elements_processed``, ``space_budget_words``); protocol state
+    lives only in the shard hubs.
+    """
+
+    __slots__ = (
+        "name", "scheme", "seed", "space_budget_words", "_service",
+        "_elements_offset",
+    )
+
+    def __init__(self, name, scheme, seed, space_budget_words, service,
+                 elements_offset):
+        self.name = name
+        self.scheme = scheme
+        self.seed = seed
+        self.space_budget_words = space_budget_words
+        self._service = service
+        self._elements_offset = elements_offset
+
+    @property
+    def elements_processed(self) -> int:
+        """Events this job observed (jobs see everything ingested after
+        their registration; the facade routes every event)."""
+        return self._service.elements_processed - self._elements_offset
+
+    @property
+    def problem(self) -> str:
+        """Problem family from the scheme's table name."""
+        return self.scheme.name.split("/", 1)[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardJobView(name={self.name!r}, scheme={self.scheme.name!r}, "
+            f"elements={self.elements_processed})"
+        )
+
+
+class ShardedTrackingService:
+    """Partitioned ingest with merged cross-shard queries.
+
+    Parameters mirror :class:`~repro.service.TrackingService` plus:
+
+    num_shards:
+        Shard-local hubs to partition the ``num_sites`` fleet across
+        (``1 <= num_shards <= num_sites``).
+    executor:
+        ``"inline"`` (sequential, deterministic reference),
+        ``"thread"`` (one worker thread per hub) or ``"process"`` (one
+        worker process per hub; ingest is pipelined across hubs and
+        scales with cores).
+    """
+
+    def __init__(
+        self,
+        num_sites: int,
+        num_shards: int = 1,
+        seed: int = 0,
+        one_way: bool = False,
+        uplink_drop_rate: float = 0.0,
+        space_sample_interval: int = 4096,
+        space_budget_words: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        wal_segment_records: int = 4096,
+        wal_sync: bool = False,
+        executor: str = "inline",
+        _restore: bool = False,
+    ):
+        self.router = ShardRouter(num_sites, num_shards)
+        self.num_sites = num_sites
+        self.num_shards = num_shards
+        self.seed = seed
+        self.one_way = one_way
+        self.uplink_drop_rate = uplink_drop_rate
+        self.space_budget_words = space_budget_words
+        self.executor = executor
+        self.elements_processed = 0
+        self._jobs: Dict[str, ShardJobView] = {}
+        self._checkpoint_dir = checkpoint_dir
+        self._wal_segment_records = wal_segment_records
+        self._wal_sync = wal_sync
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown shard executor {executor!r}; choose from "
+                f"{EXECUTORS}"
+            )
+        configs = []
+        for shard in range(num_shards):
+            config = {
+                "num_sites": self.router.shard_size(shard),
+                "seed": self._shard_seed(seed, shard),
+                "one_way": one_way,
+                "uplink_drop_rate": uplink_drop_rate,
+                "space_sample_interval": space_sample_interval,
+                "space_budget_words": space_budget_words,
+                "wal_segment_records": wal_segment_records,
+                "wal_sync": wal_sync,
+            }
+            if checkpoint_dir is not None:
+                shard_dir = self._shard_dir(checkpoint_dir, shard)
+                if _restore:
+                    config = {
+                        "restore_from": shard_dir,
+                        "wal_segment_records": wal_segment_records,
+                        "wal_sync": wal_sync,
+                    }
+                else:
+                    config["checkpoint_dir"] = shard_dir
+            elif _restore:
+                raise ValueError("restore requires a checkpoint_dir")
+            configs.append(config)
+        if checkpoint_dir is not None and not _restore:
+            self._write_manifest(checkpoint_dir)
+        self._backend = make_backend(executor, configs)
+        if _restore:
+            self._rebuild_from_shards()
+
+    # -- seeds & layout ----------------------------------------------------
+
+    def _shard_seed(self, base: int, shard: int) -> int:
+        """Per-shard derivation; the one-shard facade passes seeds
+        through so it reproduces the unsharded transcript exactly."""
+        if self.num_shards == 1:
+            return base
+        return derive_seed(base, "shard", shard)
+
+    @staticmethod
+    def _shard_dir(checkpoint_dir: str, shard: int) -> str:
+        return os.path.join(checkpoint_dir, f"shard-{shard:02d}")
+
+    def _write_manifest(self, checkpoint_dir: str) -> None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        path = os.path.join(checkpoint_dir, _MANIFEST)
+        if os.path.exists(path):
+            raise ValueError(
+                f"checkpoint dir {checkpoint_dir!r} already holds a shard "
+                "manifest; resume it with ShardedTrackingService.restore(...)"
+            )
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "num_sites": self.num_sites,
+            "num_shards": self.num_shards,
+            "seed": self.seed,
+            "one_way": self.one_way,
+            "uplink_drop_rate": self.uplink_drop_rate,
+            "space_budget_words": self.space_budget_words,
+        }
+        with open(path, "w") as f:
+            json.dump(manifest, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    # -- job registry ------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        scheme: TrackingScheme,
+        seed: Optional[int] = None,
+        space_budget_words: Optional[int] = None,
+    ) -> ShardJobView:
+        """Register a named job on every shard hub.
+
+        The job seed resolves exactly like the unsharded service
+        (``derive_seed(service_seed, "job", name)``); each hub then gets
+        an independent per-shard derivation of it, so shard randomness
+        is uncorrelated and the variance composition argument holds.
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError("job name must be a non-empty string")
+        if name in self._jobs:
+            raise DuplicateJobError(f"job {name!r} is already registered")
+        resolved_seed = (
+            derive_seed(self.seed, "job", name) if seed is None else seed
+        )
+        resolved_budget = (
+            self.space_budget_words
+            if space_budget_words is None
+            else space_budget_words
+        )
+        self._backend.map(
+            "register",
+            [
+                (name, scheme, self._shard_seed(resolved_seed, shard),
+                 resolved_budget)
+                for shard in range(self.num_shards)
+            ],
+        )
+        view = ShardJobView(
+            name, scheme, resolved_seed, resolved_budget, self,
+            elements_offset=self.elements_processed,
+        )
+        self._jobs[name] = view
+        return view
+
+    def unregister(self, name: str) -> ShardJobView:
+        """Remove a job from every shard hub; returns its view."""
+        checked = self._checked(name)
+        self._backend.map(
+            "unregister", [(checked,)] * self.num_shards
+        )
+        return self._jobs.pop(checked)
+
+    def job(self, name: str) -> ShardJobView:
+        return self._jobs[self._checked(name)]
+
+    def _checked(self, name: str) -> str:
+        if name not in self._jobs:
+            raise UnknownJobError(
+                f"no job named {name!r}; registered: {sorted(self._jobs)}"
+            )
+        return name
+
+    @property
+    def jobs(self) -> Dict[str, ShardJobView]:
+        return dict(self._jobs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._jobs
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __getitem__(self, name: str) -> ShardJobView:
+        return self.job(name)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(self, site_ids, items=None) -> int:
+        """Route one ordered batch across the shard hubs.
+
+        Site ids are validated (and the batch rejected atomically) before
+        any hub sees an event.  With the process executor every hub's
+        sub-batch is posted before any ack is collected, so hubs apply
+        their slices concurrently.
+        """
+        parts = self.router.split(site_ids, items)
+        if not parts:
+            return 0
+        per_shard = [([], None) for _ in range(self.num_shards)]
+        for shard, local_ids, shard_items in parts:
+            per_shard[shard] = (local_ids, shard_items)
+        counts = self._backend.map("ingest", per_shard)
+        total = sum(counts)
+        self.elements_processed += total
+        return total
+
+    def ingest_stream(self, stream: Iterable, batch_size: int = 8192) -> int:
+        """Drain an iterable of ``(site_id, item)`` pairs in batches."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        total = 0
+        site_ids: list = []
+        items: list = []
+        for site_id, item in stream:
+            site_ids.append(site_id)
+            items.append(item)
+            if len(site_ids) >= batch_size:
+                total += self.ingest(site_ids, items)
+                site_ids, items = [], []
+        if site_ids:
+            total += self.ingest(site_ids, items)
+        return total
+
+    # -- queries -----------------------------------------------------------
+
+    def query(self, name: str, method: Optional[str] = None, *args, **kwargs):
+        """Run a merged cross-shard query on one job.
+
+        Additive queries (``estimate``, ``estimate_total``,
+        ``estimate_rank``, ``estimate_frequency`` and the default query)
+        sum per-shard answers; ``quantile``, ``heavy_hitters`` and
+        ``top_items`` run the candidate-union merges.  Anything else
+        raises :class:`UnmergeableQueryError` — reach one hub's full
+        surface with :meth:`query_shard`.
+        """
+        view = self.job(name)
+        if self.num_shards == 1:
+            # Degenerate partition: the single hub *is* the service, so
+            # its entire query surface is available unmerged.
+            _, result = self._backend.map(
+                "query", [(name, method, args, kwargs)]
+            )[0]
+            return result
+
+        def fanout(sub_method, *sub_args, **sub_kwargs):
+            return self._backend.map(
+                "query",
+                [(name, sub_method, sub_args, sub_kwargs)] * self.num_shards,
+            )
+
+        return merged_query(fanout, view.problem, method, args, kwargs)
+
+    def query_shard(self, shard: int, name: str,
+                    method: Optional[str] = None, *args, **kwargs):
+        """Run a query on one shard hub only (its full query surface)."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        self._checked(name)
+        _, result = self._backend.call(
+            shard, "query", (name, method, args, kwargs)
+        )
+        return result
+
+    def error_bound(self, name: str) -> dict:
+        """Composed additive error accounting for one job's merges.
+
+        ``bound`` is ``epsilon * n_total`` — identical to the unsharded
+        guarantee; see :func:`repro.shard.merge.composed_error_bound`.
+        """
+        view = self.job(name)
+        epsilon = getattr(view.scheme, "epsilon", None)
+        if epsilon is None:
+            raise ValueError(
+                f"job {name!r} scheme {view.scheme.name!r} has no epsilon"
+            )
+        shard_elements = self._backend.map(
+            "elements", [()] * self.num_shards
+        )
+        return composed_error_bound(epsilon, shard_elements)
+
+    # -- budgets -----------------------------------------------------------
+
+    def has_space_budgets(self) -> bool:
+        """True when any registered job carries a space budget."""
+        return any(
+            view.space_budget_words is not None
+            for view in self._jobs.values()
+        )
+
+    def space_overages(self) -> dict:
+        """Jobs whose high-water site space exceeds their budget.
+
+        The per-job overage is evaluated on every shard hub and the
+        worst shard reported, mirroring the unsharded semantics (the
+        budget bounds any single site's footprint).
+        """
+        merged: dict = {}
+        for shard_overages in self._backend.map(
+            "space_overages", [()] * self.num_shards
+        ):
+            for job_name, info in shard_overages.items():
+                current = merged.get(job_name)
+                if current is None or info["used"] > current["used"]:
+                    merged[job_name] = info
+        return merged
+
+    # -- status ------------------------------------------------------------
+
+    def status(self) -> dict:
+        """Fleet snapshot: merged per-job ledgers + per-shard detail."""
+        shard_statuses = self._backend.map("status", [()] * self.num_shards)
+        jobs: dict = {}
+        for view in self._jobs.values():
+            per_shard = [s["jobs"][view.name] for s in shard_statuses]
+            comm = _sum_dicts([j["comm"] for j in per_shard])
+            used = {
+                "max_site_words": max(
+                    j["space"]["used"]["max_site_words"] for j in per_shard
+                ),
+                "mean_site_words": sum(
+                    j["space"]["used"]["mean_site_words"] for j in per_shard
+                ) / len(per_shard),
+                "coordinator_words": sum(
+                    j["space"]["used"]["coordinator_words"]
+                    for j in per_shard
+                ),
+            }
+            budget = view.space_budget_words
+            estimate = None
+            try:
+                estimate = self.query(view.name)
+            except (AttributeError, UnmergeableQueryError):
+                pass  # jobs without a (mergeable) default query stay None
+            jobs[view.name] = {
+                "name": view.name,
+                "scheme": view.scheme.name,
+                "elements": view.elements_processed,
+                "comm": comm,
+                "dropped_uplink_messages": sum(
+                    j["dropped_uplink_messages"] for j in per_shard
+                ),
+                "space": {
+                    "total": budget,
+                    "used": used,
+                    "available": (
+                        None if budget is None
+                        else budget - used["max_site_words"]
+                    ),
+                },
+                "accuracy": {
+                    "epsilon": getattr(view.scheme, "epsilon", None),
+                    "estimate": estimate,
+                },
+            }
+        return {
+            "sites": self.num_sites,
+            "shards": self.num_shards,
+            "executor": self.executor,
+            "one_way": self.one_way,
+            "uplink_drop_rate": self.uplink_drop_rate,
+            "elements": self.elements_processed,
+            "comm": _sum_dicts([s["comm"] for s in shard_statuses]),
+            "jobs": jobs,
+            "shard_detail": [
+                {
+                    "shard": shard,
+                    "sites": self.router.shard_size(shard),
+                    "elements": status["elements"],
+                    "comm": status["comm"],
+                }
+                for shard, status in enumerate(shard_statuses)
+            ],
+        }
+
+    # -- persistence -------------------------------------------------------
+
+    def checkpoint(self) -> list:
+        """Snapshot every shard hub; returns the per-shard paths."""
+        if self._checkpoint_dir is None:
+            raise RuntimeError(
+                "no checkpoint_dir configured; pass checkpoint_dir= to "
+                "ShardedTrackingService"
+            )
+        return self._backend.map("checkpoint", [()] * self.num_shards)
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint_dir: str,
+        executor: str = "inline",
+        wal_segment_records: int = 4096,
+        wal_sync: bool = False,
+    ) -> "ShardedTrackingService":
+        """Recover a sharded service from its checkpoint directory.
+
+        Reads ``shards.json``, restores every ``shard-NN/`` bundle
+        (snapshot + WAL tail, exactly like a single service), and
+        rebuilds the facade's job views from the recovered hubs.
+        """
+        path = os.path.join(checkpoint_dir, _MANIFEST)
+        try:
+            with open(path) as f:
+                manifest = json.load(f)
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"no shard manifest at {path!r}; was this directory "
+                "created by ShardedTrackingService(checkpoint_dir=...)?"
+            ) from None
+        if manifest.get("format") != _MANIFEST_FORMAT:
+            raise ValueError(
+                f"unsupported shard manifest format "
+                f"{manifest.get('format')!r} in {path!r}"
+            )
+        return cls(
+            num_sites=manifest["num_sites"],
+            num_shards=manifest["num_shards"],
+            seed=manifest["seed"],
+            one_way=manifest["one_way"],
+            uplink_drop_rate=manifest["uplink_drop_rate"],
+            space_budget_words=manifest["space_budget_words"],
+            checkpoint_dir=checkpoint_dir,
+            wal_segment_records=wal_segment_records,
+            wal_sync=wal_sync,
+            executor=executor,
+            _restore=True,
+        )
+
+    def _rebuild_from_shards(self) -> None:
+        """Reconstruct job views and counters from restored hubs."""
+        manifests = self._backend.map("job_manifest", [()] * self.num_shards)
+        totals = self._backend.map("elements", [()] * self.num_shards)
+        self.elements_processed = sum(totals)
+        for entry in manifests[0]:
+            per_shard_elements = sum(
+                next(
+                    e["elements"]
+                    for e in shard_manifest
+                    if e["name"] == entry["name"]
+                )
+                for shard_manifest in manifests
+            )
+            # The per-shard job seed of shard 0 equals the facade-level
+            # resolved seed only when num_shards == 1; reconstruct the
+            # facade seed where possible, else keep shard 0's (views
+            # only report it).
+            self._jobs[entry["name"]] = ShardJobView(
+                entry["name"],
+                entry["scheme"],
+                entry["seed"],
+                entry["space_budget_words"],
+                self,
+                elements_offset=self.elements_processed
+                - per_shard_elements,
+            )
+
+    @property
+    def checkpoint_dir(self) -> Optional[str]:
+        return self._checkpoint_dir
+
+    def close(self) -> None:
+        """Shut down every hub (and worker) cleanly."""
+        self._backend.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedTrackingService(sites={self.num_sites}, "
+            f"shards={self.num_shards}, executor={self.executor!r}, "
+            f"jobs={len(self._jobs)}, elements={self.elements_processed})"
+        )
+
+
+def _sum_dicts(dicts: list) -> dict:
+    """Field-wise sum of same-shaped numeric dicts (comm snapshots)."""
+    out: dict = {}
+    for d in dicts:
+        for key, value in d.items():
+            out[key] = out.get(key, 0) + value
+    return out

@@ -1,0 +1,350 @@
+"""Shard execution backends: inline, worker threads, worker processes.
+
+One shard hub is one full :class:`~repro.service.TrackingService` (its
+own engine, per-job Network ledgers and — when durability is armed —
+its own checkpoint bundle).  The facade drives all hubs through a tiny
+command table so the same operations run identically however the hubs
+are hosted:
+
+* **inline** — hubs are plain objects in the caller's process, driven
+  sequentially.  Deterministic and dependency-free; the mode the
+  equivalence tests pin down.
+* **thread** — one worker thread per hub.  Hub work is pure Python, so
+  on a GIL build this buys overlap only around allocator/numpy releases;
+  it is the right mode for free-threaded builds and keeps the facade
+  non-blocking per shard.
+* **process** — one worker process per hub (fork when available, else
+  spawn).  Commands travel a duplex pipe; ingest is *pipelined*: the
+  facade posts every shard's sub-batch before collecting any ack, so all
+  hubs apply their slices concurrently and ingest scales with cores.
+
+Every backend exposes ``map(op, per_shard_args)`` -> per-shard results
+(shard order) and ``close()``.  Worker exceptions are re-raised in the
+caller; unpicklable ones degrade to :class:`ShardWorkerError` carrying
+the remote traceback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import traceback
+from typing import List, Optional
+
+from ..service import TrackingService
+from ..service.job import resolve_query
+
+__all__ = [
+    "ShardWorkerError",
+    "InlineBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+    "EXECUTORS",
+]
+
+EXECUTORS = ("inline", "thread", "process")
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed and its exception could not be re-raised."""
+
+
+# -- the command table (runs wherever the hub lives) -----------------------
+
+
+def _cmd_register(service, name, scheme, seed, budget):
+    service.register(name, scheme, seed=seed, space_budget_words=budget)
+    return True
+
+
+def _cmd_unregister(service, name):
+    service.unregister(name)
+    return True
+
+
+def _cmd_ingest(service, local_ids, items):
+    if not local_ids:
+        return 0
+    return service.ingest(local_ids, items)
+
+
+def _cmd_query(service, name, method, args, kwargs):
+    job = service.job(name)
+    fn = resolve_query(job.coordinator, method)
+    return fn.__name__, fn(*args, **kwargs)
+
+
+def _cmd_status(service):
+    return service.status()
+
+
+def _cmd_space_overages(service):
+    return service.space_overages()
+
+
+def _cmd_job_manifest(service):
+    """Everything the facade needs to rebuild its job views on restore."""
+    return [
+        {
+            "name": job.name,
+            "scheme": job.scheme,
+            "seed": job.seed,
+            "space_budget_words": job.space_budget_words,
+            "elements": job.elements_processed,
+        }
+        for job in service.jobs.values()
+    ]
+
+
+def _cmd_checkpoint(service):
+    return service.checkpoint()
+
+
+def _cmd_elements(service):
+    return service.elements_processed
+
+
+COMMANDS = {
+    "register": _cmd_register,
+    "unregister": _cmd_unregister,
+    "ingest": _cmd_ingest,
+    "query": _cmd_query,
+    "status": _cmd_status,
+    "space_overages": _cmd_space_overages,
+    "job_manifest": _cmd_job_manifest,
+    "checkpoint": _cmd_checkpoint,
+    "elements": _cmd_elements,
+}
+
+
+def _build_service(config: dict) -> TrackingService:
+    if config.get("restore_from"):
+        return TrackingService.restore(
+            config["restore_from"],
+            wal_segment_records=config.get("wal_segment_records", 4096),
+            wal_sync=config.get("wal_sync", False),
+        )
+    return TrackingService(**{k: v for k, v in config.items()
+                              if k != "restore_from"})
+
+
+# -- in-process backends ---------------------------------------------------
+
+
+class InlineBackend:
+    """Hubs as plain objects, driven sequentially in the caller."""
+
+    def __init__(self, configs: List[dict]):
+        self.services = [_build_service(config) for config in configs]
+
+    def map(self, op: str, per_shard_args: List[tuple]) -> list:
+        fn = COMMANDS[op]
+        return [
+            fn(service, *args)
+            for service, args in zip(self.services, per_shard_args)
+        ]
+
+    def call(self, shard: int, op: str, args: tuple):
+        """Run one command on one hub only."""
+        return COMMANDS[op](self.services[shard], *args)
+
+    def close(self) -> None:
+        for service in self.services:
+            service.close()
+
+
+class ThreadBackend(InlineBackend):
+    """Hubs as plain objects, one worker thread per hub."""
+
+    def __init__(self, configs: List[dict]):
+        from concurrent.futures import ThreadPoolExecutor
+
+        super().__init__(configs)
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self.services),
+            thread_name_prefix="repro-shard",
+        )
+
+    def map(self, op: str, per_shard_args: List[tuple]) -> list:
+        fn = COMMANDS[op]
+        futures = [
+            self._pool.submit(fn, service, *args)
+            for service, args in zip(self.services, per_shard_args)
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        super().close()
+
+
+# -- process backend -------------------------------------------------------
+
+
+def _worker_main(conn, config: dict) -> None:
+    """Entry point of one shard worker process."""
+    try:
+        service = _build_service(config)
+    except BaseException as exc:
+        conn.send(("err", _shippable(exc)))
+        conn.close()
+        return
+    conn.send(("ok", True))
+    while True:
+        try:
+            op, args = conn.recv()
+        except (EOFError, OSError):
+            break
+        if op == "close":
+            try:
+                service.close()
+                conn.send(("ok", True))
+            except BaseException as exc:
+                conn.send(("err", _shippable(exc)))
+            break
+        try:
+            result = COMMANDS[op](service, *args)
+            conn.send(("ok", result))
+        except BaseException as exc:
+            conn.send(("err", _shippable(exc)))
+    conn.close()
+
+
+def _shippable(exc: BaseException):
+    """An exception as something the parent can re-raise.
+
+    Returns the exception itself when it pickles, else a
+    :class:`ShardWorkerError` carrying the formatted remote traceback.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ShardWorkerError(
+            f"{type(exc).__name__}: {exc}\n"
+            f"(remote traceback)\n{traceback.format_exc()}"
+        )
+
+
+class ProcessBackend:
+    """One worker process per hub, commands over duplex pipes.
+
+    ``map`` posts every shard's command before collecting any reply, so
+    shard hubs execute concurrently — the property the ingest scaling
+    benchmark measures.
+    """
+
+    def __init__(self, configs: List[dict]):
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._conns = []
+        self._procs = []
+        try:
+            for config in configs:
+                parent, child = context.Pipe(duplex=True)
+                proc = context.Process(
+                    target=_worker_main,
+                    args=(child, config),
+                    daemon=True,
+                    name="repro-shard-worker",
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+            # Synchronize on construction so a bad config (e.g. a dirty
+            # checkpoint dir) fails in the caller, not silently later.
+            for conn in self._conns:
+                self._collect(conn)
+        except BaseException:
+            self.close()
+            raise
+
+    @staticmethod
+    def _collect(conn):
+        try:
+            status, payload = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ShardWorkerError(
+                f"shard worker died without replying: {exc}"
+            ) from exc
+        if status == "err":
+            raise payload
+        return payload
+
+    def map(self, op: str, per_shard_args: List[tuple]) -> list:
+        # Both phases are failure-safe: a dead worker must not leave
+        # another shard's posted command unread, or every later map()
+        # would read misaligned replies from the surviving pipes.
+        sent = []
+        first_error: Optional[BaseException] = None
+        for conn, args in zip(self._conns, per_shard_args):
+            try:
+                conn.send((op, args))
+                sent.append(True)
+            except (BrokenPipeError, OSError) as exc:
+                sent.append(False)
+                if first_error is None:
+                    first_error = ShardWorkerError(
+                        f"shard worker pipe is down: {exc}"
+                    )
+        results = []
+        for conn, was_sent in zip(self._conns, sent):
+            if not was_sent:
+                results.append(None)
+                continue
+            try:
+                results.append(self._collect(conn))
+            except BaseException as exc:  # drain all pipes before raising
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def call(self, shard: int, op: str, args: tuple):
+        """Run one command on one worker only."""
+        self._conns[shard].send((op, args))
+        return self._collect(self._conns[shard])
+
+    def close(self) -> None:
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close", ()))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                if conn.poll(10):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+
+
+def make_backend(executor: str, configs: List[dict]):
+    """Build the backend for ``executor`` (one config per shard hub)."""
+    if executor == "inline":
+        return InlineBackend(configs)
+    if executor == "thread":
+        return ThreadBackend(configs)
+    if executor == "process":
+        return ProcessBackend(configs)
+    raise ValueError(
+        f"unknown shard executor {executor!r}; choose from {EXECUTORS}"
+    )

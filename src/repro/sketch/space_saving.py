@@ -42,6 +42,48 @@ class SpaceSaving(PersistableState):
         self.counts[item] = floor + count
         self.errors[item] = floor
 
+    def merge_from(self, other: "SpaceSaving") -> None:
+        """Absorb another summary, keeping the overestimate guarantee.
+
+        An item absent from one summary may still have occurred in that
+        summary's stream up to its minimum stored count, so the merge
+        credits absent items with that minimum as both count and error.
+        The top ``capacity`` merged counts are kept; discarded items'
+        true counts are below every survivor's upper bound.  The merged
+        worst-case overcount is ``(n_self + n_other) / capacity``.
+        Capacities must match.
+        """
+        if other.capacity != self.capacity:
+            raise ValueError("capacities must match to merge")
+        floor_self = (
+            min(self.counts.values())
+            if len(self.counts) >= self.capacity else 0
+        )
+        floor_other = (
+            min(other.counts.values())
+            if len(other.counts) >= other.capacity else 0
+        )
+        merged_counts: dict = {}
+        merged_errors: dict = {}
+        for item in set(self.counts) | set(other.counts):
+            c_self = self.counts.get(item)
+            c_other = other.counts.get(item)
+            count = (c_self if c_self is not None else floor_self) + (
+                c_other if c_other is not None else floor_other
+            )
+            error = (
+                self.errors.get(item, floor_self)
+                + other.errors.get(item, floor_other)
+            )
+            merged_counts[item] = count
+            merged_errors[item] = error
+        keep = sorted(
+            merged_counts, key=merged_counts.get, reverse=True
+        )[: self.capacity]
+        self.counts = {j: merged_counts[j] for j in keep}
+        self.errors = {j: merged_errors[j] for j in keep}
+        self.n += other.n
+
     def estimate(self, item) -> int:
         """Upper bound on the frequency of ``item``.
 

@@ -1,0 +1,255 @@
+"""Sharded vs unsharded equivalence: merged answers meet composed bounds.
+
+The contract of :mod:`repro.shard`:
+
+* a **one-shard** facade is the identity partition with pass-through
+  seeds — byte-identical answers to an unsharded ``TrackingService``
+  for every scheme and every query;
+* **deterministic merge paths** (deterministic count, window count —
+  whose sites depend only on their local stream) merge *exactly* at any
+  shard count: the merged answer equals the unsharded answer;
+* **randomized / k-dependent schemes** merge within the composed error
+  bound ``eps * n`` (per-shard full-epsilon budgets; additive errors
+  sum to ``eps * n``, independent variances compose — see
+  :func:`repro.shard.merge.composed_error_bound`);
+* executors are interchangeable: inline, thread and process backends
+  produce identical answers for identical seeds.
+"""
+
+import bisect
+
+import pytest
+
+from repro import (
+    Cormode05RankScheme,
+    DeterministicCountScheme,
+    DeterministicFrequencyScheme,
+    DistributedSamplingScheme,
+    RandomizedCountScheme,
+    RandomizedFrequencyScheme,
+    RandomizedRankScheme,
+    ShardedTrackingService,
+    TrackingService,
+    WindowedCountScheme,
+)
+from repro.shard import UnmergeableQueryError, composed_error_bound
+from repro.workloads import uniform_sites, with_items, zipf_items
+
+K = 16
+N = 30_000
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def stream():
+    pairs = list(
+        with_items(
+            uniform_sites(N, K, seed=SEED),
+            zipf_items(300, alpha=1.2, seed=SEED + 1),
+        )
+    )
+    return [s for s, _ in pairs], [v for _, v in pairs]
+
+
+JOB_SPECS = (
+    ("count-r", RandomizedCountScheme, 0.02),
+    ("count-d", DeterministicCountScheme, 0.02),
+    ("freq-r", RandomizedFrequencyScheme, 0.05),
+    ("freq-d", DeterministicFrequencyScheme, 0.05),
+    ("rank-r", RandomizedRankScheme, 0.05),
+    ("rank-c", Cormode05RankScheme, 0.05),
+    ("sample", DistributedSamplingScheme, 0.1),
+)
+
+
+def build(service):
+    for name, factory, eps in JOB_SPECS:
+        service.register(name, factory(eps))
+    return service
+
+
+@pytest.fixture(scope="module")
+def reference(stream):
+    service = build(TrackingService(num_sites=K, seed=SEED))
+    service.ingest(*stream)
+    yield service
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def sharded4(stream):
+    service = build(
+        ShardedTrackingService(num_sites=K, num_shards=4, seed=SEED)
+    )
+    service.ingest(*stream)
+    yield service
+    service.close()
+
+
+QUERIES = (
+    ("count-r", None, ()),
+    ("count-d", None, ()),
+    ("freq-r", "estimate_frequency", (1,)),
+    ("freq-d", "estimate_frequency", (1,)),
+    ("freq-d", "top_items", (5,)),
+    ("freq-d", "heavy_hitters", (0.05,)),
+    ("rank-r", "estimate_total", ()),
+    ("rank-r", "estimate_rank", (10,)),
+    ("rank-r", "quantile", (0.5,)),
+    ("rank-c", "quantile", (0.9,)),
+    ("sample", None, ()),
+    ("sample", "quantile", (0.5,)),
+    ("sample", "heavy_hitters", (0.2,)),
+)
+
+
+class TestSingleShardIdentity:
+    """One shard == the unsharded service, transcript-identically."""
+
+    def test_every_query_matches_exactly(self, stream, reference):
+        sharded = build(
+            ShardedTrackingService(num_sites=K, num_shards=1, seed=SEED)
+        )
+        sharded.ingest(*stream)
+        for job, method, args in QUERIES:
+            assert sharded.query(job, method, *args) == reference.query(
+                job, method, *args
+            ), (job, method, args)
+        sharded.close()
+
+
+class TestDeterministicMergePaths:
+    """Seed-independent schemes merge exactly at any shard count."""
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_deterministic_count_exact(self, stream, reference, shards):
+        sharded = ShardedTrackingService(
+            num_sites=K, num_shards=shards, seed=SEED
+        )
+        sharded.register("count-d", DeterministicCountScheme(0.02))
+        sharded.ingest(*stream)
+        assert sharded.query("count-d") == reference.query("count-d")
+        sharded.close()
+
+    def test_window_count_exact(self):
+        unsharded = TrackingService(num_sites=8, seed=SEED)
+        sharded = ShardedTrackingService(
+            num_sites=8, num_shards=4, seed=SEED
+        )
+        for service in (unsharded, sharded):
+            service.register("win", WindowedCountScheme(500, 0.1))
+        events = [(i % 8, float(i)) for i in range(4_000)]
+        site_ids = [s for s, _ in events]
+        stamps = [t for _, t in events]
+        unsharded.ingest(site_ids, stamps)
+        sharded.ingest(site_ids, stamps)
+        # Explicit and implicit clocks both merge exactly: per-site EH
+        # mirrors are independent of fleet grouping.
+        assert sharded.query("win") == unsharded.query("win")
+        assert sharded.query(
+            "win", "estimate", 3_999.0
+        ) == unsharded.query("win", "estimate", 3_999.0)
+        unsharded.close()
+        sharded.close()
+
+
+class TestComposedBounds:
+    """Merged answers stay within eps * n of the truth at 4 shards."""
+
+    def test_count_within_bound(self, stream, sharded4):
+        bound = sharded4.error_bound("count-r")
+        assert bound["bound"] == pytest.approx(0.02 * N)
+        assert abs(sharded4.query("count-r") - N) <= bound["bound"]
+
+    def test_frequency_within_bound(self, stream, sharded4):
+        site_ids, items = stream
+        for item in (0, 1, 2, 7):
+            truth = items.count(item)
+            for job in ("freq-r", "freq-d"):
+                merged = sharded4.query(job, "estimate_frequency", item)
+                assert abs(merged - truth) <= 0.05 * N, (job, item)
+
+    def test_rank_and_quantile_within_bound(self, stream, sharded4):
+        site_ids, items = stream
+        ordered = sorted(items)
+        probe = ordered[len(ordered) // 2]
+        truth = bisect.bisect_left(ordered, probe)
+        merged = sharded4.query("rank-r", "estimate_rank", probe)
+        assert abs(merged - truth) <= 2 * 0.05 * N
+        for phi in (0.25, 0.5, 0.9):
+            q = sharded4.query("rank-r", "quantile", phi)
+            lo = bisect.bisect_left(ordered, q)
+            hi = bisect.bisect_right(ordered, q)
+            # q's value interval must cover phi*n to within the bound.
+            assert lo - 2 * 0.05 * N <= phi * N <= hi + 2 * 0.05 * N
+
+    def test_heavy_hitters_cover_true_hitters(self, stream, sharded4):
+        site_ids, items = stream
+        counts = {}
+        for v in items:
+            counts[v] = counts.get(v, 0) + 1
+        phi, eps = 0.05, 0.05
+        merged = sharded4.query("freq-d", "heavy_hitters", phi)
+        for item, c in counts.items():
+            if c >= (phi + eps) * N:
+                assert item in merged, item
+
+    def test_top_items_agree_with_reference_counts(self, stream, sharded4):
+        site_ids, items = stream
+        counts = {}
+        for v in items:
+            counts[v] = counts.get(v, 0) + 1
+        top_true = sorted(counts, key=counts.get, reverse=True)[:3]
+        top_merged = [j for j, _ in sharded4.query("freq-d", "top_items", 3)]
+        assert top_merged[0] == top_true[0]
+        assert set(top_merged) == set(top_true)
+
+
+class TestExecutorEquivalence:
+    """inline == thread == process for identical seeds."""
+
+    def test_backends_agree_exactly(self, stream, sharded4):
+        for executor in ("thread", "process"):
+            other = build(
+                ShardedTrackingService(
+                    num_sites=K, num_shards=4, seed=SEED, executor=executor
+                )
+            )
+            other.ingest(*stream)
+            for job, method, args in QUERIES:
+                assert other.query(job, method, *args) == sharded4.query(
+                    job, method, *args
+                ), (executor, job, method)
+            other.close()
+
+
+class TestEdgeCases:
+    def test_empty_shards_merge_cleanly(self):
+        # 8 sites over 8 shards, but only two sites ever receive events:
+        # six shard hubs stay completely empty.
+        service = ShardedTrackingService(num_sites=8, num_shards=8, seed=3)
+        service.register("count", DeterministicCountScheme(0.05))
+        service.register("rank", RandomizedRankScheme(0.1))
+        service.register("freq", DeterministicFrequencyScheme(0.1))
+        site_ids = [0, 5] * 500
+        items = [1 + (i % 7) for i in range(1_000)]
+        service.ingest(site_ids, items)
+        assert service.query("count") >= 1_000 / 1.05
+        assert service.query("freq", "top_items", 2)
+        q = service.query("rank", "quantile", 0.5)
+        assert 1 <= q <= 7
+        assert service.query("freq", "heavy_hitters", 0.9) == {}
+        service.close()
+
+    def test_unmergeable_method_raises(self, sharded4):
+        with pytest.raises(UnmergeableQueryError):
+            sharded4.query("rank-r", "rank_candidates")
+        # ... but the per-shard surface stays reachable.
+        assert isinstance(
+            sharded4.query_shard(0, "rank-r", "rank_candidates"), list
+        )
+
+    def test_composed_error_bound_accounting(self):
+        accounting = composed_error_bound(0.05, [100, 0, 300])
+        assert accounting["bound"] == pytest.approx(0.05 * 400)
+        assert accounting["per_shard_bounds"] == [5.0, 0.0, 15.0]

@@ -127,3 +127,100 @@ class TestWireCodec:
     def test_unit_chunk(self):
         chunk = [1] * 64
         assert decode_chunk(encode_chunk(chunk)) == chunk
+
+
+class TestBinaryPayloads:
+    def round_trip(self, obj):
+        from repro.net.frames import decode_payload, encode_payload
+
+        return decode_payload(encode_payload(obj))
+
+    def test_plain_control_messages_stay_json(self):
+        from repro.net.frames import encode_payload
+
+        obj = {"t": "ack", "n": 3}
+        payload = encode_payload(obj)
+        assert payload[0:1] == b"{"  # no envelope, zero overhead
+        assert self.round_trip(obj) == obj
+
+    def test_long_int_list_packs_and_round_trips(self):
+        from repro.net.frames import encode_payload
+
+        values = list(range(100_000, 101_000))
+        obj = {"t": "run", "chunk": {"items": values}}
+        payload = encode_payload(obj)
+        assert payload[0] == 0xF5
+        assert self.round_trip(obj) == obj
+        # raw i4 beats the ~7 bytes/int JSON rendering
+        import json
+
+        assert len(payload) < len(json.dumps(obj).encode()) * 0.7
+
+    def test_float_lists_round_trip_bit_exact(self):
+        values = [i * 0.1234567890123 for i in range(64)]
+        decoded = self.round_trip({"xs": values})["xs"]
+        assert decoded == values
+        assert all(type(v) is float for v in decoded)
+
+    def test_short_float_lists_stay_json(self):
+        from repro.net.frames import encode_payload
+
+        # "1.0"-style floats render at 4 bytes in JSON vs 8 raw; the
+        # size gate must leave them unpacked (ints still win as u1)
+        obj = {"b": [1.0] * 500}
+        assert encode_payload(obj)[0:1] == b"{"
+        assert self.round_trip(obj) == obj
+
+    def test_single_digit_ints_pack_as_u1(self):
+        from repro.net.frames import encode_payload
+
+        obj = {"a": [1] * 500}
+        assert encode_payload(obj)[0] == 0xF5  # u1 halves "1," JSON
+        assert self.round_trip(obj) == obj
+
+    def test_dtype_choice_follows_range(self):
+        from repro.net.frames import _classify
+
+        assert _classify(list(range(16))) == "u1"
+        assert _classify([-5] + [300] * 20) == "i2"
+        assert _classify([1 << 20] * 20) == "i4"
+        assert _classify([1 << 40] * 20) == "i8"
+        assert _classify([1 << 70] * 20) is None  # bigints stay JSON
+        assert _classify([0.5] * 20) == "f8"
+        assert _classify([1, 0.5] + [3] * 20) is None
+        assert _classify([True] * 20) is None  # bools are not ints here
+
+    def test_reserved_key_collision_is_escaped(self):
+        obj = {"__wblob__": [0, "i8"], "__wesc__": {"x": 1},
+               "data": list(range(1000, 1100))}
+        assert self.round_trip(obj) == obj
+
+    def test_mixed_and_nested_structures(self):
+        obj = {
+            "runs": [list(range(500, 600)), ["a", "b"], []],
+            "summary": {"values": list(range(3000, 3100)),
+                        "weights": [2.5] * 100},
+            "none": None,
+        }
+        assert self.round_trip(obj) == obj
+
+    def test_truncated_envelope_raises(self):
+        from repro.net.frames import decode_payload, encode_payload
+
+        payload = encode_payload({"xs": list(range(1000, 1100))})
+        assert payload[0] == 0xF5
+        with pytest.raises(FrameError):
+            decode_payload(payload[:-3])
+        with pytest.raises(FrameError):
+            decode_payload(payload + b"\x00")
+
+    def test_tcp_vs_json_transport_agree_on_rich_chunks(self):
+        # tuples inside a coded chunk survive a JSON rendering (what the
+        # TCP transport does), matching the loopback's object passing
+        import json as _json
+
+        chunk = [(0, 5), (1, 7), "label", 2.5]
+        encoded = encode_chunk(chunk)
+        over_json = _json.loads(_json.dumps(encoded))
+        assert decode_chunk(over_json) == chunk
+        assert isinstance(decode_chunk(over_json)[0], tuple)

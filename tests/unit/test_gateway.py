@@ -249,3 +249,172 @@ class TestQueryCli:
         rc = cli_main(["query", "http://127.0.0.1:9", "x"])
         assert rc == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestQuotaEnforcement:
+    def test_rate_limit_429_with_retry_after(self):
+        service = TrackingService(num_sites=4, seed=1)
+        with GatewayThread(
+            service, max_ingest_rate=10.0, ingest_burst=100
+        ) as gw:
+            request(
+                gw, "POST", "/v1/jobs",
+                {"name": "t", "spec": "count/deterministic:0.1"},
+            )
+            status, _ = request(
+                gw, "POST", "/v1/ingest", {"site_ids": [0] * 90}
+            )
+            assert status == 200
+            # the bucket is drained; the next request must be rejected
+            import urllib.error as _err
+            import urllib.request as _req
+
+            req = _req.Request(
+                gw.url + "/v1/ingest",
+                data=json.dumps({"site_ids": [0] * 90}).encode(),
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(_err.HTTPError) as excinfo:
+                _req.urlopen(req, timeout=30)
+            assert excinfo.value.code == 429
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+            body = json.load(excinfo.value)
+            assert "rate limit" in body["error"]
+            status, health = get(gw, "/healthz")
+            assert health["quota"]["rejected_429"] == 1
+            assert health["quota"]["max_ingest_rate"] == 10.0
+        service.close()
+
+    def test_space_budget_413(self):
+        service = TrackingService(num_sites=4, seed=2,
+                                  space_sample_interval=64)
+        with GatewayThread(service) as gw:
+            request(
+                gw, "POST", "/v1/jobs",
+                {
+                    "name": "hh",
+                    "spec": "frequency/deterministic:0.01",
+                    "space_budget_words": 5,
+                },
+            )
+            status, _ = request(
+                gw, "POST", "/v1/ingest",
+                {
+                    "site_ids": [i % 4 for i in range(2000)],
+                    "items": list(range(2000)),
+                },
+            )
+            assert status == 200  # budget trips only after the sweep
+            status, body = request(
+                gw, "POST", "/v1/ingest", {"site_ids": [0], "items": [1]}
+            )
+            assert status == 413
+            assert "space budget exceeded" in body["error"]
+            assert "hh" in body["error"]
+            _, health = get(gw, "/healthz")
+            assert health["quota"]["rejected_413"] >= 1
+            # dropping the offending job clears the quota block
+            request(gw, "DELETE", "/v1/jobs/hh")
+            status, _ = request(
+                gw, "POST", "/v1/ingest", {"site_ids": [0], "items": [1]}
+            )
+            assert status == 200
+        service.close()
+
+    def test_no_quota_no_rejections(self):
+        service = TrackingService(num_sites=4, seed=3)
+        with GatewayThread(service) as gw:
+            request(
+                gw, "POST", "/v1/jobs",
+                {"name": "t", "spec": "count/deterministic:0.1"},
+            )
+            for _ in range(3):
+                status, _ = request(
+                    gw, "POST", "/v1/ingest", {"site_ids": [0] * 5000}
+                )
+                assert status == 200
+            _, health = get(gw, "/healthz")
+            assert health["quota"] == {
+                "max_ingest_rate": None,
+                "rejected_429": 0,
+                "rejected_413": 0,
+            }
+        service.close()
+
+
+class TestTokenBucket:
+    def test_refill_and_debt(self):
+        from repro.net.gateway import TokenBucket
+
+        clock = [0.0]
+        bucket = TokenBucket(rate=100.0, burst=200, clock=lambda: clock[0])
+        assert bucket.try_admit(200) == 0.0  # full burst admitted
+        wait = bucket.try_admit(50)
+        assert wait == pytest.approx(0.5)  # 50 tokens at 100/s
+        clock[0] += 0.5
+        assert bucket.try_admit(50) == 0.0
+        # an oversized request waits for a full bucket, then overdrafts
+        wait = bucket.try_admit(1000)
+        assert wait == pytest.approx(2.0)
+        clock[0] += 2.0
+        assert bucket.try_admit(1000) == 0.0
+        assert bucket.tokens < 0  # overdraft charged to the future
+
+    def test_validation(self):
+        from repro.net.gateway import TokenBucket
+
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=10)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=5, burst=0)
+
+
+class TestShardedGateway:
+    def test_full_surface_over_sharded_service(self):
+        from repro import ShardedTrackingService
+
+        service = ShardedTrackingService(
+            num_sites=8, num_shards=4, seed=5, executor="thread"
+        )
+        with GatewayThread(service) as gw:
+            status, body = request(
+                gw, "POST", "/v1/jobs",
+                {"name": "total", "spec": "count/randomized:0.05",
+                 "seed": 77},
+            )
+            assert (status, body["registered"]) == (200, "total")
+            request(
+                gw, "POST", "/v1/jobs",
+                {"name": "hh", "spec": "frequency/deterministic:0.1"},
+            )
+            site_ids = [i % 8 for i in range(4000)]
+            items = [i % 5 for i in range(4000)]
+            status, body = request(
+                gw, "POST", "/v1/ingest",
+                {"site_ids": site_ids, "items": items},
+            )
+            assert (status, body["ingested"]) == (200, 4000)
+            status, body = request(
+                gw, "POST", "/v1/query", {"job": "total"}
+            )
+            assert status == 200
+            assert abs(body["result"] - 4000) <= 2 * 0.05 * 4000
+            status, body = get(gw, "/v1/query/hh?method=top_items&arg=2")
+            assert status == 200 and len(body["result"]) == 2
+            status, body = get(gw, "/v1/status")
+            assert status == 200
+            assert body["shards"] == 4
+            assert body["jobs"]["total"]["elements"] == 4000
+            # merged answers equal an identically-seeded in-process mirror
+            mirror = ShardedTrackingService(
+                num_sites=8, num_shards=4, seed=5
+            )
+            from repro import RandomizedCountScheme
+
+            mirror.register("total", RandomizedCountScheme(0.05), seed=77)
+            mirror.ingest(site_ids, items)
+            _, body = request(gw, "POST", "/v1/query", {"job": "total"})
+            assert body["result"] == mirror.query("total")
+            mirror.close()
+        service.close()
