@@ -165,9 +165,66 @@ def bench_accuracy(site_ids, items):
     return out
 
 
+#: wall-clock speedup multi-shard process ingest must reach at the best
+#: shard count for --check-scaling to pass (needs >= 2 real cores)
+SCALING_TARGET = 2.0
+
+
+def scaling_check(rates: dict, cpus: int, enforce: bool) -> dict:
+    """Evaluate (or skip) the >=SCALING_TARGET x scaling assertion.
+
+    Wall-clock scaling is physically impossible on a single-CPU
+    container — every extra shard only adds IPC overhead, so a ~0.9x
+    "regression" there is expected, not a finding.  The check therefore
+    *skips* (and records why) when ``os.cpu_count() < 2``; with enough
+    cores it compares the best multi-shard speedup against the target,
+    asserting only when ``--check-scaling`` was passed.
+    """
+    base = rates[SHARD_COUNTS[0]]
+    best_shards = max(SHARD_COUNTS[1:], key=lambda s: rates[s])
+    best = rates[best_shards] / base
+    result = {
+        "cpus": cpus,
+        "target": SCALING_TARGET,
+        "best_speedup": round(best, 3),
+        "best_shards": best_shards,
+    }
+    if cpus < 2:
+        result["checked"] = False
+        result["skipped"] = (
+            f"requires >= 2 cpus, have {cpus}: wall-clock scaling on one "
+            "core measures pure IPC overhead"
+        )
+        print(
+            f"[bench] scaling check SKIPPED ({result['skipped']}); "
+            f"best observed {best:.2f}x at {best_shards} shards"
+        )
+        return result
+    result["checked"] = enforce
+    result["passed"] = best >= SCALING_TARGET
+    status = "PASSED" if result["passed"] else "FAILED"
+    print(
+        f"[bench] scaling check {status if enforce else 'observed'}: "
+        f"{best:.2f}x at {best_shards} shards "
+        f"(target {SCALING_TARGET:.1f}x, cpus={cpus})"
+    )
+    if enforce and not result["passed"]:
+        raise SystemExit(
+            f"scaling regression: best multi-shard speedup {best:.2f}x "
+            f"< {SCALING_TARGET:.1f}x on {cpus} cpus"
+        )
+    return result
+
+
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--check-scaling", action="store_true",
+        help=f"fail unless multi-shard ingest reaches {SCALING_TARGET:g}x "
+        "over 1 shard (auto-skipped, and recorded as skipped, on "
+        "single-CPU machines)",
+    )
     args = parser.parse_args()
     n = N_QUICK if args.quick else N
     samples = QUERY_SAMPLES_QUICK if args.quick else QUERY_SAMPLES
@@ -184,6 +241,7 @@ def main() -> None:
 
     accuracy = bench_accuracy(site_ids, items)
     cpus = os.cpu_count() or 1
+    scaling = scaling_check(rates, cpus, enforce=args.check_scaling)
 
     base = rates[SHARD_COUNTS[0]]
     rows = [
@@ -194,13 +252,14 @@ def main() -> None:
         ]
         for shards in SHARD_COUNTS
     ]
+    cpu_note = " (1 cpu: speedups reflect IPC overhead only)" if cpus < 2 else ""
     save_table(
         "shard",
         ["configuration", "ingest events/s", "speedup vs 1 shard"],
         rows,
         title=(
             f"sharded ingest (process workers): n={n:,}, k={K}, "
-            f"jobs={len(JOBS)}, batch={BATCH}, cpus={cpus}"
+            f"jobs={len(JOBS)}, batch={BATCH}, cpus={cpus}{cpu_note}"
         ),
     )
     for label, stats in latency.items():
@@ -228,6 +287,7 @@ def main() -> None:
                 "quick": args.quick,
             },
             "cpus": cpus,
+            "scaling_check": scaling,
             "ingest_events_per_s": {
                 str(shards): round(rate) for shards, rate in rates.items()
             },

@@ -92,9 +92,13 @@ distributed:
   HTTP/JSON (register/ingest/query/status endpoints with a bounded,
   coalescing ingest queue); `--shards N` partitions the fleet across N
   shard-local ingest hubs (worker processes by default) with queries
-  merged across shards, and `--ingest-rate`/`--space-budget` enforce
-  quotas as HTTP 429/413.  `repro site --listen HOST:PORT` runs a TCP
-  site-actor host for distributed scheme runs (repro.net.Cluster);
+  merged across shards, `--shard-workers cluster --hub HOST:PORT`
+  places each hub on a `repro hub` TCP actor (remote shard hubs behind
+  one gateway), `--relaxed` pipelines ingest dispatch across hubs, and
+  `--ingest-rate`/`--space-budget`/`--api-keys-file` enforce quotas and
+  per-tenant auth as HTTP 429/413/401+403.  `repro site --listen
+  HOST:PORT` runs a TCP site-actor host for distributed scheme runs
+  (repro.net.Cluster); `repro hub --listen HOST:PORT` hosts shard hubs;
   `repro query URL JOB [METHOD] [ARG...]` queries a running gateway and
   pretty-prints the JSON answer.  Each subcommand has its own --help.
 """
@@ -432,9 +436,28 @@ def run_gateway(argv) -> int:
     )
     parser.add_argument(
         "--shard-workers", default="process",
-        choices=["inline", "thread", "process"],
+        choices=["inline", "thread", "process", "cluster"],
         help="how shard hubs execute when --shards > 1 (default: one "
-        "worker process per shard, so ingest scales with cores)",
+        "worker process per shard, so ingest scales with cores; "
+        "'cluster' places each hub on a `repro hub` TCP actor)",
+    )
+    parser.add_argument(
+        "--hub", action="append", metavar="HOST:PORT", dest="hubs",
+        help="address of a running `repro hub` host for "
+        "--shard-workers cluster (repeatable; hubs are assigned "
+        "round-robin; default: self-host one on an ephemeral port)",
+    )
+    parser.add_argument(
+        "--relaxed", action="store_true",
+        help="pipelined ingest: post every shard's sub-batch without "
+        "waiting for acks (reads/checkpoints fence); per-shard "
+        "transcripts — and therefore answers — are unchanged",
+    )
+    parser.add_argument(
+        "--api-keys-file", metavar="FILE",
+        help="enable per-tenant auth: a JSON object mapping API key -> "
+        "tenant label; requests then need `Authorization: Bearer KEY` "
+        "and ingest rate buckets are scoped per key",
     )
     parser.add_argument(
         "--queue-events", type=int, default=1 << 16,
@@ -482,9 +505,35 @@ def run_gateway(argv) -> int:
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if args.hubs and args.shard_workers != "cluster":
+        print(
+            "error: --hub requires --shard-workers cluster", file=sys.stderr
+        )
+        return 2
+    api_keys = None
+    if args.api_keys_file:
+        try:
+            with open(args.api_keys_file) as f:
+                api_keys = json.load(f)
+        except (OSError, ValueError) as exc:
+            print(
+                f"error: cannot load --api-keys-file: {exc}", file=sys.stderr
+            )
+            return 2
+        if not isinstance(api_keys, dict) or not api_keys:
+            print(
+                "error: --api-keys-file must hold a non-empty JSON object "
+                "mapping key -> tenant",
+                file=sys.stderr,
+            )
+            return 2
     from .shard import ShardedTrackingService
 
-    sharded = args.shards > 1
+    # --relaxed and cluster workers run on the sharded facade even for a
+    # single shard (the identity partition is transcript-identical).
+    sharded = (
+        args.shards > 1 or args.shard_workers == "cluster" or args.relaxed
+    )
     try:
         host, port = parse_address(args.listen)
         if args.resume:
@@ -494,9 +543,24 @@ def run_gateway(argv) -> int:
                 _os.path.join(args.checkpoint_dir, "shards.json")
             ):
                 service = ShardedTrackingService.restore(
-                    args.checkpoint_dir, executor=args.shard_workers
+                    args.checkpoint_dir,
+                    executor=args.shard_workers,
+                    hub_addresses=args.hubs,
+                    relaxed=args.relaxed,
                 )
             else:
+                # The checkpoint fixes the topology: an unsharded bundle
+                # cannot honor hub placement or relaxed dispatch, and
+                # silently dropping those flags would leave the operator
+                # believing shards run remotely.
+                if args.relaxed or args.hubs or args.shard_workers == "cluster":
+                    print(
+                        "error: --checkpoint-dir holds an unsharded "
+                        "checkpoint (no shards.json); --relaxed/--hub/"
+                        "--shard-workers cluster cannot apply on --resume",
+                        file=sys.stderr,
+                    )
+                    return 2
                 service = TrackingService.restore(args.checkpoint_dir)
             specs = args.job or []
         else:
@@ -508,6 +572,8 @@ def run_gateway(argv) -> int:
                     space_budget_words=args.space_budget,
                     checkpoint_dir=args.checkpoint_dir,
                     executor=args.shard_workers,
+                    hub_addresses=args.hubs,
+                    relaxed=args.relaxed,
                 )
             else:
                 service = TrackingService(
@@ -543,14 +609,16 @@ def run_gateway(argv) -> int:
             default_eps=args.eps,
             max_ingest_rate=args.ingest_rate,
             ingest_burst=args.ingest_burst,
+            api_keys=api_keys,
         )
         await gateway.start()
         served = True
-        shard_note = (
-            f", shards={service.num_shards} ({service.executor})"
-            if hasattr(service, "num_shards") and service.num_shards > 1
-            else ""
-        )
+        shard_note = ""
+        if hasattr(service, "num_shards"):
+            mode = service.executor + (
+                ", relaxed" if getattr(service, "relaxed", False) else ""
+            )
+            shard_note = f", shards={service.num_shards} ({mode})"
         print(
             f"gateway listening on {gateway.url} "
             f"(k={service.num_sites}{shard_note}, "
@@ -635,6 +703,46 @@ def run_site(argv) -> int:
     return 0
 
 
+def run_hub(argv) -> int:
+    """The `repro hub` subcommand: a TCP shard-hub host (exec host)."""
+    import asyncio
+
+    from .exec.remote import ExecHost
+    from .net.transport import TcpTransport
+
+    parser = argparse.ArgumentParser(
+        prog="repro hub",
+        description=(
+            "Host shard-hub workers over TCP; a sharded gateway "
+            "(repro gateway --shard-workers cluster --hub HOST:PORT) "
+            "places its shard hubs here."
+        ),
+    )
+    parser.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="bind address (default 127.0.0.1:0 = ephemeral port)",
+    )
+    args = parser.parse_args(argv)
+
+    async def serve() -> None:
+        host = await ExecHost(TcpTransport(), args.listen).start()
+        print(f"hub host listening on {host.address}", flush=True)
+        try:
+            await _until_stopped()
+        finally:
+            await host.close()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print("hub host: shutting down", flush=True)
+    return 0
+
+
 def run_query(argv) -> int:
     """The `repro query` subcommand: hit a gateway, pretty-print JSON."""
     import urllib.error
@@ -658,7 +766,19 @@ def run_query(argv) -> int:
         "args", nargs="*",
         help="query arguments (JSON literals; bare words pass as strings)",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="give up waiting for the gateway after this long (default 60)",
+    )
+    parser.add_argument(
+        "--api-key", metavar="KEY",
+        help="API key for gateways started with --api-keys-file "
+        "(sent as `Authorization: Bearer KEY`)",
+    )
     args = parser.parse_args(argv)
+    if args.timeout <= 0:
+        print("error: --timeout must be positive", file=sys.stderr)
+        return 2
 
     from .service.jobspec import parse_query_literal
 
@@ -669,13 +789,16 @@ def run_query(argv) -> int:
             "args": [parse_query_literal(a) for a in args.args],
         }
     ).encode()
+    headers = {"Content-Type": "application/json"}
+    if args.api_key:
+        headers["Authorization"] = f"Bearer {args.api_key}"
     request = urllib.request.Request(
         args.url.rstrip("/") + "/v1/query",
         data=body,
-        headers={"Content-Type": "application/json"},
+        headers=headers,
     )
     try:
-        with urllib.request.urlopen(request, timeout=60) as response:
+        with urllib.request.urlopen(request, timeout=args.timeout) as response:
             payload = json.load(response)
     except urllib.error.HTTPError as exc:
         try:
@@ -684,7 +807,31 @@ def run_query(argv) -> int:
             detail = ""
         print(f"error: HTTP {exc.code} {exc.reason}: {detail}", file=sys.stderr)
         return 1
-    except (urllib.error.URLError, OSError, ValueError) as exc:
+    except urllib.error.URLError as exc:
+        reason = getattr(exc, "reason", exc)
+        if isinstance(reason, ConnectionRefusedError):
+            print(
+                f"error: connection refused at {args.url} — is the "
+                "gateway running? (start one with `repro gateway`)",
+                file=sys.stderr,
+            )
+        elif isinstance(reason, TimeoutError):
+            print(
+                f"error: gateway at {args.url} did not answer within "
+                f"{args.timeout:g}s (raise --timeout?)",
+                file=sys.stderr,
+            )
+        else:
+            print(f"error: cannot reach {args.url}: {reason}", file=sys.stderr)
+        return 1
+    except TimeoutError:
+        print(
+            f"error: gateway at {args.url} did not answer within "
+            f"{args.timeout:g}s (raise --timeout?)",
+            file=sys.stderr,
+        )
+        return 1
+    except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(json.dumps(payload, indent=2, sort_keys=True))
@@ -694,6 +841,7 @@ def run_query(argv) -> int:
 _NET_SUBCOMMANDS = {
     "gateway": run_gateway,
     "site": run_site,
+    "hub": run_hub,
     "query": run_query,
 }
 

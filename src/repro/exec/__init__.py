@@ -1,0 +1,73 @@
+"""The unified execution plane: one backend abstraction, four substrates.
+
+Every plane in the repo ultimately plays the same game — dispatch work
+units (event runs, hub commands) to workers, collect replies, keep FIFO
+order per worker — yet before this package the in-process simulator,
+the shard facade and the actor cluster each had a private dispatch
+loop.  :mod:`repro.exec` is the shared substrate:
+
+* :mod:`repro.exec.base` — :class:`ExecBackend` (``dispatch_run`` /
+  ``dispatch_batch`` / ``query`` / ``checkpoint`` / ``restore`` /
+  ``close`` over a submit/drain core) and :class:`ExecGroup`, the
+  failure-safe fan-out used by the sharded service.
+* :mod:`repro.exec.dispatch` — the run dispatchers: ``drive_runs``
+  (the in-process lockstep loop behind ``Simulation.run_batched`` and
+  the batched ingest engine) plus ``dispatch_lockstep`` /
+  ``dispatch_relaxed`` (the distributed hub's two modes).
+* :mod:`repro.exec.workers` — worker kinds and their command tables:
+  ``hub`` (a full :class:`~repro.service.TrackingService`) and ``sim``
+  (one protocol stack), buildable wherever the backend places them.
+* :mod:`repro.exec.local` — :class:`InprocBackend`,
+  :class:`ThreadBackend`, :class:`ProcessBackend`.
+* :mod:`repro.exec.remote` — :class:`ClusterBackend` and
+  :class:`ExecHost`: workers on ``repro hub`` TCP actors.
+
+Imports of the heavier backends are lazy (module ``__getattr__``) so
+the runtime package can import the dispatchers without cycling through
+the service layer.
+"""
+
+from .base import EXECUTORS, ExecBackend, ExecError, ExecGroup, ExecWorkerError
+from .dispatch import dispatch_lockstep, dispatch_relaxed, drive_runs
+
+__all__ = [
+    "EXECUTORS",
+    "ClusterBackend",
+    "ExecBackend",
+    "ExecError",
+    "ExecGroup",
+    "ExecHost",
+    "ExecWorkerError",
+    "InprocBackend",
+    "ProcessBackend",
+    "ThreadBackend",
+    "dispatch_lockstep",
+    "dispatch_relaxed",
+    "drive_runs",
+    "make_backend",
+    "make_group",
+]
+
+_LAZY = {
+    "InprocBackend": "local",
+    "ThreadBackend": "local",
+    "ProcessBackend": "local",
+    "make_backend": "local",
+    "make_group": "local",
+    "ClusterBackend": "remote",
+    "ExecHost": "remote",
+}
+
+
+def __getattr__(name):
+    """Lazily resolve backend classes (avoids runtime<->service cycles)."""
+    try:
+        module_name = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.exec' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

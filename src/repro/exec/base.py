@@ -1,0 +1,279 @@
+"""The `ExecBackend` contract and the fan-out group.
+
+An :class:`ExecBackend` hosts exactly **one worker** (a shard hub or a
+protocol stack — see :mod:`repro.exec.workers`) somewhere — in the
+caller's process, on a thread, in a subprocess, or on a remote TCP
+actor — and executes that worker's command table against it.  The core
+is asynchronous-by-construction:
+
+* :meth:`ExecBackend.submit` posts one command without waiting;
+* :meth:`ExecBackend.drain` collects every outstanding reply in FIFO
+  order (failure-safe: it always consumes all replies before raising,
+  so a failed command can never desynchronize the reply stream).
+
+Everything else — ``dispatch_run`` (post one command, wait for it),
+``dispatch_batch`` (the ingest hot path, optionally *relaxed* so the
+caller overlaps batches across workers between protocol barriers),
+``query`` / ``checkpoint`` / ``restore`` / ``close`` — is defined here
+once, on top of that core, so the four substrates cannot drift apart.
+
+:class:`ExecGroup` fans one command out across many backends (the
+sharded service's shard fan-out): it posts to every backend before
+collecting from any, which is what lets process- and TCP-hosted hubs
+apply their slices concurrently, and it drains every backend before
+re-raising the first failure so surviving workers stay usable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Optional, Sequence
+
+__all__ = [
+    "EXECUTORS",
+    "ExecBackend",
+    "ExecError",
+    "ExecGroup",
+    "ExecWorkerError",
+]
+
+#: executor names accepted by :func:`repro.exec.make_group` (and the
+#: sharded service / gateway CLI): where each worker is placed.
+EXECUTORS = ("inline", "thread", "process", "cluster")
+
+
+class ExecError(RuntimeError):
+    """Base class for execution-plane failures."""
+
+
+class ExecWorkerError(ExecError):
+    """A worker failed and its exception could not be re-raised as-is."""
+
+
+class ExecBackend(abc.ABC):
+    """One worker, one placement; a submit/drain command pipe.
+
+    Subclasses implement :meth:`_post` (enqueue one command towards the
+    worker) and :meth:`_take` (block for the oldest outstanding reply),
+    plus lifecycle (:meth:`close`, :meth:`_respawn`).  The public
+    surface — ``dispatch_run``, ``dispatch_batch``, ``query``,
+    ``checkpoint``, ``restore``, ``close`` — is shared.
+    """
+
+    def __init__(self, spec: dict):
+        self.spec = spec
+        self._outstanding = 0
+
+    # -- core (subclass contract) ------------------------------------------
+
+    @abc.abstractmethod
+    def _post(self, op: str, args: tuple) -> None:
+        """Enqueue one command; must not wait for the worker's reply.
+
+        A delivery failure (dead pipe, closed connection) must be
+        recorded and surfaced by the matching :meth:`_take`, never
+        swallowed and never allowed to desynchronize later replies.
+        """
+
+    @abc.abstractmethod
+    def _take(self):
+        """Collect the oldest outstanding reply (raises worker errors)."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Shut the worker (and its placement) down; idempotent."""
+
+    @abc.abstractmethod
+    def _respawn(self, spec: dict) -> None:
+        """Replace the worker with one freshly built from ``spec``."""
+
+    # -- shared surface ----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Commands posted but not yet collected."""
+        return self._outstanding
+
+    def submit(self, op: str, *args) -> None:
+        """Post one command without waiting for its result."""
+        self._post(op, args)
+        self._outstanding += 1
+
+    def drain(self) -> list:
+        """Collect every outstanding reply, in submission order.
+
+        Always consumes all replies before raising, so one failed
+        command cannot leave later replies misaligned; the first
+        failure is re-raised after the drain.
+        """
+        results = []
+        first_error: Optional[BaseException] = None
+        while self._outstanding > 0:
+            self._outstanding -= 1
+            try:
+                results.append(self._take())
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def dispatch_run(self, op: str, *args):
+        """Run one command in lockstep: post it, wait, return its result."""
+        self.submit(op, *args)
+        return self.drain()[-1]
+
+    def dispatch_batch(self, site_ids, items=None, relaxed: bool = False) -> int:
+        """Ingest one ordered event batch into the worker.
+
+        Lockstep (default) waits for the worker's ack and returns the
+        applied count.  ``relaxed=True`` posts the batch and returns its
+        length immediately — per-worker FIFO keeps the worker's
+        transcript identical; only the *caller* stops paying one round
+        trip per batch.  Errors from a relaxed batch surface at the next
+        collecting call (``drain``/``dispatch_run``/...).
+        """
+        self.submit("ingest", site_ids, items)
+        if relaxed:
+            return len(site_ids)
+        return self.drain()[-1]
+
+    def query(self, *args):
+        """Run the worker's query command (lockstep).
+
+        Hub workers take ``(name, method, args, kwargs)``; sim workers
+        ``(method, args, kwargs)`` — see :mod:`repro.exec.workers`.
+        """
+        return self.dispatch_run("query", *args)
+
+    def checkpoint(self):
+        """Persist the worker's durable state (lockstep); returns the
+        worker's checkpoint handle (a path for hub workers)."""
+        return self.dispatch_run("checkpoint")
+
+    def restore(self) -> None:
+        """Rebuild the worker from its durable source.
+
+        Requires the worker spec to carry a checkpoint directory (hub
+        workers with ``checkpoint_dir``/``restore_from``); the old
+        worker is discarded and a fresh one is recovered from the
+        newest snapshot plus the WAL tail.  Placed workers (process,
+        cluster) are replaced even when wedged mid-command; in-process
+        placements (inline, thread) cannot preempt a command that is
+        still running — thread restore abandons it on the old pool.
+        """
+        from .workers import restore_spec  # deferred: service-layer import
+
+        self._outstanding = 0
+        self._respawn(restore_spec(self.spec))
+
+    # -- context management ------------------------------------------------
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        kind = self.spec.get("kind", "hub")
+        return (
+            f"{type(self).__name__}(kind={kind!r}, "
+            f"pending={self._outstanding})"
+        )
+
+
+class ExecGroup:
+    """A fixed fleet of backends driven with post-all-then-collect fan-out.
+
+    ``map`` posts one command to every backend before collecting from
+    any — across process pipes and TCP connections the workers execute
+    concurrently — and its collect phase drains *every* backend before
+    re-raising the first failure, so a dead worker never leaves a
+    surviving worker's reply stream misaligned.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[ExecBackend],
+        owned: Optional[List[Callable[[], None]]] = None,
+    ):
+        self.backends = list(backends)
+        self._owned = list(owned or [])
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self.backends)
+
+    @property
+    def pending(self) -> int:
+        """Total commands posted but not collected, over all backends."""
+        return sum(backend.pending for backend in self.backends)
+
+    def map(self, op: str, per_worker_args: Sequence[tuple],
+            collect: bool = True):
+        """Post ``op`` to every backend; collect per-backend results.
+
+        ``collect=False`` (relaxed fan-out) returns ``None`` immediately
+        — results and errors surface at the next :meth:`collect`.
+        """
+        for backend, args in zip(self.backends, per_worker_args):
+            backend.submit(op, *args)
+        if not collect:
+            return None
+        return self.collect()
+
+    def collect(self) -> list:
+        """Drain every backend; per-backend *latest* results, in order.
+
+        Failure-safe like :meth:`ExecBackend.drain`: every backend is
+        drained before the first error re-raises, and a failed backend
+        contributes ``None``.
+        """
+        results = []
+        first_error: Optional[BaseException] = None
+        for backend in self.backends:
+            try:
+                drained = backend.drain()
+                results.append(drained[-1] if drained else None)
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def call(self, index: int, op: str, *args):
+        """Run one command on one backend only (lockstep)."""
+        return self.backends[index].dispatch_run(op, *args)
+
+    def close(self) -> None:
+        """Close every backend, then group-owned resources (hosts, loops)."""
+        if self._closed:
+            return
+        self._closed = True
+        for backend in self.backends:
+            try:
+                backend.close()
+            except Exception:  # a dead worker must not block shutdown
+                pass
+        for closer in self._owned:
+            try:
+                closer()
+            except Exception:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecGroup(backends={len(self.backends)}, "
+            f"pending={self.pending})"
+        )

@@ -1,0 +1,95 @@
+"""The shared run dispatchers: one loop, every plane.
+
+Three dispatch shapes cover every driving loop in the repo:
+
+* :func:`drive_runs` — the in-process lockstep loop.  This is the loop
+  behind :meth:`Simulation.run_batched` *and* the multi-tenant batched
+  ingest engine: deliver decomposed per-site runs to a host's sites in
+  global arrival order with amortized space bookkeeping.  Keeping it
+  here (rather than one copy per plane) is what makes "a job driven by
+  the engine is transcript-identical to a standalone simulation" a
+  structural fact instead of a test assertion.
+* :func:`dispatch_lockstep` — the distributed hub's default mode: one
+  run at a time, in global arrival order, waiting for each run's ack
+  (and servicing its protocol cascade) before posting the next.  This
+  is the mode whose transcripts are byte-identical to the simulator.
+* :func:`dispatch_relaxed` — the pipelined mode: post *every* run of
+  the batch up front (per-site FIFO keeps each site's local order
+  exact), then collect run completions and protocol messages as they
+  arrive.  Runs targeting disjoint sites overlap between protocol
+  messages, so a transport that charges a round trip per run stops
+  paying it per run and starts paying it per batch.  The coordinator
+  may now observe uplinks in a different interleaving — see
+  ``docs/relaxed-mode.md`` for the accuracy contract.
+
+This module is dependency-free on purpose: the runtime, service, shard
+and net layers all import it, so it must not import any of them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Tuple
+
+__all__ = ["drive_runs", "dispatch_lockstep", "dispatch_relaxed"]
+
+
+def drive_runs(host, runs, space_sample_interval: int) -> int:
+    """Deliver decomposed runs to ``host``'s sites with amortized space
+    bookkeeping; returns the new ``host.elements_processed``.
+
+    ``host`` is anything exposing the driving surface shared by
+    :class:`~repro.runtime.Simulation` and service jobs: ``sites``,
+    ``space``, ``elements_processed`` and ``sample_space()``.  A full
+    space sweep runs every ``space_sample_interval`` elements, replacing
+    the per-event bookkeeping that dominates the looped hot path (space
+    high-water marks are samples either way; comm ledgers stay exact).
+    """
+    sites = host.sites
+    interval = max(1, space_sample_interval)
+    processed = host.elements_processed
+    next_sweep = processed + interval
+    for site_id, chunk in runs:
+        sites[site_id].on_elements(chunk)
+        processed += len(chunk)
+        if processed >= next_sweep:
+            host.elements_processed = processed
+            host.sample_space()
+            next_sweep = processed + interval
+    host.elements_processed = processed
+    return processed
+
+
+def dispatch_lockstep(
+    runs: Iterable[Tuple[int, list]],
+    run_one: Callable[[int, list], int],
+) -> int:
+    """Dispatch runs one at a time, in global arrival order.
+
+    ``run_one(site_id, chunk)`` must fully apply the run — including
+    every protocol message it triggers — before returning its element
+    count.  This is the transcript-exact mode: the interleaving the
+    coordinator observes is precisely the stream's arrival order.
+    """
+    total = 0
+    for site_id, chunk in runs:
+        total += run_one(site_id, chunk)
+    return total
+
+
+def dispatch_relaxed(
+    runs: Iterable[Tuple[int, list]],
+    post_run: Callable[[int, list], None],
+    collect_outstanding: Callable[[], int],
+) -> int:
+    """Post every run up front, then collect completions as they land.
+
+    ``post_run(site_id, chunk)`` enqueues one run without waiting (the
+    carrier must preserve per-site FIFO order); ``collect_outstanding``
+    blocks until every posted run has completed — servicing protocol
+    messages from *any* site as they arrive — and returns the total
+    element count.  Per-site transcripts stay exact; the cross-site
+    interleaving at the coordinator becomes arrival-order.
+    """
+    for site_id, chunk in runs:
+        post_run(site_id, chunk)
+    return collect_outstanding()

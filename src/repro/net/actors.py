@@ -44,8 +44,10 @@ from __future__ import annotations
 import asyncio
 import queue
 import threading
+import time
 from typing import List, Optional
 
+from ..exec.dispatch import dispatch_lockstep, dispatch_relaxed
 from ..persistence.codec import (
     StateDecoder,
     StateEncoder,
@@ -135,6 +137,11 @@ class SiteWorker:
         self._send = send
         self._recv = recv
         self.site = None
+        # Commands that arrived while this site was blocked inside a
+        # protocol send (the hub pipelines runs in relaxed mode); they
+        # execute after the current command completes, preserving the
+        # site's local stream order.
+        self._deferred: list = []
 
     # -- the uplink RPC (called from inside protocol handlers) -------------
 
@@ -144,7 +151,10 @@ class SiteWorker:
         While waiting, interleaved ``deliver`` frames are serviced: the
         coordinator's re-entrant responses (downlinks, our copy of a
         broadcast) apply *inside* this send, exactly as the synchronous
-        network would, and may recurse into further uplinks.
+        network would, and may recurse into further uplinks.  A ``run``
+        frame arriving here is the hub's *relaxed* dispatcher posting
+        ahead; it is deferred until the current command finishes, so the
+        local element order never changes.
         """
         self._send({"t": "uplink", "msg": encode_message(message)})
         while True:
@@ -154,6 +164,8 @@ class SiteWorker:
             kind = reply.get("t")
             if kind == "deliver":
                 self._deliver(reply)
+            elif kind == "run":
+                self._deferred.append(reply)
             elif kind == "ack":
                 return
             else:
@@ -169,7 +181,9 @@ class SiteWorker:
     def run(self) -> None:
         """Serve commands until ``stop`` or connection EOF."""
         while True:
-            command = self._recv()
+            command = (
+                self._deferred.pop(0) if self._deferred else self._recv()
+            )
             if command is None:
                 return
             kind = command.get("t")
@@ -188,6 +202,9 @@ class SiteWorker:
                             "t": "run_done",
                             "n": len(chunk),
                             "space": self.site.space_words(),
+                            # echoed so a relaxed hub can discard
+                            # completions of an abandoned batch
+                            "e": command.get("e"),
                         }
                     )
                 elif kind == "deliver":
@@ -335,6 +352,7 @@ class CoordinatorHub:
         uplink_drop_rate: float = 0.0,
         record_transcript: bool = True,
         rpc_timeout: float = DEFAULT_RPC_TIMEOUT,
+        relaxed: bool = False,
     ):
         self.scheme = scheme
         self.num_sites = num_sites
@@ -342,6 +360,7 @@ class CoordinatorHub:
         self.one_way = one_way
         self.uplink_drop_rate = uplink_drop_rate
         self.rpc_timeout = rpc_timeout
+        self.relaxed = bool(relaxed)
         # Mirrors Simulation.__init__ — same drop-seed derivation, same
         # construction order — so transcripts can match byte for byte.
         self.network = Network(
@@ -360,9 +379,28 @@ class CoordinatorHub:
         self.elements_processed = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._conns: List = [None] * num_sites
-        self._inboxes: List[Optional[queue.Queue]] = [None] * num_sites
+        # One shared inbox of (site_id, frame): per-site FIFO is
+        # preserved by each pump, and the relaxed dispatcher needs to
+        # react to whichever site speaks first.
+        self._inbox: queue.Queue = queue.Queue()
         self._pumps: List = [None] * num_sites
         self._dead = set()
+        # Relaxed-dispatch bookkeeping: runs posted but not completed,
+        # and uplinks that arrived while another cascade was running
+        # (cascades stay atomic; deferred uplinks run next, in order).
+        self._outstanding = [0] * num_sites
+        self._outstanding_total = 0
+        self._collected_n = 0
+        self._pending_uplinks: List = []
+        # Each relaxed batch gets an epoch, echoed by run_done frames:
+        # after a failed batch (reset counters, runs still in flight) a
+        # stale completion must not be booked against the next batch.
+        self._run_epoch = 0
+        # deliver_done frames are pure sync tokens (one per delivered
+        # message, per-site).  Nested same-site cascades can consume
+        # them out of pairing order; a token that surfaces while another
+        # site is engaged is banked here for its waiter.
+        self._done_credits = [0] * num_sites
 
     # -- wiring ------------------------------------------------------------
 
@@ -384,7 +422,6 @@ class CoordinatorHub:
         for site_id in range(self.num_sites):
             conn = await transport.connect(addresses[site_id % len(addresses)])
             self._conns[site_id] = conn
-            self._inboxes[site_id] = queue.Queue()
             self._pumps[site_id] = asyncio.ensure_future(
                 self._pump(site_id, conn)
             )
@@ -393,16 +430,15 @@ class CoordinatorHub:
         )
 
     async def _pump(self, site_id: int, conn) -> None:
-        """Feed one connection's frames into its thread-safe inbox."""
-        inbox = self._inboxes[site_id]
+        """Feed one connection's frames into the shared, tagged inbox."""
         try:
             while True:
                 message = await conn.recv()
-                inbox.put(message)
+                self._inbox.put((site_id, message))
                 if message is None:
                     return
         except Exception:
-            inbox.put(None)
+            self._inbox.put((site_id, None))
 
     def _spawn_all_sync(self, restore_states) -> None:
         for site_id in range(self.num_sites):
@@ -443,18 +479,71 @@ class CoordinatorHub:
             ) from exc
 
     def _recv_sync(self, site_id: int) -> dict:
-        try:
-            message = self._inboxes[site_id].get(timeout=self.rpc_timeout)
-        except queue.Empty:
-            raise SiteUnavailableError(
-                f"site {site_id} did not respond within {self.rpc_timeout}s"
-            ) from None
-        if message is None:
-            self._dead.add(site_id)
-            raise SiteUnavailableError(f"site {site_id} closed the connection")
-        if message.get("t") == "error":
-            raise RemoteActorError(f"site {site_id}: {message.get('error')}")
-        return message
+        """Next frame from ``site_id``, servicing whatever else arrives.
+
+        In lockstep only the engaged site may speak (anything else is a
+        protocol violation — except a connection EOF, which just marks
+        the sender dead).  In relaxed mode, frames from *other* sites
+        are part of the overlap and are serviced in arrival order:
+        uplinks run their cascade inline, ``run_done`` completes an
+        outstanding posted run.
+        """
+        deadline = time.monotonic() + self.rpc_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise SiteUnavailableError(
+                    f"site {site_id} did not respond within "
+                    f"{self.rpc_timeout}s"
+                )
+            try:
+                sender, message = self._inbox.get(timeout=remaining)
+            except queue.Empty:
+                raise SiteUnavailableError(
+                    f"site {site_id} did not respond within "
+                    f"{self.rpc_timeout}s"
+                ) from None
+            if message is None:
+                self._dead.add(sender)
+                if sender == site_id:
+                    raise SiteUnavailableError(
+                        f"site {site_id} closed the connection"
+                    )
+                continue
+            if message.get("t") == "error":
+                raise RemoteActorError(
+                    f"site {sender}: {message.get('error')}"
+                )
+            if sender == site_id:
+                return message
+            self._service_out_of_band(sender, message, site_id)
+
+    def _service_out_of_band(self, sender: int, message: dict,
+                             engaged: int) -> None:
+        """A frame from a site we are not currently waiting on.
+
+        Relaxed mode: ``run_done`` completes a posted run immediately;
+        an ``uplink`` is *deferred* — the coordinator is mid-cascade
+        (that is why we are blocked on another site), and processing a
+        second report inside it would interleave two cascades' delivery
+        waits.  Deferred uplinks run, in arrival order, as soon as the
+        current cascade unwinds (see :meth:`_collect_outstanding`).
+        """
+        kind = message.get("t")
+        if self.relaxed:
+            if kind == "uplink":
+                self._pending_uplinks.append((sender, message))
+                return
+            if kind == "run_done":
+                self._note_run_done(sender, message)
+                return
+            if kind == "deliver_done":
+                self._done_credits[sender] += 1
+                return
+        raise ProtocolError(
+            f"site {sender}: unexpected {kind!r} frame while engaging "
+            f"site {engaged}"
+        )
 
     def _expect_sync(self, site_id: int, kind: str) -> dict:
         message = self._recv_sync(site_id)
@@ -478,12 +567,22 @@ class CoordinatorHub:
             site_id, {"t": "deliver", "msgs": [encode_message(message)]}
         )
         while True:
+            if self._done_credits[site_id] > 0:
+                # A nested wait already consumed this site's frame and
+                # banked the token; per-site tokens are fungible.
+                self._done_credits[site_id] -= 1
+                return
             reply = self._recv_sync(site_id)
             kind = reply.get("t")
             if kind == "uplink":
                 self._uplink_sync(site_id, reply)
             elif kind == "deliver_done":
                 return
+            elif kind == "run_done" and self.relaxed:
+                # The site was mid-run when the deliver was posted; its
+                # completion frame precedes the deliver_done (per-site
+                # FIFO).  Account it and keep waiting.
+                self._note_run_done(site_id, reply)
             else:
                 raise ProtocolError(
                     f"site {site_id}: unexpected {kind!r} during deliver"
@@ -514,10 +613,99 @@ class CoordinatorHub:
                     f"site {site_id}: unexpected {kind!r} during run"
                 )
 
+    def _post_run(self, site_id: int, chunk) -> None:
+        """Relaxed mode: enqueue one run without waiting for its ack."""
+        self._send_sync(
+            site_id,
+            {"t": "run", "chunk": encode_chunk(chunk), "e": self._run_epoch},
+        )
+        self._outstanding[site_id] += 1
+        self._outstanding_total += 1
+
+    def _note_run_done(self, site_id: int, message: dict) -> None:
+        """Account one completed run (relaxed mode).
+
+        A frame from an earlier epoch is a leftover of a batch whose
+        dispatch failed (its counters were reset with runs in flight);
+        booking it here would inflate the current batch's element count
+        and complete a run the current batch never posted, so it is
+        dropped entirely.
+        """
+        if message.get("e") != self._run_epoch:
+            return
+        if self._outstanding[site_id] > 0:
+            self._outstanding[site_id] -= 1
+            self._outstanding_total -= 1
+        self._collected_n += message["n"]
+        self.proxies[site_id].last_space = message["space"]
+        self.space.record_site(site_id, message["space"])
+
+    def _collect_outstanding(self) -> int:
+        """Relaxed mode: wait out every posted run, servicing the
+        protocol messages the overlap produces in arrival order.
+
+        Each uplink's cascade runs atomically; uplinks that arrived
+        while one was in progress were deferred and run first here, in
+        arrival order.  The loop also drains deferred uplinks that
+        arrive *after* the last run completed (a site may report, then
+        finish its run; FIFO puts the report first)."""
+        while self._outstanding_total > 0 or self._pending_uplinks:
+            if self._pending_uplinks:
+                sender, frame = self._pending_uplinks.pop(0)
+                self._uplink_sync(sender, frame)
+                continue
+            try:
+                sender, message = self._inbox.get(timeout=self.rpc_timeout)
+            except queue.Empty:
+                waiting = [
+                    s for s, n in enumerate(self._outstanding) if n > 0
+                ]
+                raise SiteUnavailableError(
+                    f"sites {waiting} did not finish their runs within "
+                    f"{self.rpc_timeout}s"
+                ) from None
+            if message is None:
+                self._dead.add(sender)
+                if self._outstanding[sender] > 0:
+                    raise SiteUnavailableError(
+                        f"site {sender} closed the connection mid-run"
+                    )
+                continue
+            kind = message.get("t")
+            if kind == "error":
+                raise RemoteActorError(
+                    f"site {sender}: {message.get('error')}"
+                )
+            if kind == "uplink":
+                self._uplink_sync(sender, message)
+            elif kind == "run_done":
+                self._note_run_done(sender, message)
+            else:
+                raise ProtocolError(
+                    f"site {sender}: unexpected {kind!r} frame during "
+                    "relaxed collection"
+                )
+        return self._collected_n
+
     def _ingest_sync(self, site_ids, items) -> int:
-        total = 0
-        for site_id, chunk in decompose_runs(site_ids, items):
-            total += self._run_sync(site_id, chunk)
+        runs = decompose_runs(site_ids, items)
+        if self.relaxed:
+            self._run_epoch += 1
+            self._collected_n = 0
+            try:
+                total = dispatch_relaxed(
+                    runs, self._post_run, self._collect_outstanding
+                )
+            except BaseException:
+                # A failed overlapped batch leaves runs in flight; the
+                # counters must not poison the next dispatch.
+                self._outstanding = [0] * self.num_sites
+                self._outstanding_total = 0
+                self._pending_uplinks.clear()
+                self._done_credits = [0] * self.num_sites
+                raise
+        else:
+            total = dispatch_lockstep(runs, self._run_sync)
         self.elements_processed += total
         self.space.record_coordinator(self.coordinator.space_words())
         return total

@@ -79,6 +79,15 @@ class Cluster:
         holds every protocol message in memory for the cluster's
         lifetime; pass False for long-running or unbounded streams
         (checkpoints, ledgers and queries do not need it).
+    relaxed:
+        Pipelined dispatch: post every run of a batch before collecting
+        any ack, so runs targeting disjoint sites overlap between
+        protocol messages (:func:`repro.exec.dispatch.dispatch_relaxed`).
+        The default — lockstep — pays one round trip per run and is
+        byte-identical to :class:`~repro.runtime.Simulation`; relaxed
+        mode trades that transcript determinism for latency, keeping
+        per-site streams exact while the coordinator observes uplinks
+        in arrival order (see ``docs/relaxed-mode.md``).
     """
 
     def __init__(
@@ -95,10 +104,12 @@ class Cluster:
         wal_sync: bool = False,
         record_transcript: bool = True,
         op_timeout: float = DEFAULT_OP_TIMEOUT,
+        relaxed: bool = False,
         _restore_state: Optional[dict] = None,
     ):
         self.transport_kind = transport
         self.op_timeout = op_timeout
+        self.relaxed = bool(relaxed)
         self._host: Optional[SiteHost] = None
         self._manager: Optional[CheckpointManager] = None
         self._wal = None
@@ -119,6 +130,7 @@ class Cluster:
                 one_way=one_way,
                 uplink_drop_rate=uplink_drop_rate,
                 record_transcript=record_transcript,
+                relaxed=relaxed,
             )
             self._call(self._start(site_addresses, _restore_state))
             if checkpoint_dir is not None:

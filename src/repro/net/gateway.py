@@ -29,6 +29,7 @@ never blocked by protocol work.
 from __future__ import annotations
 
 import asyncio
+import hmac
 import json
 import math
 import time
@@ -48,6 +49,8 @@ _MAX_HEADER_LINE = 16 * 1024
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
@@ -149,6 +152,14 @@ class Gateway:
         Space budgets are enforced independently: while any job exceeds
         its registered ``space_budget_words``, further ingests get
         **413** until the operator widens the budget or drops the job.
+    api_keys:
+        Per-tenant authentication: a mapping of API key -> tenant
+        label.  When set, every ``/v1`` request must carry
+        ``Authorization: Bearer <key>`` — a missing/malformed header is
+        **401**, an unknown key **403** (``/healthz`` stays open for
+        probes).  The ingest token buckets are then scoped **per key**
+        (each tenant gets its own ``max_ingest_rate``/``ingest_burst``
+        budget) instead of one bucket per gateway.
     """
 
     def __init__(
@@ -161,6 +172,7 @@ class Gateway:
         default_eps: float = 0.02,
         max_ingest_rate: Optional[float] = None,
         ingest_burst: Optional[int] = None,
+        api_keys: Optional[dict] = None,
     ):
         self.service = service
         self.host = host
@@ -171,13 +183,26 @@ class Gateway:
             capacity_events=capacity_events,
             max_batch_events=max_batch_events,
         )
+        if api_keys is not None:
+            if not isinstance(api_keys, dict) or not api_keys or not all(
+                isinstance(k, str) and k and isinstance(v, str)
+                for k, v in api_keys.items()
+            ):
+                raise ValueError(
+                    "api_keys must be a non-empty mapping of key -> tenant"
+                )
+        self.api_keys = dict(api_keys) if api_keys else None
+        self._rate = max_ingest_rate
+        self._burst = ingest_burst or capacity_events
         self.rate_limiter: Optional[TokenBucket] = None
-        if max_ingest_rate is not None:
-            self.rate_limiter = TokenBucket(
-                max_ingest_rate, ingest_burst or capacity_events
-            )
+        if max_ingest_rate is not None and self.api_keys is None:
+            self.rate_limiter = TokenBucket(max_ingest_rate, self._burst)
+        #: per-key token buckets (lazily created; auth mode only)
+        self.key_buckets: dict = {}
         self.rejected_429 = 0
         self.rejected_413 = 0
+        self.rejected_401 = 0
+        self.rejected_403 = 0
         self._server: Optional[asyncio.base_events.Server] = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -232,8 +257,9 @@ class Gateway:
                 method, path, query, headers, body = request
                 extra_headers = None
                 try:
+                    key = self._authenticate(path, headers)
                     status, payload = await self._route(
-                        method, path, query, body
+                        method, path, query, body, key
                     )
                 except _HttpError as exc:
                     status, payload = exc.status, {"error": exc.message}
@@ -315,9 +341,62 @@ class Gateway:
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
 
+    # -- auth --------------------------------------------------------------
+
+    def _authenticate(self, path: str, headers: dict) -> Optional[str]:
+        """Resolve the request's API key (None when auth is off).
+
+        ``/healthz`` stays open so liveness probes and dashboards work
+        without credentials; everything else requires a valid
+        ``Authorization: Bearer <key>`` when ``api_keys`` is set.
+        """
+        if self.api_keys is None or path == "/healthz":
+            return None
+        header = headers.get("authorization", "")
+        scheme, _, token = header.partition(" ")
+        token = token.strip()
+        if not header or scheme.lower() != "bearer" or not token:
+            self.rejected_401 += 1
+            raise _HttpError(
+                401,
+                "missing or malformed Authorization header "
+                "(expected: Bearer <api-key>)",
+                headers={"WWW-Authenticate": "Bearer"},
+            )
+        # Constant-time scan of the (small, bounded) key set: no early
+        # exit and no short-circuiting equality, so the 403 path's
+        # timing does not leak how much of a candidate key matched.
+        matched = None
+        token_bytes = token.encode()
+        for known in self.api_keys:
+            if hmac.compare_digest(token_bytes, known.encode()):
+                matched = known
+        if matched is None:
+            self.rejected_403 += 1
+            raise _HttpError(403, "unknown API key")
+        return matched
+
+    def _bucket_for(self, key: Optional[str]) -> Optional[TokenBucket]:
+        """The token bucket charging this request's ingest quota.
+
+        Without auth there is one gateway-wide bucket; with auth each
+        key gets its own (created on first use), so one tenant's burst
+        cannot starve another's.
+        """
+        if self._rate is None:
+            return None
+        if self.api_keys is None or key is None:
+            return self.rate_limiter
+        bucket = self.key_buckets.get(key)
+        if bucket is None:
+            bucket = self.key_buckets[key] = TokenBucket(
+                self._rate, self._burst
+            )
+        return bucket
+
     # -- routing -----------------------------------------------------------
 
-    async def _route(self, method, path, query, body):
+    async def _route(self, method, path, query, body, key=None):
         segments = [s for s in path.split("/") if s]
         if path == "/healthz" and method == "GET":
             return 200, {
@@ -330,12 +409,17 @@ class Gateway:
                     capacity_events=self.ingestor.capacity_events,
                 ),
                 "quota": {
-                    "max_ingest_rate": (
-                        None if self.rate_limiter is None
-                        else self.rate_limiter.rate
-                    ),
+                    "max_ingest_rate": self._rate,
                     "rejected_429": self.rejected_429,
                     "rejected_413": self.rejected_413,
+                },
+                "auth": {
+                    "enabled": self.api_keys is not None,
+                    "keys": (
+                        None if self.api_keys is None else len(self.api_keys)
+                    ),
+                    "rejected_401": self.rejected_401,
+                    "rejected_403": self.rejected_403,
                 },
             }
         if segments[:1] != ["v1"]:
@@ -361,7 +445,7 @@ class Gateway:
             await self._locked(self.service.unregister, rest[1])
             return 200, {"unregistered": rest[1]}
         if rest == ["ingest"] and method == "POST":
-            return await self._ingest(self._json_body(body))
+            return await self._ingest(self._json_body(body), key)
         if rest == ["query"] and method == "POST":
             payload = self._json_body(body)
             return await self._query(
@@ -426,7 +510,7 @@ class Gateway:
             "scheme": scheme.name,
         }
 
-    async def _ingest(self, payload):
+    async def _ingest(self, payload, key=None):
         site_ids = payload.get("site_ids")
         if not isinstance(site_ids, list) or not site_ids:
             raise _HttpError(400, "ingest needs a non-empty 'site_ids' list")
@@ -435,14 +519,16 @@ class Gateway:
             not isinstance(items, list) or len(items) != len(site_ids)
         ):
             raise _HttpError(400, "'items' must match 'site_ids' in length")
-        if self.rate_limiter is not None:
-            wait = self.rate_limiter.try_admit(len(site_ids))
+        bucket = self._bucket_for(key)
+        if bucket is not None:
+            wait = bucket.try_admit(len(site_ids))
             if wait > 0.0:
                 self.rejected_429 += 1
+                scope = "" if key is None else " for this API key"
                 raise _HttpError(
                     429,
-                    f"ingest rate limit exceeded "
-                    f"({self.rate_limiter.rate:g} events/s); retry in "
+                    f"ingest rate limit exceeded{scope} "
+                    f"({bucket.rate:g} events/s); retry in "
                     f"{wait:.2f}s",
                     headers={"Retry-After": str(max(1, math.ceil(wait)))},
                 )

@@ -22,38 +22,17 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+# The run dispatcher lives on the shared execution plane now
+# (:mod:`repro.exec.dispatch`); re-exported here because the batching
+# module is where every driving layer historically imported it from.
+from ..exec.dispatch import drive_runs
+
 try:  # gate: keep the runtime importable on numpy-less installs
     import numpy as _np
 except ImportError:  # pragma: no cover
     _np = None
 
 __all__ = ["decompose_runs", "batch_from_stream", "drive_runs"]
-
-
-def drive_runs(host, runs, space_sample_interval: int) -> int:
-    """Deliver decomposed runs to ``host``'s sites with amortized space
-    bookkeeping; returns the new ``host.elements_processed``.
-
-    ``host`` is anything exposing the driving surface shared by
-    :class:`~repro.runtime.Simulation` and service jobs: ``sites``,
-    ``space``, ``elements_processed`` and ``sample_space()``.  A full
-    space sweep runs every ``space_sample_interval`` elements, replacing
-    the per-event bookkeeping that dominates the looped hot path (space
-    high-water marks are samples either way; comm ledgers stay exact).
-    """
-    sites = host.sites
-    interval = max(1, space_sample_interval)
-    processed = host.elements_processed
-    next_sweep = processed + interval
-    for site_id, chunk in runs:
-        sites[site_id].on_elements(chunk)
-        processed += len(chunk)
-        if processed >= next_sweep:
-            host.elements_processed = processed
-            host.sample_space()
-            next_sweep = processed + interval
-    host.elements_processed = processed
-    return processed
 
 
 def batch_from_stream(stream) -> Tuple[list, list]:

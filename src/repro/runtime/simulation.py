@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional
 
-from .batching import decompose_runs, drive_runs
+from ..exec.dispatch import drive_runs
+from .batching import decompose_runs
 from .metrics import SpaceStats
 from .network import Network
 from .scheme import TrackingScheme

@@ -3,10 +3,11 @@
 The engine is the service's hot path.  An incoming batch of events is
 decomposed into per-site runs *once* (numpy-accelerated boundary
 detection, see :mod:`repro.runtime.batching`), and the resulting run list
-is replayed into every registered job through the shared
-:func:`~repro.runtime.batching.drive_runs` loop — the same loop behind
-:meth:`Simulation.run_batched`, so a job driven by the engine produces a
-transcript identical to a standalone simulation with the same seed.
+is replayed into every registered job through the execution plane's
+shared :func:`~repro.exec.dispatch.drive_runs` loop — the same loop
+behind :meth:`Simulation.run_batched`, so a job driven by the engine
+produces a transcript identical to a standalone simulation with the
+same seed.
 
 Amortization over the per-event loop comes from three places: the run
 decomposition is shared across all jobs, each run costs one Python call
@@ -19,7 +20,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Tuple
 
-from ..runtime.batching import decompose_runs, drive_runs
+from ..exec.dispatch import drive_runs
+from ..runtime.batching import decompose_runs
 
 __all__ = ["BatchIngestEngine"]
 

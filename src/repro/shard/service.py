@@ -10,9 +10,10 @@ unchanged on top of it.
 
 * **Routing**: a :class:`~repro.shard.router.ShardRouter` hash-
   partitions global site ids; one facade ``ingest`` splits the batch
-  and drives every hub (inline, worker threads, or worker processes —
-  see :mod:`repro.shard.workers`).  Per-shard event order is preserved,
-  so each hub's transcript is deterministic given the seed.
+  and drives every hub through the execution plane (inline, worker
+  threads, worker processes, or remote TCP hubs — see
+  :mod:`repro.exec`).  Per-shard event order is preserved, so each
+  hub's transcript is deterministic given the seed.
 * **Query merging**: cross-shard reads go through the merge plane
   (:mod:`repro.shard.merge`): counts sum, frequency candidate sets
   union + re-threshold, rank functions add.  Per-shard hubs run at the
@@ -27,19 +28,28 @@ unchanged on top of it.
 * **Durability**: ``checkpoint_dir`` arms per-hub WAL+snapshot bundles
   under ``shard-NN/`` plus a ``shards.json`` manifest;
   :meth:`restore` rebuilds the facade and recovers every hub.
+* **Placement**: hubs are exec-plane workers (:mod:`repro.exec`):
+  ``inline`` / ``thread`` / ``process`` place them locally, and
+  ``cluster`` places each hub on a ``repro hub`` TCP actor —
+  distributed shard hubs behind one facade/gateway.
+* **Pipelining**: ``relaxed=True`` posts every hub's sub-batch without
+  waiting for acks (per-hub FIFO keeps each hub's transcript exact);
+  reads, checkpoints and registry changes fence first.  On remote hubs
+  this turns one round trip per batch into none.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
+from ..exec import EXECUTORS, make_group
+from ..exec.workers import hub_spec
 from ..runtime import TrackingScheme, derive_seed
 from ..service.errors import DuplicateJobError, UnknownJobError
 from .merge import UnmergeableQueryError, composed_error_bound, merged_query
 from .router import ShardRouter
-from .workers import EXECUTORS, make_backend
 
 __all__ = ["ShardedTrackingService", "ShardJobView"]
 
@@ -98,9 +108,21 @@ class ShardedTrackingService:
         (``1 <= num_shards <= num_sites``).
     executor:
         ``"inline"`` (sequential, deterministic reference),
-        ``"thread"`` (one worker thread per hub) or ``"process"`` (one
+        ``"thread"`` (one worker thread per hub), ``"process"`` (one
         worker process per hub; ingest is pipelined across hubs and
-        scales with cores).
+        scales with cores) or ``"cluster"`` (each hub on a
+        ``repro hub`` TCP actor — see ``hub_addresses``).
+    hub_addresses:
+        For ``executor="cluster"``: addresses of running ``repro hub``
+        hosts; hub ``i`` lands on ``hub_addresses[i % len]``.  ``None``
+        self-hosts one TCP exec host on an ephemeral local port.
+    relaxed:
+        Pipelined ingest: post every hub's sub-batch without collecting
+        acks (reads/checkpoints fence first).  Per-hub transcripts are
+        unchanged — per-hub FIFO preserves each hub's event order — so
+        answers are identical to lockstep; an ingest error surfaces at
+        the next fencing call instead of the posting call (see
+        ``docs/relaxed-mode.md``).
     """
 
     def __init__(
@@ -116,6 +138,8 @@ class ShardedTrackingService:
         wal_segment_records: int = 4096,
         wal_sync: bool = False,
         executor: str = "inline",
+        hub_addresses: Optional[List[str]] = None,
+        relaxed: bool = False,
         _restore: bool = False,
     ):
         self.router = ShardRouter(num_sites, num_shards)
@@ -126,6 +150,7 @@ class ShardedTrackingService:
         self.uplink_drop_rate = uplink_drop_rate
         self.space_budget_words = space_budget_words
         self.executor = executor
+        self.relaxed = bool(relaxed)
         self.elements_processed = 0
         self._jobs: Dict[str, ShardJobView] = {}
         self._checkpoint_dir = checkpoint_dir
@@ -135,6 +160,10 @@ class ShardedTrackingService:
             raise ValueError(
                 f"unknown shard executor {executor!r}; choose from "
                 f"{EXECUTORS}"
+            )
+        if hub_addresses and executor != "cluster":
+            raise ValueError(
+                "hub_addresses only applies to executor='cluster'"
             )
         configs = []
         for shard in range(num_shards):
@@ -163,7 +192,11 @@ class ShardedTrackingService:
             configs.append(config)
         if checkpoint_dir is not None and not _restore:
             self._write_manifest(checkpoint_dir)
-        self._backend = make_backend(executor, configs)
+        self._group = make_group(
+            executor,
+            [hub_spec(config) for config in configs],
+            hub_addresses=hub_addresses,
+        )
         if _restore:
             self._rebuild_from_shards()
 
@@ -229,7 +262,7 @@ class ShardedTrackingService:
             if space_budget_words is None
             else space_budget_words
         )
-        self._backend.map(
+        self._group.map(
             "register",
             [
                 (name, scheme, self._shard_seed(resolved_seed, shard),
@@ -247,7 +280,7 @@ class ShardedTrackingService:
     def unregister(self, name: str) -> ShardJobView:
         """Remove a job from every shard hub; returns its view."""
         checked = self._checked(name)
-        self._backend.map(
+        self._group.map(
             "unregister", [(checked,)] * self.num_shards
         )
         return self._jobs.pop(checked)
@@ -281,20 +314,39 @@ class ShardedTrackingService:
         """Route one ordered batch across the shard hubs.
 
         Site ids are validated (and the batch rejected atomically) before
-        any hub sees an event.  With the process executor every hub's
-        sub-batch is posted before any ack is collected, so hubs apply
-        their slices concurrently.
+        any hub sees an event.  Every hub's sub-batch is posted before
+        any ack is collected, so placed hubs (process/cluster) apply
+        their slices concurrently; with ``relaxed=True`` no ack is
+        collected at all — the next fencing operation (query, status,
+        checkpoint, registry change) drains outstanding batches and
+        surfaces any deferred ingest error.
         """
         parts = self.router.split(site_ids, items)
         if not parts:
             return 0
         per_shard = [([], None) for _ in range(self.num_shards)]
+        total = 0
         for shard, local_ids, shard_items in parts:
             per_shard[shard] = (local_ids, shard_items)
-        counts = self._backend.map("ingest", per_shard)
-        total = sum(counts)
+            total += len(local_ids)
+        if self.relaxed:
+            # The router already validated and sized the batch; counts
+            # are known without acks, so posting is the whole job.
+            self._group.map("ingest", per_shard, collect=False)
+        else:
+            total = sum(self._group.map("ingest", per_shard))
         self.elements_processed += total
         return total
+
+    def fence(self) -> None:
+        """Drain outstanding relaxed batches (no-op in lockstep mode).
+
+        Every read/checkpoint/registry operation fences implicitly;
+        call this to surface deferred ingest errors at a point of your
+        choosing (e.g. at the end of a load phase).
+        """
+        if self._group.pending:
+            self._group.collect()
 
     def ingest_stream(self, stream: Iterable, batch_size: int = 8192) -> int:
         """Drain an iterable of ``(site_id, item)`` pairs in batches."""
@@ -329,13 +381,13 @@ class ShardedTrackingService:
         if self.num_shards == 1:
             # Degenerate partition: the single hub *is* the service, so
             # its entire query surface is available unmerged.
-            _, result = self._backend.map(
+            _, result = self._group.map(
                 "query", [(name, method, args, kwargs)]
             )[0]
             return result
 
         def fanout(sub_method, *sub_args, **sub_kwargs):
-            return self._backend.map(
+            return self._group.map(
                 "query",
                 [(name, sub_method, sub_args, sub_kwargs)] * self.num_shards,
             )
@@ -350,8 +402,8 @@ class ShardedTrackingService:
                 f"shard {shard} out of range [0, {self.num_shards})"
             )
         self._checked(name)
-        _, result = self._backend.call(
-            shard, "query", (name, method, args, kwargs)
+        _, result = self._group.call(
+            shard, "query", name, method, args, kwargs
         )
         return result
 
@@ -367,7 +419,7 @@ class ShardedTrackingService:
             raise ValueError(
                 f"job {name!r} scheme {view.scheme.name!r} has no epsilon"
             )
-        shard_elements = self._backend.map(
+        shard_elements = self._group.map(
             "elements", [()] * self.num_shards
         )
         return composed_error_bound(epsilon, shard_elements)
@@ -389,7 +441,7 @@ class ShardedTrackingService:
         budget bounds any single site's footprint).
         """
         merged: dict = {}
-        for shard_overages in self._backend.map(
+        for shard_overages in self._group.map(
             "space_overages", [()] * self.num_shards
         ):
             for job_name, info in shard_overages.items():
@@ -402,7 +454,7 @@ class ShardedTrackingService:
 
     def status(self) -> dict:
         """Fleet snapshot: merged per-job ledgers + per-shard detail."""
-        shard_statuses = self._backend.map("status", [()] * self.num_shards)
+        shard_statuses = self._group.map("status", [()] * self.num_shards)
         jobs: dict = {}
         for view in self._jobs.values():
             per_shard = [s["jobs"][view.name] for s in shard_statuses]
@@ -450,6 +502,7 @@ class ShardedTrackingService:
             "sites": self.num_sites,
             "shards": self.num_shards,
             "executor": self.executor,
+            "relaxed": self.relaxed,
             "one_way": self.one_way,
             "uplink_drop_rate": self.uplink_drop_rate,
             "elements": self.elements_processed,
@@ -475,7 +528,7 @@ class ShardedTrackingService:
                 "no checkpoint_dir configured; pass checkpoint_dir= to "
                 "ShardedTrackingService"
             )
-        return self._backend.map("checkpoint", [()] * self.num_shards)
+        return self._group.map("checkpoint", [()] * self.num_shards)
 
     @classmethod
     def restore(
@@ -484,12 +537,17 @@ class ShardedTrackingService:
         executor: str = "inline",
         wal_segment_records: int = 4096,
         wal_sync: bool = False,
+        hub_addresses: Optional[List[str]] = None,
+        relaxed: bool = False,
     ) -> "ShardedTrackingService":
         """Recover a sharded service from its checkpoint directory.
 
         Reads ``shards.json``, restores every ``shard-NN/`` bundle
         (snapshot + WAL tail, exactly like a single service), and
-        rebuilds the facade's job views from the recovered hubs.
+        rebuilds the facade's job views from the recovered hubs.  With
+        ``executor="cluster"`` the bundles are restored *on the hub
+        hosts* (paths are resolved on their filesystem), so remote
+        shard hubs recover in place behind the same facade.
         """
         path = os.path.join(checkpoint_dir, _MANIFEST)
         try:
@@ -516,13 +574,15 @@ class ShardedTrackingService:
             wal_segment_records=wal_segment_records,
             wal_sync=wal_sync,
             executor=executor,
+            hub_addresses=hub_addresses,
+            relaxed=relaxed,
             _restore=True,
         )
 
     def _rebuild_from_shards(self) -> None:
         """Reconstruct job views and counters from restored hubs."""
-        manifests = self._backend.map("job_manifest", [()] * self.num_shards)
-        totals = self._backend.map("elements", [()] * self.num_shards)
+        manifests = self._group.map("job_manifest", [()] * self.num_shards)
+        totals = self._group.map("elements", [()] * self.num_shards)
         self.elements_processed = sum(totals)
         for entry in manifests[0]:
             per_shard_elements = sum(
@@ -552,8 +612,8 @@ class ShardedTrackingService:
         return self._checkpoint_dir
 
     def close(self) -> None:
-        """Shut down every hub (and worker) cleanly."""
-        self._backend.close()
+        """Shut down every hub (and worker/host) cleanly."""
+        self._group.close()
 
     def __repr__(self) -> str:
         return (

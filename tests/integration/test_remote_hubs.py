@@ -1,0 +1,170 @@
+"""Remote shard hubs: the sharded facade over ``repro hub`` TCP actors.
+
+The cluster executor places each shard hub — a full TrackingService —
+on an exec host reached over framed TCP.  Because a hub's transcript
+depends only on its seed and its (order-preserved) slice of the
+stream, a cluster-placed facade must answer *identically* to the
+inline reference, checkpoint bundles included.
+"""
+
+import pytest
+
+from repro import (
+    DeterministicCountScheme,
+    DeterministicFrequencyScheme,
+    RandomizedCountScheme,
+    RandomizedRankScheme,
+    ShardedTrackingService,
+)
+from repro.exec.remote import ExecHost, LoopThread
+from repro.net.transport import TcpTransport
+from repro.workloads import uniform_sites, with_items, zipf_items
+
+K = 16
+N = 8_000
+SEED = 29
+
+
+@pytest.fixture(scope="module")
+def stream():
+    pairs = list(
+        with_items(
+            uniform_sites(N, K, seed=SEED),
+            zipf_items(200, alpha=1.2, seed=SEED + 1),
+        )
+    )
+    return [s for s, _ in pairs], [v for _, v in pairs]
+
+
+@pytest.fixture(scope="module")
+def hub_hosts():
+    """Two live TCP exec hosts, like two `repro hub` processes."""
+    loop = LoopThread()
+    hosts = [
+        loop.call(ExecHost(TcpTransport(), "127.0.0.1:0").start())
+        for _ in range(2)
+    ]
+    yield [host.address for host in hosts]
+    for host in hosts:
+        loop.call(host.close())
+    loop.close()
+
+
+def build(service):
+    service.register("total", RandomizedCountScheme(0.02))
+    service.register("total-lb", DeterministicCountScheme(0.02))
+    service.register("hot", DeterministicFrequencyScheme(0.05))
+    service.register("med", RandomizedRankScheme(0.05))
+    return service
+
+
+QUERIES = (
+    ("total", None, ()),
+    ("total-lb", None, ()),
+    ("hot", "top_items", (5,)),
+    ("hot", "heavy_hitters", (0.05,)),
+    ("med", "estimate_rank", (100,)),
+    ("med", "quantile", (0.5,)),
+)
+
+
+class TestRemoteHubsEquivalence:
+    def test_two_tcp_hubs_match_inline_exactly(self, stream, hub_hosts):
+        site_ids, items = stream
+        reference = build(
+            ShardedTrackingService(num_sites=K, num_shards=4, seed=SEED)
+        )
+        reference.ingest(site_ids, items)
+        remote = build(
+            ShardedTrackingService(
+                num_sites=K, num_shards=4, seed=SEED,
+                executor="cluster", hub_addresses=hub_hosts,
+            )
+        )
+        remote.ingest(site_ids, items)
+        for job, method, args in QUERIES:
+            assert remote.query(job, method, *args) == reference.query(
+                job, method, *args
+            ), (job, method)
+        status = remote.status()
+        assert status["executor"] == "cluster"
+        assert status["elements"] == N
+        assert sum(d["elements"] for d in status["shard_detail"]) == N
+        remote.close()
+        reference.close()
+
+    def test_self_hosted_cluster_needs_no_addresses(self, stream):
+        site_ids, items = stream
+        service = build(
+            ShardedTrackingService(
+                num_sites=K, num_shards=2, seed=SEED, executor="cluster"
+            )
+        )
+        service.ingest(site_ids, items)
+        assert service.query("total-lb") > 0
+        service.close()
+
+    def test_relaxed_remote_hubs_match_lockstep(self, stream, hub_hosts):
+        site_ids, items = stream
+        lockstep = build(
+            ShardedTrackingService(
+                num_sites=K, num_shards=2, seed=SEED,
+                executor="cluster", hub_addresses=hub_hosts,
+            )
+        )
+        relaxed = build(
+            ShardedTrackingService(
+                num_sites=K, num_shards=2, seed=SEED,
+                executor="cluster", hub_addresses=hub_hosts, relaxed=True,
+            )
+        )
+        for start in range(0, N, 1000):
+            lockstep.ingest(site_ids[start:start + 1000],
+                            items[start:start + 1000])
+            relaxed.ingest(site_ids[start:start + 1000],
+                           items[start:start + 1000])
+        for job, method, args in QUERIES:
+            assert relaxed.query(job, method, *args) == lockstep.query(
+                job, method, *args
+            ), (job, method)
+        relaxed.close()
+        lockstep.close()
+
+    def test_checkpoint_restore_through_remote_hubs(
+        self, stream, hub_hosts, tmp_path
+    ):
+        site_ids, items = stream
+        directory = str(tmp_path / "remote-shards")
+        service = build(
+            ShardedTrackingService(
+                num_sites=K, num_shards=2, seed=SEED,
+                executor="cluster", hub_addresses=hub_hosts,
+                checkpoint_dir=directory,
+            )
+        )
+        service.ingest(site_ids[: N // 2], items[: N // 2])
+        paths = service.checkpoint()
+        assert len(paths) == 2
+        service.ingest(site_ids[N // 2:], items[N // 2:])  # WAL tail
+        answers = {
+            (job, method, args): service.query(job, method, *args)
+            for job, method, args in QUERIES
+        }
+        service.close()
+
+        restored = ShardedTrackingService.restore(
+            directory, executor="cluster", hub_addresses=hub_hosts
+        )
+        assert restored.elements_processed == N
+        for (job, method, args), expected in answers.items():
+            assert restored.query(job, method, *args) == expected, (
+                job, method,
+            )
+        restored.close()
+
+    def test_hub_addresses_require_cluster_executor(self):
+        with pytest.raises(ValueError):
+            ShardedTrackingService(
+                num_sites=4, num_shards=2, seed=0,
+                executor="process", hub_addresses=["127.0.0.1:1"],
+            )

@@ -1,0 +1,237 @@
+"""ExecBackend conformance: one suite, all four placements.
+
+The execution plane's contract is that a worker behaves identically
+however it is placed — in the caller's process, behind a thread, in a
+subprocess, or on a TCP exec host.  Every test here parametrizes over
+all four backends and pins: identical answers for identical seeds,
+identical error types, the submit/drain (relaxed) discipline, and the
+checkpoint/restore lifecycle.
+"""
+
+import pytest
+
+from repro import (
+    DeterministicCountScheme,
+    DeterministicFrequencyScheme,
+    RandomizedCountScheme,
+)
+from repro.exec import EXECUTORS, ExecError, make_backend
+from repro.exec.workers import hub_spec, sim_spec
+from repro.service.errors import DuplicateJobError, UnknownJobError
+
+K = 8
+SEED = 3
+STREAM = [i % K for i in range(600)]
+ITEMS = [i % 17 for i in range(600)]
+
+
+def hub_backend(executor, **config):
+    config.setdefault("num_sites", K)
+    config.setdefault("seed", SEED)
+    return make_backend(executor, hub_spec(config))
+
+
+def build_jobs(backend):
+    backend.dispatch_run(
+        "register", "count", RandomizedCountScheme(0.05), 11, None
+    )
+    backend.dispatch_run(
+        "register", "hot", DeterministicFrequencyScheme(0.1), 12, None
+    )
+
+
+def observed_answers(backend):
+    return (
+        backend.query("count", None, (), {}),
+        backend.query("hot", "top_items", (3,), {}),
+        backend.dispatch_run("elements"),
+    )
+
+
+class TestHubConformance:
+    def test_identical_answers_across_all_backends(self):
+        answers = {}
+        for executor in EXECUTORS:
+            with hub_backend(executor) as backend:
+                build_jobs(backend)
+                assert backend.dispatch_batch(STREAM, ITEMS) == len(STREAM)
+                answers[executor] = observed_answers(backend)
+        reference = answers["inline"]
+        assert reference[2] == len(STREAM)
+        for executor, got in answers.items():
+            assert got == reference, executor
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_error_types_survive_placement(self, executor):
+        with hub_backend(executor) as backend:
+            build_jobs(backend)
+            with pytest.raises(UnknownJobError):
+                backend.query("missing", None, (), {})
+            with pytest.raises(DuplicateJobError):
+                backend.dispatch_run(
+                    "register", "count", RandomizedCountScheme(0.05), 1, None
+                )
+            with pytest.raises(AttributeError):
+                backend.query("count", "definitely_not_a_query", (), {})
+            # the worker keeps serving after reporting an error
+            assert backend.dispatch_run("ping") is True
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_relaxed_submit_then_drain(self, executor):
+        with hub_backend(executor) as backend:
+            build_jobs(backend)
+            posted = backend.dispatch_batch(STREAM, ITEMS, relaxed=True)
+            posted += backend.dispatch_batch(STREAM, ITEMS, relaxed=True)
+            assert posted == 2 * len(STREAM)
+            assert backend.pending >= 1 or executor == "inline"
+            # any collecting call fences the outstanding batches first
+            assert backend.dispatch_run("elements") == 2 * len(STREAM)
+            assert backend.pending == 0
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_deferred_errors_surface_at_drain(self, executor):
+        with hub_backend(executor) as backend:
+            build_jobs(backend)
+            backend.submit("query", "missing", None, (), {})
+            backend.submit("elements")
+            with pytest.raises(UnknownJobError):
+                backend.drain()
+            # the drain consumed the good reply too; the pipe realigns
+            assert backend.pending == 0
+            assert backend.dispatch_run("elements") == 0
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_checkpoint_restore_roundtrip(self, executor, tmp_path):
+        directory = str(tmp_path / f"hub-{executor}")
+        with hub_backend(executor, checkpoint_dir=directory) as backend:
+            build_jobs(backend)
+            backend.dispatch_batch(STREAM, ITEMS)
+            path = backend.checkpoint()
+            assert isinstance(path, str)
+            before = observed_answers(backend)
+            backend.dispatch_batch(STREAM, ITEMS)  # post-checkpoint tail
+            after = observed_answers(backend)
+            backend.restore()
+            # WAL-ahead ingest means the tail replays too: the restored
+            # worker continues the exact transcript, not the snapshot
+            assert observed_answers(backend) == after
+            assert after != before
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_restore_without_durable_source_raises(self, executor):
+        with hub_backend(executor) as backend:
+            with pytest.raises(ExecError):
+                backend.restore()
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_close_is_idempotent(self, executor):
+        backend = hub_backend(executor)
+        backend.dispatch_run("ping")
+        backend.close()
+        backend.close()
+
+
+class TestSimConformance:
+    """The same seeded protocol stack answers identically anywhere."""
+
+    def test_identical_protocol_run_across_all_backends(self):
+        answers = {}
+        for executor in EXECUTORS:
+            spec = sim_spec(
+                {
+                    "scheme": DeterministicCountScheme(0.05),
+                    "num_sites": K,
+                    "seed": SEED,
+                }
+            )
+            with make_backend(executor, spec) as backend:
+                assert backend.dispatch_batch(STREAM) == len(STREAM)
+                summary = backend.dispatch_run("summary")
+                answers[executor] = (
+                    backend.query(None, (), {}),
+                    summary["total_messages"],
+                    summary["total_words"],
+                    summary["elements"],
+                )
+        reference = answers["inline"]
+        for executor, got in answers.items():
+            assert got == reference, executor
+
+    def test_sim_state_roundtrip_inline(self):
+        spec = sim_spec(
+            {
+                "scheme": RandomizedCountScheme(0.05),
+                "num_sites": K,
+                "seed": SEED,
+            }
+        )
+        with make_backend("inline", spec) as backend:
+            backend.dispatch_batch(STREAM)
+            state = backend.checkpoint()
+            answer = backend.query(None, (), {})
+        with make_backend("inline", spec) as fresh:
+            fresh.dispatch_run("load_state", state)
+            assert fresh.query(None, (), {}) == answer
+
+    def test_sim_workers_are_not_durably_restorable(self):
+        spec = sim_spec(
+            {
+                "scheme": DeterministicCountScheme(0.05),
+                "num_sites": K,
+                "seed": SEED,
+            }
+        )
+        with make_backend("inline", spec) as backend:
+            with pytest.raises(ExecError):
+                backend.restore()
+
+
+class TestGroupSemantics:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ExecError):
+            make_backend("carrier-pigeon", hub_spec({"num_sites": 2}))
+
+    def test_group_map_posts_all_then_collects(self):
+        from repro.exec import make_group
+
+        group = make_group(
+            "thread",
+            [hub_spec({"num_sites": 2, "seed": s}) for s in (1, 2, 3)],
+        )
+        try:
+            group.map(
+                "register",
+                [("j", DeterministicCountScheme(0.05), s, None)
+                 for s in (1, 2, 3)],
+            )
+            counts = group.map("ingest", [([0, 1, 0], None)] * 3)
+            assert counts == [3, 3, 3]
+            group.map("ingest", [([0], None)] * 3, collect=False)
+            assert group.pending == 3
+            assert group.collect() == [1, 1, 1]
+            assert group.pending == 0
+        finally:
+            group.close()
+
+    def test_group_collect_is_failure_safe(self):
+        from repro.exec import make_group
+
+        group = make_group(
+            "inline", [hub_spec({"num_sites": 2, "seed": s}) for s in (1, 2)]
+        )
+        try:
+            group.map(
+                "register",
+                [("j", DeterministicCountScheme(0.05), s, None)
+                 for s in (1, 2)],
+            )
+            # one backend gets a failing command, the other a good one;
+            # the good backend's reply must still be consumed
+            group.backends[0].submit("query", "missing", None, (), {})
+            group.backends[1].submit("elements")
+            with pytest.raises(UnknownJobError):
+                group.collect()
+            assert group.pending == 0
+            assert group.map("elements", [(), ()]) == [0, 0]
+        finally:
+            group.close()

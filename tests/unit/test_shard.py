@@ -184,23 +184,118 @@ class TestShardedServiceSurface:
         service.close()
 
     def test_dead_worker_fails_cleanly_without_pipe_desync(self):
-        from repro.shard.workers import ProcessBackend, ShardWorkerError
+        from repro.exec import ExecWorkerError, ProcessBackend
 
         service = ShardedTrackingService(
             num_sites=8, num_shards=4, seed=4, executor="process"
         )
         service.register("count", DeterministicCountScheme(0.05))
         service.ingest([i % 8 for i in range(200)])
-        backend = service._backend
+        backend = service._group.backends[2]
         assert isinstance(backend, ProcessBackend)
-        backend._procs[2].kill()
-        backend._procs[2].join(timeout=10)
-        with pytest.raises(ShardWorkerError):
+        backend._proc.kill()
+        backend._proc.join(timeout=10)
+        with pytest.raises(ExecWorkerError):
             service.ingest([i % 8 for i in range(200)])
-        # surviving shards' pipes must stay aligned: the next fan-out
-        # still fails loudly (dead shard) but never returns garbage
-        with pytest.raises(ShardWorkerError):
+        # surviving shards' reply streams must stay aligned: the next
+        # fan-out still fails loudly (dead shard) but never returns
+        # garbage
+        with pytest.raises(ExecWorkerError):
             service.status()
+        service.close()
+
+    def test_dead_worker_collect_phase_fails_cleanly(self):
+        # The collect-phase dead-pipe path: the worker accepts the
+        # command, then dies without replying ("crash" is the hub
+        # command table's failure-injection hook).
+        from repro.exec import ExecWorkerError
+
+        service = ShardedTrackingService(
+            num_sites=8, num_shards=2, seed=4, executor="process"
+        )
+        service.register("count", DeterministicCountScheme(0.05))
+        service.ingest([i % 8 for i in range(100)])
+        service._group.backends[1].submit("crash")
+        with pytest.raises(ExecWorkerError):
+            service.ingest([i % 8 for i in range(100)])
+        # the surviving shard still answers on its own
+        assert service.query_shard(0, "count") >= 0
+        service.close()
+
+    def test_process_restore_after_worker_death_mid_ingest(self, tmp_path):
+        from repro.exec import ExecWorkerError
+
+        stream = [i % 8 for i in range(600)]
+        reference = ShardedTrackingService(num_sites=8, num_shards=2, seed=4)
+        reference.register("count", DeterministicCountScheme(0.05))
+        reference.ingest(stream)
+        expected = reference.query("count")
+        reference.close()
+
+        directory = str(tmp_path / "shards")
+        service = ShardedTrackingService(
+            num_sites=8, num_shards=2, seed=4, executor="process",
+            checkpoint_dir=directory,
+        )
+        service.register("count", DeterministicCountScheme(0.05))
+        service.ingest(stream[:400])
+        # worker 1 dies mid-stream; the WAL already holds its batches
+        service._group.backends[1]._proc.kill()
+        service._group.backends[1]._proc.join(timeout=10)
+        with pytest.raises(ExecWorkerError):
+            service.ingest(stream[400:])
+        service.close()
+
+        restored = ShardedTrackingService.restore(directory, executor="process")
+        # shard 0 applied the post-crash batch, shard 1 never acked it:
+        # re-send only shard 1's slice is impossible at this surface, so
+        # the documented contract is "re-send the failed batch's events
+        # for the dead shard after recovery"; here we verify recovery
+        # replays exactly what each hub acked durably, then top up the
+        # missing slice through the same public ingest path.
+        per_shard = restored.status()["shard_detail"]
+        assert sum(d["elements"] for d in per_shard) == restored.elements_processed
+        missing = [
+            s for s in stream[400:]
+            if restored.router.shard_of(s) == 1
+        ]
+        applied_batch = [
+            s for s in stream[400:]
+            if restored.router.shard_of(s) == 0
+        ]
+        # shard 0's slice of the failed batch survived in its own WAL
+        # (per-hub WAL-ahead), shard 1's did not
+        assert restored.status()["shard_detail"][0]["elements"] == sum(
+            1 for s in stream if restored.router.shard_of(s) == 0
+        )
+        assert restored.status()["shard_detail"][1]["elements"] == sum(
+            1 for s in stream[:400] if restored.router.shard_of(s) == 1
+        )
+        restored.ingest(missing)
+        assert restored.query("count") == expected
+        assert len(applied_batch) + len(missing) == len(stream[400:])
+        restored.close()
+
+    def test_backend_restore_revives_a_dead_worker(self, tmp_path):
+        # Per-backend restore(): rebuild one dead shard hub from its
+        # bundle without tearing down the facade.
+        from repro.exec import ExecWorkerError
+
+        directory = str(tmp_path / "shards")
+        service = ShardedTrackingService(
+            num_sites=8, num_shards=2, seed=4, executor="process",
+            checkpoint_dir=directory,
+        )
+        service.register("count", DeterministicCountScheme(0.05))
+        service.ingest([i % 8 for i in range(300)])
+        before = service.query("count")
+        backend = service._group.backends[1]
+        backend._proc.kill()
+        backend._proc.join(timeout=10)
+        with pytest.raises(ExecWorkerError):
+            service.status()
+        backend.restore()
+        assert service.query("count") == before
         service.close()
 
     def test_explicit_job_seed_reproduces(self):
