@@ -1,0 +1,228 @@
+"""S6 — observability overhead: instrumented vs bare ingest, scrape cost.
+
+The observability plane's contract is "free when nobody is looking":
+layer instruments are plain counters and the registry only reaches
+into the service at scrape time.  This bench puts numbers on that:
+
+1. **Ingest overhead**: the same seeded multi-job stream driven through
+   a bare ``TrackingService`` (metrics-off — no registry, no hooks)
+   and through one wired to a gateway's :class:`MetricsRegistry` with
+   the per-round ``on_applied`` observations the production path makes
+   (metrics-on).  The acceptance bar is <= 5% throughput overhead.
+2. **Scrape cost**: p50/p99 latency of rendering the full Prometheus
+   exposition (collectors included — a scrape fans ``metrics_sample``
+   into the service) plus the payload size.
+3. **Subscription eval**: cost per coalescing round of re-evaluating
+   three representative standing queries under the service lock.
+
+Results go to ``benchmarks/results/obs.txt`` and the ``obs`` section
+of ``BENCH_service.json``.
+
+Run directly::
+
+    python benchmarks/bench_obs.py [--quick]
+"""
+
+import argparse
+import statistics
+import time
+
+from repro import (
+    DeterministicCountScheme,
+    DeterministicFrequencyScheme,
+    RandomizedRankScheme,
+    TrackingService,
+)
+from repro.net.gateway import Gateway
+from repro.obs import render_prometheus
+from repro.workloads import uniform_sites, with_items, zipf_items
+
+from _common import save_bench_json, save_table
+
+K = 32
+N = 60_000
+N_QUICK = 15_000
+SEED = 41
+BATCH = 4096
+SCRAPES = 200
+SCRAPES_QUICK = 50
+EVAL_ROUNDS = 30
+EVAL_ROUNDS_QUICK = 10
+OVERHEAD_BUDGET_PCT = 5.0
+
+JOBS = (
+    ("total", lambda: DeterministicCountScheme(0.02)),
+    ("hot", lambda: DeterministicFrequencyScheme(0.05)),
+    ("med", lambda: RandomizedRankScheme(0.05)),
+)
+
+#: the standing queries the eval stage re-runs each round
+SUBSCRIPTION_SPECS = (
+    {"kind": "query", "job": "hot", "method": "heavy_hitters",
+     "args": [0.1]},
+    {"kind": "threshold", "job": "total", "method": "estimate",
+     "op": ">", "value": 10_000_000, "args": []},
+    {"kind": "metrics", "metric": "repro_service_elements_total"},
+)
+
+
+def make_stream(n):
+    stream = list(
+        with_items(
+            uniform_sites(n, K, seed=SEED),
+            zipf_items(max(64, n // 50), alpha=1.2, seed=SEED + 1),
+        )
+    )
+    return [s for s, _ in stream], [v for _, v in stream]
+
+
+def build_service():
+    service = TrackingService(num_sites=K, seed=SEED)
+    for name, factory in JOBS:
+        service.register(name, factory())
+    return service
+
+
+def drive(service, site_ids, items, per_batch=None):
+    """Ingest in gateway-sized batches; returns events/s."""
+    started = time.perf_counter()
+    for base in range(0, len(site_ids), BATCH):
+        batch_started = time.perf_counter()
+        n = service.ingest(
+            site_ids[base:base + BATCH], items[base:base + BATCH]
+        )
+        if per_batch is not None:
+            per_batch(n, time.perf_counter() - batch_started)
+    return len(site_ids) / (time.perf_counter() - started)
+
+
+def bench_ingest(site_ids, items):
+    """Bare vs instrumented throughput over the identical stream."""
+    bare = build_service()
+    try:
+        off_rate = drive(bare, site_ids, items)
+    finally:
+        bare.close()
+
+    service = build_service()
+    gateway = Gateway(service)  # registry + collectors, no socket
+    try:
+        # the production per-round observations (observe two histograms,
+        # invalidate the sample cache, set the dirty flag)
+        on_rate = drive(service, site_ids, items,
+                        per_batch=gateway._on_applied)
+    finally:
+        service.close()
+    overhead_pct = (off_rate - on_rate) / off_rate * 100.0
+    return off_rate, on_rate, overhead_pct
+
+
+def bench_scrape(site_ids, items, scrapes):
+    """Full-exposition render latency against a loaded service."""
+    service = build_service()
+    gateway = Gateway(service)
+    try:
+        drive(service, site_ids, items, per_batch=gateway._on_applied)
+        text = render_prometheus(gateway.registry)
+        payload_bytes = len(text.encode())
+        samples = []
+        for _ in range(scrapes):
+            gateway._sample_cache = None  # force the service fan-out
+            started = time.perf_counter()
+            render_prometheus(gateway.registry)
+            samples.append((time.perf_counter() - started) * 1e6)
+        samples.sort()
+        p50 = statistics.median(samples)
+        p99 = samples[min(len(samples) - 1, int(len(samples) * 0.99))]
+    finally:
+        service.close()
+    return p50, p99, payload_bytes
+
+
+def bench_subscription_eval(site_ids, items, rounds):
+    """Cost of re-evaluating the standing-query set once per round."""
+    service = build_service()
+    gateway = Gateway(service)
+    try:
+        drive(service, site_ids, items, per_batch=gateway._on_applied)
+        samples = []
+        for _ in range(rounds):
+            started = time.perf_counter()
+            for spec in SUBSCRIPTION_SPECS:
+                gateway._evaluate_spec(spec)
+            samples.append((time.perf_counter() - started) * 1e6)
+    finally:
+        service.close()
+    return statistics.median(samples)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    args = parser.parse_args()
+    n = N_QUICK if args.quick else N
+    scrapes = SCRAPES_QUICK if args.quick else SCRAPES
+    rounds = EVAL_ROUNDS_QUICK if args.quick else EVAL_ROUNDS
+
+    site_ids, items = make_stream(n)
+    off_rate, on_rate, overhead_pct = bench_ingest(site_ids, items)
+    scrape_p50, scrape_p99, payload_bytes = bench_scrape(
+        site_ids, items, scrapes
+    )
+    eval_us = bench_subscription_eval(site_ids, items, rounds)
+
+    save_table(
+        "obs",
+        ["stage", "result", "notes"],
+        [
+            ["ingest metrics-off", f"{off_rate:,.0f} ev/s", ""],
+            ["ingest metrics-on", f"{on_rate:,.0f} ev/s",
+             f"{overhead_pct:+.2f}% overhead"],
+            ["scrape /metrics", f"{scrape_p50:.1f} us p50",
+             f"{scrape_p99:.1f} us p99, {payload_bytes} B"],
+            ["subscription eval", f"{eval_us:.1f} us/batch",
+             f"{len(SUBSCRIPTION_SPECS)} standing queries"],
+        ],
+        title=f"Observability overhead (n={n:,}, k={K})",
+    )
+    within_budget = overhead_pct <= OVERHEAD_BUDGET_PCT
+    print(
+        f"[bench] ingest overhead {overhead_pct:+.2f}% "
+        f"(budget {OVERHEAD_BUDGET_PCT:g}%): "
+        f"{'PASSED' if within_budget else 'FAILED'}"
+    )
+    save_bench_json(
+        "obs",
+        {
+            "config": {
+                "n": n,
+                "k": K,
+                "jobs": [name for name, _ in JOBS],
+                "batch": BATCH,
+                "quick": args.quick,
+            },
+            "ingest_events_per_s": {
+                "metrics_off": round(off_rate),
+                "metrics_on": round(on_rate),
+            },
+            "overhead_pct": round(overhead_pct, 3),
+            "overhead_budget_pct": OVERHEAD_BUDGET_PCT,
+            "overhead_within_budget": within_budget,
+            "scrape": {
+                "p50_us": round(scrape_p50, 1),
+                "p99_us": round(scrape_p99, 1),
+                "payload_bytes": payload_bytes,
+            },
+            "subscription_eval_us_per_round": round(eval_us, 1),
+            "standing_queries": len(SUBSCRIPTION_SPECS),
+        },
+    )
+    if not within_budget:
+        raise SystemExit(
+            f"observability overhead {overhead_pct:.2f}% exceeds "
+            f"{OVERHEAD_BUDGET_PCT:g}% budget"
+        )
+
+
+if __name__ == "__main__":
+    main()

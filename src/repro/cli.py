@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
+import os
 import sys
 import time
 
@@ -838,11 +839,126 @@ def run_query(argv) -> int:
     return 0
 
 
+def run_metrics(argv) -> int:
+    """The `repro metrics` subcommand: scrape a gateway, pretty-print.
+
+    Reads the Prometheus text exposition from ``GET /metrics`` (open —
+    no API key needed) and renders a sorted name/value table, or dumps
+    the registry JSON from ``GET /v1/metrics`` with ``--json``.
+    ``--watch N`` re-scrapes every N seconds until interrupted.
+    """
+    import urllib.error
+    import urllib.request
+
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="Scrape and pretty-print a running gateway's metrics.",
+        epilog=(
+            "examples: repro metrics http://127.0.0.1:8791 | "
+            "repro metrics http://127.0.0.1:8791 --watch 2 | "
+            "repro metrics http://127.0.0.1:8791 --json"
+        ),
+    )
+    parser.add_argument("url", help="gateway base URL, e.g. http://127.0.0.1:8791")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="dump the registry as JSON (GET /v1/metrics) instead of a table",
+    )
+    parser.add_argument(
+        "--grep", metavar="SUBSTRING",
+        help="only show metrics whose name contains SUBSTRING",
+    )
+    parser.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-scrape every SECONDS seconds until interrupted",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=10.0, metavar="SECONDS",
+        help="give up waiting for the gateway after this long (default 10)",
+    )
+    parser.add_argument(
+        "--api-key", metavar="KEY",
+        help="API key for /v1/metrics on authenticated gateways "
+        "(/metrics itself is always open)",
+    )
+    args = parser.parse_args(argv)
+    if args.timeout <= 0:
+        print("error: --timeout must be positive", file=sys.stderr)
+        return 2
+    if args.watch is not None and args.watch <= 0:
+        print("error: --watch must be positive", file=sys.stderr)
+        return 2
+
+    base = args.url.rstrip("/")
+    path = "/v1/metrics" if args.json else "/metrics"
+    headers = {}
+    if args.api_key:
+        headers["Authorization"] = f"Bearer {args.api_key}"
+
+    def scrape() -> int:
+        request = urllib.request.Request(base + path, headers=headers)
+        try:
+            with urllib.request.urlopen(
+                request, timeout=args.timeout
+            ) as response:
+                text = response.read().decode()
+        except urllib.error.HTTPError as exc:
+            print(f"error: HTTP {exc.code} {exc.reason}", file=sys.stderr)
+            return 1
+        except (urllib.error.URLError, TimeoutError, OSError) as exc:
+            reason = getattr(exc, "reason", exc)
+            print(f"error: cannot reach {base}: {reason}", file=sys.stderr)
+            return 1
+        if args.json:
+            payload = json.loads(text)
+            if args.grep:
+                payload = {
+                    name: family
+                    for name, family in payload.items()
+                    if args.grep in name
+                }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        rows = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            if args.grep and args.grep not in name:
+                continue
+            rows.append((name, value))
+        rows.sort()
+        width = max((len(name) for name, _ in rows), default=0)
+        for name, value in rows:
+            print(f"{name:<{width}}  {value}")
+        return 0
+
+    try:
+        if args.watch is None:
+            return scrape()
+        while True:
+            print(f"\x1b[2J\x1b[H-- {base}{path} (every {args.watch:g}s, "
+                  "Ctrl-C to stop)")
+            scrape()
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        # e.g. `repro metrics URL | head`: the reader hung up mid-table.
+        # Swap stdout for devnull so the interpreter's exit-time flush
+        # does not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
 _NET_SUBCOMMANDS = {
     "gateway": run_gateway,
     "site": run_site,
     "hub": run_hub,
     "query": run_query,
+    "metrics": run_metrics,
 }
 
 

@@ -27,7 +27,11 @@ re-raising the first failure so surviving workers stay usable.
 from __future__ import annotations
 
 import abc
+import time
+from collections import deque
 from typing import Callable, List, Optional, Sequence
+
+from ..obs.metrics import LATENCY_BUCKETS, Histogram
 
 __all__ = [
     "EXECUTORS",
@@ -63,6 +67,13 @@ class ExecBackend(abc.ABC):
     def __init__(self, spec: dict):
         self.spec = spec
         self._outstanding = 0
+        #: submit-to-collect latency per command.  Under relaxed
+        #: dispatch a reply is collected at the next fence, so this
+        #: histogram measures the *in-flight window* — exactly the
+        #: pipelining the relaxed mode buys — rather than pure worker
+        #: time.  Owned here, attached to a registry by whoever scrapes.
+        self.latency = Histogram(LATENCY_BUCKETS)
+        self._post_clock: deque = deque()
 
     # -- core (subclass contract) ------------------------------------------
 
@@ -98,6 +109,7 @@ class ExecBackend(abc.ABC):
         """Post one command without waiting for its result."""
         self._post(op, args)
         self._outstanding += 1
+        self._post_clock.append(time.perf_counter())
 
     def drain(self) -> list:
         """Collect every outstanding reply, in submission order.
@@ -110,12 +122,16 @@ class ExecBackend(abc.ABC):
         first_error: Optional[BaseException] = None
         while self._outstanding > 0:
             self._outstanding -= 1
+            posted = self._post_clock.popleft() if self._post_clock else None
             try:
                 results.append(self._take())
             except BaseException as exc:
                 if first_error is None:
                     first_error = exc
                 results.append(None)
+            finally:
+                if posted is not None:
+                    self.latency.observe(time.perf_counter() - posted)
         if first_error is not None:
             raise first_error
         return results
@@ -167,6 +183,7 @@ class ExecBackend(abc.ABC):
         from .workers import restore_spec  # deferred: service-layer import
 
         self._outstanding = 0
+        self._post_clock.clear()
         self._respawn(restore_spec(self.spec))
 
     # -- context management ------------------------------------------------

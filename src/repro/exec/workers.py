@@ -152,6 +152,11 @@ def _hub_status(service):
     return service.status()
 
 
+def _hub_metrics_sample(service):
+    """Flat telemetry sample (no query evaluation; scrape-safe)."""
+    return service.metrics_sample()
+
+
 def _hub_space_overages(service):
     return service.space_overages()
 
@@ -199,6 +204,7 @@ HUB_COMMANDS = {
     "ingest": _hub_ingest,
     "query": _hub_query,
     "status": _hub_status,
+    "metrics_sample": _hub_metrics_sample,
     "space_overages": _hub_space_overages,
     "job_manifest": _hub_job_manifest,
     "checkpoint": _hub_checkpoint,

@@ -6,6 +6,9 @@ parsing over ``asyncio.start_server``) exposing the
 
 ====== ========================== ========================================
 GET    /healthz                    liveness + ingest-queue gauges
+GET    /metrics                    Prometheus text exposition (open)
+GET    /v1/metrics                 the same registry as JSON
+GET    /v1/trace                   recent dispatch/merge/fence spans
 GET    /v1/status                  full service status (pods-style)
 GET    /v1/jobs                    registered jobs, compact
 POST   /v1/jobs                    register: ``{"name", "spec", ...}``
@@ -13,6 +16,10 @@ DELETE /v1/jobs/<name>             unregister
 POST   /v1/ingest                  ``{"site_ids": [...], "items": [...]}``
 POST   /v1/query                   ``{"job", "method", "args"}``
 GET    /v1/query/<job>             ``?method=...&arg=...`` (repeatable)
+POST   /v1/subscribe               register a standing query (SSE)
+GET    /v1/subscriptions           live standing queries, compact
+DELETE /v1/subscribe/<id>          drop a standing query
+GET    /v1/stream/<id>             Server-Sent-Events delta stream
 ====== ========================== ========================================
 
 Ingestion goes through the :class:`~repro.service.AsyncBatchIngestor`:
@@ -24,6 +31,28 @@ never a drop), and a 200 response means the events have been applied
 Queries and mutations take the ingestor's service lock on an executor
 thread, so readers always see a batch boundary, and the event loop is
 never blocked by protocol work.
+
+**Observability.**  Each gateway owns a
+:class:`~repro.obs.MetricsRegistry` (pass ``registry=`` to share one):
+request counters/latency histograms per route template, rejection
+counters, queue gauges, plus scrape-time collector bridges into the
+service (``metrics_sample`` — engine totals, WAL bytes, per-job comm,
+per-shard space), the exec plane (per-backend dispatch-latency
+histograms, the pending-fence gauge) and cluster transports (frame and
+byte counters).  ``/metrics`` and ``/healthz`` read the same registry,
+so the two surfaces cannot disagree.  Scrapes run under the service
+lock; on a relaxed sharded facade they fence outstanding batches,
+exactly like ``/v1/status``.
+
+**Standing queries.**  ``POST /v1/subscribe`` registers a spec —
+``{"kind": "query", "job", "method", "args"}`` (delta on every change
+of the answer), ``{"kind": "threshold", ..., "op", "value"}`` (event
+when the predicate flips), or ``{"kind": "metrics", "metric"}`` (delta
+on a metric family's total) — and ``GET /v1/stream/<id>`` serves the
+deltas over SSE.  Evaluation is push-based: the ingestor's
+``on_applied`` hook marks the plane dirty after every coalescing
+round, and one evaluator task re-evaluates all standing queries under
+the service lock — clients stop polling.
 """
 
 from __future__ import annotations
@@ -36,12 +65,31 @@ import time
 from typing import Optional
 from urllib.parse import parse_qsl, urlsplit
 
+from ..obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    SubscriptionHub,
+    render_prometheus,
+    render_sse_event,
+)
+from ..obs.metrics import DEFAULT_BUCKETS, LATENCY_BUCKETS, SIZE_BUCKETS
+from ..obs.prometheus import CONTENT_TYPE as _PROMETHEUS_CONTENT_TYPE
 from ..service import ServiceError, TrackingService
 from ..service.async_ingest import AsyncBatchIngestor
 from ..service.errors import DuplicateJobError, UnknownJobError
 from ..service.jobspec import parse_job_spec, parse_query_literal
 
 __all__ = ["Gateway", "GatewayThread", "TokenBucket", "jsonable"]
+
+#: seconds between SSE keep-alive comments on an idle stream
+_SSE_KEEPALIVE = 15.0
+
+#: client reconnect hint (the SSE ``retry:`` field), milliseconds
+_SSE_RETRY_MS = 3000
+
+#: scrape-side cache of the service's ``metrics_sample`` (a fan-out on
+#: sharded facades); scrapes within the TTL reuse the last sample
+_SAMPLE_TTL = 0.5
 
 _MAX_BODY = 64 * 1024 * 1024
 _MAX_HEADER_LINE = 16 * 1024
@@ -104,6 +152,25 @@ class _HttpError(Exception):
         self.headers = headers
 
 
+class _Raw:
+    """A non-JSON response payload (body bytes + content type)."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: str, content_type: str):
+        self.body = body.encode()
+        self.content_type = content_type
+
+
+class _SSEStream:
+    """Route-result marker: hijack this connection into an SSE stream."""
+
+    __slots__ = ("subscription",)
+
+    def __init__(self, subscription):
+        self.subscription = subscription
+
+
 def jsonable(value):
     """Make a query result JSON-renderable without losing structure.
 
@@ -127,6 +194,44 @@ def _key(key) -> str:
         return json.dumps(jsonable(key), separators=(",", ":"))
     except (TypeError, ValueError):
         return repr(key)
+
+
+def _route_template(path: str) -> str:
+    """Collapse a request path to its route template.
+
+    Request metrics are labelled by template (``/v1/query/{job}``, not
+    the literal path), so a client cycling job names or probing random
+    URLs cannot blow up the label cardinality.
+    """
+    if path in ("/healthz", "/metrics"):
+        return path
+    segments = [s for s in path.split("/") if s]
+    if segments[:1] == ["v1"] and len(segments) >= 2:
+        head = segments[1]
+        if head in (
+            "status", "metrics", "trace", "ingest", "query", "jobs",
+            "subscribe", "subscriptions", "stream",
+        ):
+            if len(segments) == 2:
+                return f"/v1/{head}"
+            if head == "jobs":
+                return "/v1/jobs/{name}"
+            if head == "query":
+                return "/v1/query/{job}"
+            if head == "subscribe":
+                return "/v1/subscribe/{id}"
+            if head == "stream":
+                return "/v1/stream/{id}"
+    return "other"
+
+
+#: comparison operators a threshold subscription may use
+_THRESHOLD_OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
 
 
 class Gateway:
@@ -173,6 +278,7 @@ class Gateway:
         max_ingest_rate: Optional[float] = None,
         ingest_burst: Optional[int] = None,
         api_keys: Optional[dict] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.service = service
         self.host = host
@@ -199,20 +305,301 @@ class Gateway:
             self.rate_limiter = TokenBucket(max_ingest_rate, self._burst)
         #: per-key token buckets (lazily created; auth mode only)
         self.key_buckets: dict = {}
-        self.rejected_429 = 0
-        self.rejected_413 = 0
-        self.rejected_401 = 0
-        self.rejected_403 = 0
         self._server: Optional[asyncio.base_events.Server] = None
+        #: the dispatch-plane span buffer (the facade's when sharded,
+        #: else a gateway-owned recorder so /v1/trace always answers).
+        #: Explicit None check: an empty SpanRecorder is falsy (__len__).
+        service_spans = getattr(service, "spans", None)
+        self.spans: SpanRecorder = (
+            service_spans if service_spans is not None else SpanRecorder()
+        )
+        self.subscriptions = SubscriptionHub()
+        self._dirty: Optional[asyncio.Event] = None
+        self._evaluator_task: Optional[asyncio.Task] = None
+        self._stream_writers: set = set()
+        self._sample_cache: Optional[dict] = None
+        self._sample_time = 0.0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._init_metrics()
+
+    # -- metrics wiring ----------------------------------------------------
+
+    def _init_metrics(self) -> None:
+        """Declare the gateway's families and bridge every layer in.
+
+        Hot paths own plain counters or standalone instruments; the
+        registry reaches them through ``set_function`` gauges,
+        ``attach``-ed children, and scrape-time collectors — nothing
+        here adds work to the per-event ingest path.
+        """
+        r = self.registry
+        self.m_requests = r.counter(
+            "repro_gateway_requests_total",
+            "HTTP requests served, by route template, method and status.",
+            ["route", "method", "status"],
+        )
+        self.m_request_seconds = r.histogram(
+            "repro_gateway_request_seconds",
+            "Request handling latency by route template.",
+            ["route"],
+            buckets=LATENCY_BUCKETS,
+        )
+        self.m_rejections = r.counter(
+            "repro_gateway_rejections_total",
+            "Requests refused by the auth (401/403), space-budget (413) "
+            "and quota (429) guards.",
+            ["code"],
+        )
+        for code in ("401", "403", "413", "429"):
+            self.m_rejections.labels(code)
+        self.m_ingested = r.counter(
+            "repro_gateway_events_ingested_total",
+            "Events accepted through /v1/ingest, per tenant.",
+            ["tenant"],
+        )
+        self.m_batch_events = r.histogram(
+            "repro_gateway_batch_events",
+            "Events per applied coalescing round.",
+            buckets=SIZE_BUCKETS,
+        )
+        self.m_apply_seconds = r.histogram(
+            "repro_gateway_apply_seconds",
+            "Engine apply latency per coalescing round.",
+            buckets=DEFAULT_BUCKETS,
+        )
+        r.gauge(
+            "repro_gateway_queue_depth_events",
+            "Events admitted but not yet applied.",
+        ).set_function(lambda: self.ingestor.queued_events)
+        r.gauge(
+            "repro_gateway_queue_capacity_events",
+            "Ingest queue bound, in events.",
+        ).set_function(lambda: self.ingestor.capacity_events)
+        r.gauge(
+            "repro_gateway_subscriptions",
+            "Registered standing queries.",
+        ).set_function(lambda: len(self.subscriptions))
+        r.gauge(
+            "repro_gateway_streams",
+            "Open SSE streaming connections.",
+        ).set_function(lambda: len(self._stream_writers))
+        self.m_queue_stats = r.counter(
+            "repro_gateway_ingest_queue_stat",
+            "AsyncBatchIngestor running totals, by stat name.",
+            ["stat"],
+        )
+        # -- service layer (bridged from metrics_sample at scrape time)
+        self.m_service_elements = r.counter(
+            "repro_service_elements_total",
+            "Events applied to the service, all jobs observing each.",
+        )
+        self.m_engine_batches = r.counter(
+            "repro_service_ingest_batches_total",
+            "Engine calls (coalesced batches applied).",
+        )
+        self.m_wal_bytes = r.counter(
+            "repro_service_wal_bytes_total",
+            "Bytes appended to write-ahead logs (0 without durability).",
+        )
+        self.m_wal_records = r.counter(
+            "repro_service_wal_records_total",
+            "Records appended to write-ahead logs.",
+        )
+        self.m_comm_messages = r.counter(
+            "repro_service_comm_messages_total",
+            "Protocol messages, fleet-wide, by channel.",
+            ["channel"],
+        )
+        self.m_comm_words = r.counter(
+            "repro_service_comm_words_total",
+            "Protocol words, fleet-wide, by channel.",
+            ["channel"],
+        )
+        self.m_job_elements = r.counter(
+            "repro_service_job_elements_total",
+            "Events observed per job.",
+            ["job"],
+        )
+        self.m_job_comm_words = r.counter(
+            "repro_service_job_comm_words_total",
+            "Protocol words per job (its own ledger).",
+            ["job"],
+        )
+        self.m_space_used = r.gauge(
+            "repro_shard_space_used_words",
+            "High-water site space per shard and job (max over the "
+            "shard's sites).",
+            ["shard", "job"],
+        )
+        self.m_space_available = r.gauge(
+            "repro_shard_space_available_words",
+            "Budget headroom per shard and job (budgeted jobs only).",
+            ["shard", "job"],
+        )
+        self.m_shard_elements = r.counter(
+            "repro_shard_elements_total",
+            "Events routed to each shard hub.",
+            ["shard"],
+        )
+        r.register_collector(self._collect_queue_stats)
+        r.register_collector(self._collect_service)
+        # -- shard merge plane + exec plane (facade-owned instruments)
+        merge_latency = getattr(self.service, "merge_latency", None)
+        if merge_latency is not None:
+            fam = r.histogram(
+                "repro_shard_merge_seconds",
+                "Cross-shard query merge latency (fan-out included).",
+                buckets=DEFAULT_BUCKETS,
+            )
+            fam.attach((), merge_latency)
+            fam = r.histogram(
+                "repro_shard_merge_candidates",
+                "Candidate-union sizes of quantile/heavy-hitter/top-k "
+                "merges.",
+                buckets=SIZE_BUCKETS,
+            )
+            fam.attach((), self.service.merge_candidates)
+        backends = list(getattr(self.service, "backends", None) or ())
+        if backends:
+            fam = r.histogram(
+                "repro_exec_dispatch_seconds",
+                "Per-backend submit-to-collect latency; under relaxed "
+                "dispatch this is the in-flight window.",
+                ["shard"],
+                buckets=LATENCY_BUCKETS,
+            )
+            for shard, backend in enumerate(backends):
+                fam.attach((str(shard),), backend.latency)
+            r.gauge(
+                "repro_exec_pending_commands",
+                "Commands posted to shard hubs but not collected (the "
+                "pending-fence depth).",
+            ).set_function(lambda: self.service.pending_commands)
+        transports = [
+            backend._transport
+            for backend in backends
+            if getattr(backend, "_transport", None) is not None
+        ]
+        if transports:
+            self.m_net_bytes = r.counter(
+                "repro_net_bytes_total",
+                "Transport bytes over cluster-backend connections.",
+                ["direction"],
+            )
+            self.m_net_frames = r.counter(
+                "repro_net_frames_total",
+                "Transport frames over cluster-backend connections.",
+                ["direction"],
+            )
+            self._transports = transports
+            r.register_collector(self._collect_net)
+
+    def _collect_queue_stats(self) -> None:
+        for stat, value in self.ingestor.stats.items():
+            # mirror externally owned monotonic totals: assignment, not
+            # inc, so the bridge is idempotent across scrapes
+            self.m_queue_stats.labels(stat).value = float(value)
+
+    def _service_sample(self) -> dict:
+        now = time.monotonic()
+        if (
+            self._sample_cache is None
+            or now - self._sample_time >= _SAMPLE_TTL
+        ):
+            self._sample_cache = self.service.metrics_sample()
+            self._sample_time = now
+        return self._sample_cache
+
+    def _collect_service(self) -> None:
+        sample = self._service_sample()
+        self.m_service_elements.labels().value = float(sample["elements"])
+        self.m_engine_batches.labels().value = float(
+            sample["engine"].get("batches", 0)
+        )
+        self.m_wal_bytes.labels().value = float(sample["wal_bytes"])
+        self.m_wal_records.labels().value = float(sample["wal_records"])
+        for channel in ("uplink", "downlink", "broadcast"):
+            self.m_comm_messages.labels(channel).value = float(
+                sample["comm"].get(f"{channel}_messages", 0)
+            )
+            self.m_comm_words.labels(channel).value = float(
+                sample["comm"].get(f"{channel}_words", 0)
+            )
+        for name, info in sample["jobs"].items():
+            self.m_job_elements.labels(name).value = float(info["elements"])
+            self.m_job_comm_words.labels(name).value = float(
+                info["comm"].get("total_words", 0)
+            )
+            budget = info.get("budget")
+            shards = info.get("shards") or [
+                {"shard": 0, "space": info["space"]}
+            ]
+            for entry in shards:
+                shard = str(entry["shard"])
+                used = entry["space"]["max_site_words"]
+                self.m_space_used.labels(shard, name).set(used)
+                if budget is not None:
+                    self.m_space_available.labels(shard, name).set(
+                        budget - used
+                    )
+        for entry in sample.get("shards") or [
+            {"shard": 0, "elements": sample["elements"]}
+        ]:
+            self.m_shard_elements.labels(str(entry["shard"])).value = float(
+                entry["elements"]
+            )
+
+    def _collect_net(self) -> None:
+        totals = {"sent": [0, 0], "received": [0, 0]}
+        for transport in self._transports:
+            stats = transport.stats
+            for direction in totals:
+                totals[direction][0] += stats.get(f"bytes_{direction}", 0)
+                totals[direction][1] += stats.get(f"frames_{direction}", 0)
+        for direction, (nbytes, nframes) in totals.items():
+            self.m_net_bytes.labels(direction).value = float(nbytes)
+            self.m_net_frames.labels(direction).value = float(nframes)
+
+    # -- rejection counters (registry-backed; /healthz reads these) --------
+
+    @property
+    def rejected_429(self) -> int:
+        return int(self.m_rejections.labels("429").value)
+
+    @property
+    def rejected_413(self) -> int:
+        return int(self.m_rejections.labels("413").value)
+
+    @property
+    def rejected_401(self) -> int:
+        return int(self.m_rejections.labels("401").value)
+
+    @property
+    def rejected_403(self) -> int:
+        return int(self.m_rejections.labels("403").value)
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> "Gateway":
         await self.ingestor.start()
+        self._dirty = asyncio.Event()
+        self.ingestor.on_applied.append(self._on_applied)
+        self._evaluator_task = asyncio.ensure_future(self._evaluator())
         self._server = await asyncio.start_server(
             self._handle, self.host, self._requested_port
         )
         return self
+
+    def _on_applied(self, events: int, seconds: float) -> None:
+        """Ingestor callback after each applied coalescing round."""
+        self.m_batch_events.observe(events)
+        self.m_apply_seconds.observe(seconds)
+        # the TTL cache only dedupes *concurrent* scrapes; an applied
+        # batch must be visible to the next scrape (and to metrics-kind
+        # standing queries) immediately
+        self._sample_cache = None
+        if self._dirty is not None:
+            self._dirty.set()
 
     @property
     def port(self) -> int:
@@ -232,8 +619,23 @@ class Gateway:
     async def close(self) -> None:
         if self._server is not None:
             self._server.close()
+            # SSE connections are long-lived by design; abort them so
+            # wait_closed() (which joins handlers on newer Pythons)
+            # cannot hang on a subscribed client.
+            for writer in list(self._stream_writers):
+                try:
+                    writer.transport.abort()
+                except Exception:
+                    pass
             await self._server.wait_closed()
             self._server = None
+        if self._evaluator_task is not None:
+            self._evaluator_task.cancel()
+            try:
+                await self._evaluator_task
+            except asyncio.CancelledError:
+                pass
+            self._evaluator_task = None
         await self.ingestor.close()
 
     # -- HTTP plumbing -----------------------------------------------------
@@ -256,6 +658,7 @@ class Gateway:
                     break
                 method, path, query, headers, body = request
                 extra_headers = None
+                started = time.perf_counter()
                 try:
                     key = self._authenticate(path, headers)
                     status, payload = await self._route(
@@ -274,6 +677,18 @@ class Gateway:
                     status, payload = 500, {
                         "error": f"{type(exc).__name__}: {exc}"
                     }
+                route = _route_template(path)
+                self.m_requests.labels(route, method, str(status)).inc()
+                self.m_request_seconds.labels(route).observe(
+                    time.perf_counter() - started
+                )
+                if isinstance(payload, _SSEStream):
+                    # Hijack: the connection becomes a one-way event
+                    # stream and closes when either side gives up.
+                    await self._stream(
+                        reader, writer, payload.subscription, headers
+                    )
+                    break
                 close = headers.get("connection", "").lower() == "close"
                 await self._respond(
                     writer, status, payload, close, extra_headers
@@ -325,7 +740,12 @@ class Gateway:
     async def _respond(
         self, writer, status, payload, close, headers: Optional[dict] = None
     ) -> None:
-        body = json.dumps(payload, separators=(",", ":")).encode()
+        if isinstance(payload, _Raw):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload, separators=(",", ":")).encode()
+            content_type = "application/json"
         reason = _REASONS.get(status, "Unknown")
         connection = "close" if close else "keep-alive"
         extra = "".join(
@@ -333,7 +753,7 @@ class Gateway:
         )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"{extra}"
             f"Connection: {connection}\r\n\r\n"
@@ -346,17 +766,17 @@ class Gateway:
     def _authenticate(self, path: str, headers: dict) -> Optional[str]:
         """Resolve the request's API key (None when auth is off).
 
-        ``/healthz`` stays open so liveness probes and dashboards work
-        without credentials; everything else requires a valid
-        ``Authorization: Bearer <key>`` when ``api_keys`` is set.
+        ``/healthz`` and ``/metrics`` stay open so liveness probes and
+        scrapers work without credentials; everything else requires a
+        valid ``Authorization: Bearer <key>`` when ``api_keys`` is set.
         """
-        if self.api_keys is None or path == "/healthz":
+        if self.api_keys is None or path in ("/healthz", "/metrics"):
             return None
         header = headers.get("authorization", "")
         scheme, _, token = header.partition(" ")
         token = token.strip()
         if not header or scheme.lower() != "bearer" or not token:
-            self.rejected_401 += 1
+            self.m_rejections.labels("401").inc()
             raise _HttpError(
                 401,
                 "missing or malformed Authorization header "
@@ -372,7 +792,7 @@ class Gateway:
             if hmac.compare_digest(token_bytes, known.encode()):
                 matched = known
         if matched is None:
-            self.rejected_403 += 1
+            self.m_rejections.labels("403").inc()
             raise _HttpError(403, "unknown API key")
         return matched
 
@@ -422,9 +842,35 @@ class Gateway:
                     "rejected_403": self.rejected_403,
                 },
             }
+        if path == "/metrics" and method == "GET":
+            # Collect under the service lock so bridged samples land on
+            # batch boundaries (fences a relaxed facade, like /v1/status).
+            text = await self._locked(render_prometheus, self.registry)
+            return 200, _Raw(text, _PROMETHEUS_CONTENT_TYPE)
         if segments[:1] != ["v1"]:
             raise _HttpError(404, f"no route {path!r}")
         rest = segments[1:]
+        if rest == ["metrics"] and method == "GET":
+            return 200, await self._locked(self.registry.as_dict)
+        if rest == ["trace"] and method == "GET":
+            return 200, {"spans": jsonable(self.spans.dump())}
+        if rest == ["subscribe"] and method == "POST":
+            return await self._subscribe(self._json_body(body))
+        if rest == ["subscriptions"] and method == "GET":
+            return 200, {
+                "subscriptions": [
+                    sub.describe() for sub in self.subscriptions.all()
+                ]
+            }
+        if len(rest) == 2 and rest[0] == "subscribe" and method == "DELETE":
+            if not self.subscriptions.unsubscribe(rest[1]):
+                raise _HttpError(404, f"no subscription {rest[1]!r}")
+            return 200, {"unsubscribed": rest[1]}
+        if len(rest) == 2 and rest[0] == "stream" and method == "GET":
+            subscription = self.subscriptions.get(rest[1])
+            if subscription is None:
+                raise _HttpError(404, f"no subscription {rest[1]!r}")
+            return 200, _SSEStream(subscription)
         if rest == ["status"] and method == "GET":
             return 200, jsonable(await self._locked(self.service.status))
         if rest == ["jobs"]:
@@ -523,7 +969,7 @@ class Gateway:
         if bucket is not None:
             wait = bucket.try_admit(len(site_ids))
             if wait > 0.0:
-                self.rejected_429 += 1
+                self.m_rejections.labels("429").inc()
                 scope = "" if key is None else " for this API key"
                 raise _HttpError(
                     429,
@@ -535,7 +981,7 @@ class Gateway:
         if self.service.has_space_budgets():
             overages = await self._locked(self.service.space_overages)
             if overages:
-                self.rejected_413 += 1
+                self.m_rejections.labels("413").inc()
                 detail = ", ".join(
                     f"{name} (used {info['used']} > budget "
                     f"{info['budget']} words)"
@@ -545,6 +991,12 @@ class Gateway:
                     413, f"space budget exceeded for job(s): {detail}"
                 )
         ingested = await self.ingestor.submit(site_ids, items)
+        tenant = (
+            "default"
+            if key is None or self.api_keys is None
+            else self.api_keys[key]
+        )
+        self.m_ingested.labels(tenant).inc(ingested)
         return 200, {
             "ingested": ingested,
             "elements": self.service.elements_processed,
@@ -562,6 +1014,236 @@ class Gateway:
             "args": args,
             "result": jsonable(result),
         }
+
+    # -- standing queries (SSE) --------------------------------------------
+
+    def _validate_spec(self, payload: dict) -> dict:
+        kind = payload.get("kind", "query")
+        if kind not in ("query", "threshold", "metrics"):
+            raise _HttpError(
+                400, "subscription 'kind' must be query, threshold or metrics"
+            )
+        spec = {"kind": kind}
+        if kind == "metrics":
+            metric = payload.get("metric")
+            if not metric or not isinstance(metric, str):
+                raise _HttpError(
+                    400, "a metrics subscription needs a 'metric' family name"
+                )
+            spec["metric"] = metric
+            return spec
+        job = payload.get("job")
+        if not job or not isinstance(job, str):
+            raise _HttpError(400, "subscription needs a 'job' name")
+        if job not in self.service.jobs:
+            raise _HttpError(404, f"no job {job!r}")
+        args = payload.get("args") or []
+        if not isinstance(args, list):
+            raise _HttpError(400, "'args' must be a list")
+        spec.update({"job": job, "method": payload.get("method"), "args": args})
+        if kind == "threshold":
+            op = payload.get("op")
+            if op not in _THRESHOLD_OPS:
+                raise _HttpError(
+                    400,
+                    f"threshold 'op' must be one of "
+                    f"{sorted(_THRESHOLD_OPS)}",
+                )
+            value = payload.get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise _HttpError(400, "threshold 'value' must be a number")
+            spec.update({"op": op, "value": value})
+        return spec
+
+    async def _subscribe(self, payload: dict):
+        spec = self._validate_spec(payload)
+        try:
+            sub = self.subscriptions.subscribe(spec)
+        except OverflowError as exc:
+            raise _HttpError(429, str(exc)) from None
+        try:
+            # Baseline evaluation: deltas are relative to the answer at
+            # subscribe time, so a client never sees a phantom first
+            # delta for state that predates it.
+            sub.last_value = await self._locked(self._evaluate_spec, spec)
+        except BaseException:
+            self.subscriptions.unsubscribe(sub.sid)
+            raise
+        return 200, {
+            "subscription": sub.sid,
+            "stream": f"/v1/stream/{sub.sid}",
+            "value": jsonable(sub.last_value),
+        }
+
+    def _evaluate_spec(self, spec: dict):
+        """Evaluate one standing query (runs under the service lock)."""
+        if spec["kind"] == "metrics":
+            return self._metric_total(spec["metric"])
+        value = self.service.query(
+            spec["job"], spec["method"], *spec["args"]
+        )
+        if spec["kind"] == "query":
+            return jsonable(value)
+        crossed = _THRESHOLD_OPS[spec["op"]](float(value), float(spec["value"]))
+        return {
+            "crossed": crossed,
+            "value": float(value),
+            "op": spec["op"],
+            "threshold": spec["value"],
+        }
+
+    def _metric_total(self, name: str) -> float:
+        """One metric family's total over all children (count for
+        histograms), straight from the registry."""
+        family = self.registry.as_dict().get(name)
+        if family is None:
+            raise ValueError(f"no metric family {name!r}")
+        total = 0.0
+        for sample in family["samples"]:
+            value = sample["value"]
+            total += value["count"] if isinstance(value, dict) else value
+        return total
+
+    @staticmethod
+    def _ckey(spec: dict, value):
+        """The change key: a delta fires when this differs.
+
+        Threshold subscriptions fire on predicate *flips*, not on every
+        underlying value change; everything else compares the answer.
+        """
+        if spec["kind"] == "threshold" and isinstance(value, dict):
+            return value.get("crossed")
+        return value
+
+    async def _evaluator(self) -> None:
+        """The push plane: re-evaluate standing queries after ingest.
+
+        Woken by the ingestor's ``on_applied`` hook (never by a timer),
+        it evaluates *all* subscriptions in one trip under the service
+        lock — one coalescing round costs one lock acquisition however
+        many standing queries exist — then publishes a delta to each
+        subscription whose change key moved.
+        """
+        while True:
+            await self._dirty.wait()
+            self._dirty.clear()
+            subs = self.subscriptions.all()
+            if not subs:
+                continue
+
+            def eval_all(subs=subs):
+                results = []
+                with self.ingestor.lock:
+                    for sub in subs:
+                        try:
+                            results.append((sub, self._evaluate_spec(sub.spec), None))
+                        except Exception as exc:
+                            results.append((sub, None, exc))
+                return results
+
+            loop = asyncio.get_running_loop()
+            results = await loop.run_in_executor(None, eval_all)
+            elements = self.service.elements_processed
+            for sub, value, error in results:
+                if self.subscriptions.get(sub.sid) is not sub:
+                    continue  # unsubscribed while evaluating
+                if error is not None:
+                    value = {"error": f"{type(error).__name__}: {error}"}
+                previous = sub.last_value
+                first = sub.never_evaluated
+                if not first and self._ckey(sub.spec, value) == self._ckey(
+                    sub.spec, previous
+                ):
+                    continue
+                sub.last_value = value
+                event = (
+                    "error"
+                    if error is not None
+                    else (
+                        "threshold"
+                        if sub.spec["kind"] == "threshold"
+                        else "delta"
+                    )
+                )
+                sub.publish(
+                    {
+                        "elements": elements,
+                        "value": jsonable(value),
+                        "previous": None if first else jsonable(previous),
+                    },
+                    event=event,
+                )
+
+    async def _stream(self, reader, writer, sub, headers: dict) -> None:
+        """Serve one SSE connection until either side disconnects.
+
+        Honors ``Last-Event-ID`` (replayed from the subscription's ring
+        buffer), then forwards live events as they are published, with
+        keep-alive comments on idle streams so proxies do not reap the
+        connection.
+        """
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        queue = sub.attach_listener()
+        self._stream_writers.add(writer)
+        eof_task = asyncio.ensure_future(reader.read(1))
+        get_task = None
+        try:
+            writer.write(head.encode("latin-1"))
+            writer.write(
+                render_sse_event(
+                    json.dumps({"subscription": sub.sid}),
+                    event="hello",
+                    retry=_SSE_RETRY_MS,
+                ).encode()
+            )
+            last_id = headers.get("last-event-id")
+            if last_id is not None:
+                try:
+                    last = int(last_id)
+                except ValueError:
+                    last = None
+                if last is not None:
+                    for event_id, event, data in sub.replay_after(last):
+                        writer.write(
+                            render_sse_event(
+                                data, event=event, id=event_id
+                            ).encode()
+                        )
+            await writer.drain()
+            while True:
+                if get_task is None:
+                    get_task = asyncio.ensure_future(queue.get())
+                done, _ = await asyncio.wait(
+                    {get_task, eof_task},
+                    timeout=_SSE_KEEPALIVE,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if eof_task in done:
+                    break  # client closed (or half-closed) its side
+                if get_task in done:
+                    event_id, event, data = get_task.result()
+                    get_task = None
+                    writer.write(
+                        render_sse_event(
+                            data, event=event, id=event_id
+                        ).encode()
+                    )
+                else:
+                    writer.write(b": keep-alive\n\n")
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._stream_writers.discard(writer)
+            sub.detach_listener(queue)
+            for task in (eof_task, get_task):
+                if task is not None and not task.done():
+                    task.cancel()
 
 
 class GatewayThread:

@@ -1,0 +1,43 @@
+"""Live observability plane: metrics, tracing, and push streams.
+
+This package is the *dependency-free core* of the service's
+observability story (it imports nothing from the rest of ``repro``, so
+every layer — runtime, service, shard, exec, net — may import it):
+
+* :mod:`repro.obs.metrics` — Counter / Gauge / Histogram primitives
+  with label sets, a process-local :class:`MetricsRegistry` with a
+  label-cardinality guard, and collector hooks that bridge existing
+  plain-dict stats (``AsyncBatchIngestor.stats``,
+  ``TcpTransport.stats``, ``CommStats``/``SpaceStats``) into metric
+  families at scrape time, so hot paths never pay for a registry
+  lookup.
+* :mod:`repro.obs.prometheus` — the Prometheus text-exposition
+  renderer behind the gateway's ``GET /metrics``.
+* :mod:`repro.obs.tracing` — :class:`SpanRecorder`, a ring-buffered
+  recorder of dispatch/merge/fence spans (``GET /v1/trace``).
+* :mod:`repro.obs.sse` — Server-Sent-Events framing plus the
+  standing-query subscription bookkeeping behind ``POST /v1/subscribe``
+  and ``GET /v1/stream/<id>``.
+
+The gateway owns the registry (one per gateway, no process-global
+mutable state); layers own their primitive metric objects or plain
+stats structures and the gateway *attaches* them, so a layer can be
+instrumented without knowing whether anyone is scraping.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .prometheus import render_prometheus
+from .sse import Subscription, SubscriptionHub, render_sse_event
+from .tracing import SpanRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecorder",
+    "Subscription",
+    "SubscriptionHub",
+    "render_prometheus",
+    "render_sse_event",
+]

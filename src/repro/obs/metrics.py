@@ -1,0 +1,416 @@
+"""Metric primitives and the process-local registry.
+
+Three instrument kinds, modelled on the Prometheus data model but with
+zero dependencies and a deliberately small surface:
+
+* :class:`Counter` — a monotonically increasing total.
+* :class:`Gauge` — a value that goes up and down; may be backed by a
+  callback (:meth:`Gauge.set_function`) so scrapes read live state
+  (queue depth, pending fences) without the owner pushing updates.
+* :class:`Histogram` — fixed upper-bound buckets plus ``_sum`` and
+  ``_count``; bucket counts are kept per-bucket internally and
+  cumulated only at snapshot time, so ``observe`` is one bisect and two
+  adds.
+
+Instruments are grouped into :class:`MetricFamily` objects (one name,
+one label schema, many children) inside a :class:`MetricsRegistry`.
+Two properties keep the hot path honest:
+
+* **No hot-path registry lookups.** Layers either own their instrument
+  objects directly (``backend.latency.observe(dt)``) or keep the plain
+  counters they always had; the registry bridges the latter at scrape
+  time through *collectors* (:meth:`MetricsRegistry.register_collector`)
+  and *attached* children (:meth:`MetricFamily.attach`).
+* **A label-cardinality guard.** Families cap their child count
+  (default 256); past the cap, new label sets collapse into a single
+  ``"_overflow"`` child instead of growing without bound, and the
+  registry counts the collapses in ``repro_obs_label_overflow_total``.
+
+Instrument mutation is lock-free: under CPython's GIL a lost update on
+a float add is the worst case, which is acceptable for telemetry and
+keeps ``inc``/``observe`` cheap enough for per-event call sites.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+]
+
+#: default child cap per family before the cardinality guard engages
+DEFAULT_MAX_CHILDREN = 256
+
+#: the label value that over-cap label sets collapse into
+OVERFLOW_LABEL = "_overflow"
+
+#: general-purpose duration buckets, seconds (micro to tens of seconds)
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: tighter buckets for sub-millisecond dispatch / request latencies
+LATENCY_BUCKETS = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+#: buckets for counts (batch sizes, candidate-union sizes)
+SIZE_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 25000.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def sample(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down, or reads a live callback."""
+
+    __slots__ = ("value", "_fn")
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Read ``fn()`` at sample time instead of a stored value."""
+        self._fn = fn
+
+    def sample(self) -> float:
+        if self._fn is not None:
+            try:
+                return float(self._fn())
+            except Exception:
+                return self.value
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``_sum`` and ``_count``.
+
+    ``bounds`` are *upper* bounds, strictly increasing; an implicit
+    ``+Inf`` bucket always exists.  Internal per-bucket counts are
+    non-cumulative; :meth:`sample` cumulates them, matching Prometheus
+    exposition semantics.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def sample(self) -> dict:
+        """Cumulative buckets plus sum/count, exposition-shaped."""
+        cumulative = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            cumulative.append((bound, running))
+        return {
+            "buckets": cumulative,
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+_INSTRUMENTS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One metric name: a label schema and its children.
+
+    ``labels(*values)`` is get-or-create; with no label names the
+    family has exactly one anonymous child and the instrument methods
+    (``inc``/``set``/``observe``/...) are available on the family
+    itself for convenience.  :meth:`attach` adopts an instrument object
+    owned elsewhere (e.g. a backend's latency histogram) so externally
+    owned state shows up in scrapes without copying.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        kind: str,
+        label_names: Sequence[str] = (),
+        max_children: int = DEFAULT_MAX_CHILDREN,
+        registry: Optional["MetricsRegistry"] = None,
+        **instrument_kwargs,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        if kind not in _INSTRUMENTS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.label_names = tuple(label_names)
+        self.max_children = max_children
+        self._registry = registry
+        self._instrument_kwargs = instrument_kwargs
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+        if not self.label_names:
+            self.labels()  # materialize the anonymous child eagerly
+
+    def _make(self):
+        return _INSTRUMENTS[self.kind](**self._instrument_kwargs)
+
+    def labels(self, *values):
+        """The child for this label-value tuple (get-or-create)."""
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}, "
+                f"got {len(key)} value(s)"
+            )
+        child = self._children.get(key)
+        if child is not None:
+            return child
+        with self._lock:
+            child = self._children.get(key)
+            if child is not None:
+                return child
+            if len(self._children) >= self.max_children:
+                key = (OVERFLOW_LABEL,) * len(self.label_names)
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make()
+                    self._children[key] = child
+                if self._registry is not None:
+                    self._registry._overflowed(self.name)
+                return child
+            child = self._make()
+            self._children[key] = child
+            return child
+
+    def attach(self, values: Sequence[str], instrument) -> None:
+        """Adopt an externally owned instrument as a child.
+
+        The instrument must match the family's kind (duck-typed: same
+        ``kind`` attribute).  Re-attaching the same label set replaces
+        the previous child — callers re-wire on restore/respawn.
+        """
+        if getattr(instrument, "kind", None) != self.kind:
+            raise ValueError(
+                f"cannot attach {type(instrument).__name__} to "
+                f"{self.kind} family {self.name}"
+            )
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}"
+            )
+        with self._lock:
+            self._children[key] = instrument
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """(label_values, sampled value) per child, unsorted."""
+        with self._lock:
+            children = list(self._children.items())
+        return [(key, child.sample()) for key, child in children]
+
+    # -- no-label convenience ---------------------------------------------
+
+    def _solo(self):
+        if self.label_names:
+            raise ValueError(
+                f"{self.name} has labels {self.label_names}; call "
+                f".labels(...) first"
+            )
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self._solo().set_function(fn)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+
+class MetricsRegistry:
+    """A process-local set of metric families plus scrape-time bridges.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create and
+    idempotent; re-declaring a name with a different kind or label
+    schema raises.  *Collectors* are zero-argument callables run at the
+    top of every :meth:`collect` — they pull externally owned plain
+    stats (dict counters, transport byte counts) into families, so
+    instrumented layers pay nothing between scrapes.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._collectors: List[Callable[[], None]] = []
+        self._lock = threading.Lock()
+        self._overflow = self.counter(
+            "repro_obs_label_overflow_total",
+            "Label sets collapsed by the cardinality guard.",
+            ["family"],
+        )
+
+    def _family(
+        self,
+        name: str,
+        help: str,
+        kind: str,
+        label_names: Sequence[str],
+        **kwargs,
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.label_names != tuple(
+                    label_names
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind}{family.label_names}"
+                    )
+                return family
+            family = MetricFamily(
+                name, help, kind, label_names, registry=self, **kwargs
+            )
+            self._families[name] = family
+            return family
+
+    def counter(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        max_children: int = DEFAULT_MAX_CHILDREN,
+    ) -> MetricFamily:
+        return self._family(
+            name, help, "counter", label_names, max_children=max_children
+        )
+
+    def gauge(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        max_children: int = DEFAULT_MAX_CHILDREN,
+    ) -> MetricFamily:
+        return self._family(
+            name, help, "gauge", label_names, max_children=max_children
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        max_children: int = DEFAULT_MAX_CHILDREN,
+    ) -> MetricFamily:
+        return self._family(
+            name, help, "histogram", label_names,
+            max_children=max_children, bounds=buckets,
+        )
+
+    def register_collector(self, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at the top of every collect/scrape."""
+        self._collectors.append(fn)
+
+    def _overflowed(self, family_name: str) -> None:
+        self._overflow.labels(family_name).inc()
+
+    def collect(self) -> List[MetricFamily]:
+        """All families, collectors refreshed, sorted by name."""
+        for fn in list(self._collectors):
+            try:
+                fn()
+            except Exception:
+                # a broken bridge must never take down the scrape
+                pass
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        return families
+
+    def as_dict(self) -> dict:
+        """JSON-ready exposition (the ``/v1/metrics`` payload)."""
+        out = {}
+        for family in self.collect():
+            children = []
+            for key, value in sorted(family.samples(), key=lambda kv: kv[0]):
+                children.append(
+                    {
+                        "labels": dict(zip(family.label_names, key)),
+                        "value": value,
+                    }
+                )
+            out[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "samples": children,
+            }
+        return out

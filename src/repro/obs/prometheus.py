@@ -1,0 +1,110 @@
+"""Prometheus text exposition (format version 0.0.4).
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+into the ``text/plain; version=0.0.4`` body served at ``GET /metrics``:
+
+* one ``# HELP`` / ``# TYPE`` header per family, families sorted by
+  name and children by label values, so output is deterministic and
+  golden-file testable;
+* help text escapes ``\\`` and newlines, label values additionally
+  escape ``"``;
+* histograms expand to cumulative ``_bucket`` series (always ending in
+  ``le="+Inf"``) plus ``_sum`` and ``_count``;
+* integral values render without a trailing ``.0`` — scrapers accept
+  both, humans prefer ints.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def _bucket_labels_text(
+    names: Sequence[str], values: Sequence[str], le: str
+) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    pairs.append(f'le="{le}"')
+    return "{" + ",".join(pairs) + "}"
+
+
+def render_prometheus(registry) -> str:
+    """The full exposition body for ``registry``, trailing newline
+    included (Prometheus requires the final line to be terminated)."""
+    lines = []
+    for family in registry.collect():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        samples: Sequence[Tuple[Tuple[str, ...], object]] = sorted(
+            family.samples(), key=lambda kv: kv[0]
+        )
+        if family.kind == "histogram":
+            for key, snap in samples:
+                total = snap["count"]
+                for bound, cumulative in snap["buckets"]:
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_bucket_labels_text(family.label_names, key, _format_value(bound))}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_bucket"
+                    f"{_bucket_labels_text(family.label_names, key, '+Inf')}"
+                    f" {total}"
+                )
+                lines.append(
+                    f"{family.name}_sum"
+                    f"{_labels_text(family.label_names, key)}"
+                    f" {_format_value(snap['sum'])}"
+                )
+                lines.append(
+                    f"{family.name}_count"
+                    f"{_labels_text(family.label_names, key)} {total}"
+                )
+        else:
+            for key, value in samples:
+                lines.append(
+                    f"{family.name}"
+                    f"{_labels_text(family.label_names, key)}"
+                    f" {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,158 @@
+"""Server-Sent-Events framing and standing-query bookkeeping.
+
+The wire half is :func:`render_sse_event` — the ``event:`` / ``id:`` /
+``retry:`` / ``data:`` line protocol from the WHATWG EventSource spec,
+with multi-line payloads split across ``data:`` lines and a blank-line
+terminator.
+
+The bookkeeping half is :class:`SubscriptionHub`: each
+:class:`Subscription` is one standing query (registered via
+``POST /v1/subscribe``), holding
+
+* the client's query spec, opaque to this module — evaluation happens
+  in the gateway, which owns the service lock;
+* the last delivered value, so the evaluator can emit only deltas;
+* a replay ring of recent events keyed by a monotonically increasing
+  event id, serving ``Last-Event-ID`` reconnects without re-evaluating;
+* a set of live :class:`asyncio.Queue` listeners (one per open
+  ``GET /v1/stream/<id>`` connection) that :meth:`Subscription.publish`
+  fans out to.
+
+This module never touches sockets; the gateway drains listener queues
+into hijacked HTTP connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import uuid
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Subscription", "SubscriptionHub", "render_sse_event"]
+
+#: sentinel for "never evaluated yet" (None is a legitimate value)
+_UNSET = object()
+
+
+def render_sse_event(
+    data: str,
+    event: Optional[str] = None,
+    id: Optional[str] = None,
+    retry: Optional[int] = None,
+) -> str:
+    """One SSE frame, blank-line terminated.
+
+    ``data`` may span lines; each becomes its own ``data:`` line so the
+    client reassembles the exact payload.  Field values must not
+    contain newlines (ids and event names are caller-controlled here).
+    """
+    lines = []
+    if retry is not None:
+        lines.append(f"retry: {int(retry)}")
+    if event is not None:
+        _reject_newlines(event, "event")
+        lines.append(f"event: {event}")
+    if id is not None:
+        _reject_newlines(str(id), "id")
+        lines.append(f"id: {id}")
+    for chunk in data.split("\n"):
+        lines.append(f"data: {chunk}")
+    return "\n".join(lines) + "\n\n"
+
+
+def _reject_newlines(value: str, field: str) -> None:
+    if "\n" in value or "\r" in value:
+        raise ValueError(f"SSE {field} field must be a single line")
+
+
+class Subscription:
+    """One standing query and its delivery state."""
+
+    def __init__(self, sid: str, spec: dict, replay: int = 64) -> None:
+        self.sid = sid
+        self.spec = spec
+        self.last_value = _UNSET
+        self.events_delivered = 0
+        self._ids = itertools.count(1)
+        #: (event_id, event_name, json_payload), oldest first
+        self._replay: deque = deque(maxlen=replay)
+        self._listeners: List[asyncio.Queue] = []
+
+    @property
+    def never_evaluated(self) -> bool:
+        return self.last_value is _UNSET
+
+    def publish(self, payload: dict, event: str = "delta") -> int:
+        """Record one event and wake every live listener.
+
+        Returns the event id (the ``id:`` field, used by clients as
+        ``Last-Event-ID``).
+        """
+        event_id = next(self._ids)
+        body = json.dumps(payload, sort_keys=True)
+        frame = (event_id, event, body)
+        self._replay.append(frame)
+        self.events_delivered += 1
+        for queue in list(self._listeners):
+            queue.put_nowait(frame)
+        return event_id
+
+    def replay_after(self, last_id: int) -> List[Tuple[int, str, str]]:
+        """Buffered events with id > ``last_id``, oldest first."""
+        return [frame for frame in self._replay if frame[0] > last_id]
+
+    def attach_listener(self) -> asyncio.Queue:
+        queue: asyncio.Queue = asyncio.Queue()
+        self._listeners.append(queue)
+        return queue
+
+    def detach_listener(self, queue: asyncio.Queue) -> None:
+        try:
+            self._listeners.remove(queue)
+        except ValueError:
+            pass
+
+    @property
+    def listeners(self) -> int:
+        return len(self._listeners)
+
+    def describe(self) -> dict:
+        return {
+            "id": self.sid,
+            "spec": self.spec,
+            "listeners": self.listeners,
+            "events_delivered": self.events_delivered,
+        }
+
+
+class SubscriptionHub:
+    """The gateway's set of standing queries, capped."""
+
+    def __init__(self, max_subscriptions: int = 64) -> None:
+        self.max_subscriptions = max_subscriptions
+        self._subs: Dict[str, Subscription] = {}
+
+    def subscribe(self, spec: dict) -> Subscription:
+        if len(self._subs) >= self.max_subscriptions:
+            raise OverflowError(
+                f"subscription limit ({self.max_subscriptions}) reached"
+            )
+        sid = uuid.uuid4().hex[:12]
+        sub = Subscription(sid, spec)
+        self._subs[sid] = sub
+        return sub
+
+    def unsubscribe(self, sid: str) -> bool:
+        return self._subs.pop(sid, None) is not None
+
+    def get(self, sid: str) -> Optional[Subscription]:
+        return self._subs.get(sid)
+
+    def all(self) -> List[Subscription]:
+        return list(self._subs.values())
+
+    def __len__(self) -> int:
+        return len(self._subs)

@@ -1,0 +1,71 @@
+"""Ring-buffered span recording for the dispatch plane.
+
+A *span* is one timed region of the fan-out machinery — ``dispatch``
+(posting an ingest batch across shard backends), ``merge`` (a
+cross-shard query merge), ``fence`` (waiting out the relaxed in-flight
+window) — with a wall-clock start, a monotonic duration, and free-form
+attributes (event counts, shard counts, relaxed flag).
+
+:class:`SpanRecorder` keeps the most recent ``capacity`` spans in a
+deque; recording is two clock reads and an append, cheap enough to
+leave on permanently.  ``GET /v1/trace`` dumps the buffer as JSON,
+newest last.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator, List
+
+__all__ = ["SpanRecorder"]
+
+
+class SpanRecorder:
+    """Bounded recorder of completed spans, oldest evicted first."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._spans: deque = deque(maxlen=capacity)
+        self._next_id = 0
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[dict]:
+        """Record one timed region.
+
+        Yields the attribute dict so the body may add outcomes
+        (e.g. result sizes) before the span closes.  The span is
+        recorded even when the body raises, with ``error`` set.
+        """
+        started_wall = time.time()
+        started = time.perf_counter()
+        record = dict(attrs)
+        try:
+            yield record
+        except BaseException as exc:
+            record["error"] = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            self._spans.append(
+                {
+                    "id": self._next_id,
+                    "name": name,
+                    "start": started_wall,
+                    "duration_s": time.perf_counter() - started,
+                    "attrs": record,
+                }
+            )
+            self._next_id += 1
+
+    def dump(self) -> List[dict]:
+        """All buffered spans, oldest first, JSON-ready copies."""
+        return [dict(span) for span in self._spans]
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)

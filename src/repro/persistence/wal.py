@@ -210,6 +210,10 @@ class WriteAheadLog:
         self._records_in_segment = 0
         self._undo = None
         self.last_seq = -1
+        #: bytes appended by this process (monotonic; rollbacks do not
+        #: subtract — the write happened, which is what telemetry asks)
+        self.bytes_appended = 0
+        self.records_appended = 0
         self._recover_tail()
 
     # -- segment bookkeeping ----------------------------------------------
@@ -287,12 +291,15 @@ class WriteAheadLog:
         record[1] = seq
         line = json.dumps(record, separators=(",", ":")) + "\n"
         self._undo = (self._file.tell(), self.last_seq, self._records_in_segment)
-        self._file.write(line.encode())
+        encoded = line.encode()
+        self._file.write(encoded)
         self._file.flush()
         if self.sync:
             os.fsync(self._file.fileno())
         self.last_seq = seq
         self._records_in_segment += 1
+        self.bytes_appended += len(encoded)
+        self.records_appended += 1
         return seq
 
     def ensure_seq_floor(self, seq: int) -> None:

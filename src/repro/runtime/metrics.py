@@ -53,8 +53,13 @@ class CommStats(PersistableState):
         self.broadcast_messages += k
         self.broadcast_words += words * k
 
-    def snapshot(self) -> dict:
-        """A plain-dict copy, handy for tables and asserts."""
+    def as_metrics(self) -> dict:
+        """The ledger as flat metric-name/value pairs.
+
+        The uniform stats surface: :class:`SpaceStats` exposes the same
+        method, so registries and status payloads consume either
+        without per-call-site key translation.
+        """
         return {
             "uplink_messages": self.uplink_messages,
             "uplink_words": self.uplink_words,
@@ -65,6 +70,10 @@ class CommStats(PersistableState):
             "total_messages": self.total_messages,
             "total_words": self.total_words,
         }
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, handy for tables and asserts."""
+        return self.as_metrics()
 
 
 @dataclass
@@ -101,3 +110,17 @@ class SpaceStats(PersistableState):
             return 0.0
         vals = self.max_words_per_site.values()
         return sum(vals) / len(vals)
+
+    def as_metrics(self) -> dict:
+        """The high-water marks as flat metric-name/value pairs.
+
+        Key names match the job-status ``space.used`` payload (the
+        ``coordinator_max_words`` field travels as
+        ``coordinator_words``), so status building and registry
+        bridging share one translation, here.
+        """
+        return {
+            "max_site_words": self.max_site_words,
+            "mean_site_words": self.mean_site_words,
+            "coordinator_words": self.coordinator_max_words,
+        }

@@ -81,6 +81,12 @@ class AsyncBatchIngestor:
             "max_queued_events": 0,
             "backpressure_waits": 0,
         }
+        #: ``fn(events, seconds)`` callbacks run on the event loop after
+        #: each applied coalescing round — the push plane's heartbeat
+        #: (the gateway hangs batch-size/latency observation and
+        #: standing-query evaluation here).  Failures are swallowed:
+        #: telemetry must never fail an ingest that already applied.
+        self.on_applied: list = []
 
     async def start(self) -> "AsyncBatchIngestor":
         """Bind to the running loop and start the drain worker."""
@@ -151,6 +157,7 @@ class AsyncBatchIngestor:
                     batch.append(request)
                     total += request[2]
             site_ids, items = _concatenate(batch)
+            started = loop.time()
             try:
                 await loop.run_in_executor(None, self._apply, site_ids, items)
             except Exception as exc:
@@ -158,12 +165,18 @@ class AsyncBatchIngestor:
                     if not future.cancelled():
                         future.set_exception(exc)
             else:
+                elapsed = loop.time() - started
                 self.stats["engine_calls"] += 1
                 self.stats["coalesced_requests"] += len(batch) - 1
                 self.stats["ingested_events"] += total
                 for _, _, n, future in batch:
                     if not future.cancelled():
                         future.set_result(n)
+                for hook in self.on_applied:
+                    try:
+                        hook(total, elapsed)
+                    except Exception:
+                        pass
             async with self._cond:
                 self._pending_events -= total
                 self._cond.notify_all()

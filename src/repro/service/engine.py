@@ -38,6 +38,9 @@ class BatchIngestEngine:
 
     def __init__(self, space_sample_interval: int = 4096):
         self.space_sample_interval = max(1, space_sample_interval)
+        #: plain counters read by the observability plane at scrape
+        #: time (two dict adds per batch — nothing per event)
+        self.stats = {"batches": 0, "events": 0}
 
     def decompose(self, site_ids, items=None) -> List[Tuple[int, list]]:
         """Split one ordered batch into per-site runs (order preserved)."""
@@ -53,4 +56,7 @@ class BatchIngestEngine:
         runs = self.decompose(site_ids, items)
         for job in jobs:
             drive_runs(job, runs, self.space_sample_interval)
-        return sum(len(chunk) for _, chunk in runs)
+        n = sum(len(chunk) for _, chunk in runs)
+        self.stats["batches"] += 1
+        self.stats["events"] += n
+        return n

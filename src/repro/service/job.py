@@ -228,15 +228,11 @@ class TrackingJob:
             "name": self.name,
             "scheme": self.scheme.name,
             "elements": self.elements_processed,
-            "comm": self.comm.snapshot(),
+            "comm": self.comm.as_metrics(),
             "dropped_uplink_messages": self.network.dropped_uplink_messages,
             "space": {
                 "total": budget,
-                "used": {
-                    "max_site_words": used_words,
-                    "mean_site_words": self.space.mean_site_words,
-                    "coordinator_words": self.space.coordinator_max_words,
-                },
+                "used": self.space.as_metrics(),
                 "available": None if budget is None else budget - used_words,
             },
             "accuracy": {

@@ -282,6 +282,34 @@ class TrackingService:
             "jobs": {name: job.status() for name, job in self._jobs.items()},
         }
 
+    def metrics_sample(self) -> dict:
+        """One flat, JSON-safe telemetry sample for the metrics plane.
+
+        Cheaper and flatter than :meth:`status` (no query evaluation —
+        a scrape must never run estimators), but it does refresh each
+        job's space high-water marks so per-shard used/available words
+        are current.  The shard facade fans this out per hub and the
+        gateway bridges the result into its registry.
+        """
+        jobs = {}
+        for name, job in self._jobs.items():
+            job.sample_space()
+            jobs[name] = {
+                "elements": job.elements_processed,
+                "comm": job.comm.as_metrics(),
+                "space": job.space.as_metrics(),
+                "budget": job.space_budget_words,
+            }
+        wal = self._wal
+        return {
+            "elements": self.elements_processed,
+            "engine": dict(self.engine.stats),
+            "comm": self.comm.as_metrics(),
+            "wal_bytes": 0 if wal is None else wal.bytes_appended,
+            "wal_records": 0 if wal is None else wal.records_appended,
+            "jobs": jobs,
+        }
+
     # -- budgets -----------------------------------------------------------
 
     def has_space_budgets(self) -> bool:

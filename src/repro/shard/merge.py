@@ -115,7 +115,8 @@ def _require_single_method(replies) -> str:
 
 
 def merged_query(
-    fanout: Callable, problem: str, method, args: tuple, kwargs: dict
+    fanout: Callable, problem: str, method, args: tuple, kwargs: dict,
+    observe_candidates: Callable = None,
 ):
     """Answer one query across shards.
 
@@ -131,6 +132,10 @@ def merged_query(
     method / args / kwargs:
         The query as the caller issued it (``method=None`` = the job's
         default query).
+    observe_candidates:
+        Optional ``fn(size)`` telemetry hook called with the
+        candidate-union size of each candidate-set merge (quantile /
+        heavy_hitters / top_items); additive merges never call it.
     """
     if method in (None, "estimate", "estimate_total", "estimate_rank",
                   "estimate_frequency"):
@@ -161,6 +166,8 @@ def merged_query(
         for _, values in fanout("rank_candidates"):
             candidates.update(values)
         ordered = sorted(candidates)
+        if observe_candidates is not None:
+            observe_candidates(len(ordered))
         if not ordered:
             raise ValueError("no candidate values to search")
         total = merge_counts(r for _, r in fanout("estimate_total"))
@@ -184,6 +191,8 @@ def merged_query(
         for _, hitters in fanout("heavy_hitters", phi):
             candidates.update(hitters)
         ordered = sorted(candidates, key=repr)
+        if observe_candidates is not None:
+            observe_candidates(len(ordered))
         if not ordered:
             return {}
         sums = _summed_frequencies(fanout, ordered)
@@ -203,6 +212,8 @@ def merged_query(
         for _, scored in fanout("top_items", m):
             candidates.update(item for item, _ in scored)
         ordered = sorted(candidates, key=repr)
+        if observe_candidates is not None:
+            observe_candidates(len(ordered))
         sums = _summed_frequencies(fanout, ordered)
         merged = sorted(zip(ordered, sums), key=lambda t: -t[1])
         return merged[:m]

@@ -42,10 +42,13 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Dict, Iterable, List, Optional
 
 from ..exec import EXECUTORS, make_group
 from ..exec.workers import hub_spec
+from ..obs.metrics import DEFAULT_BUCKETS, SIZE_BUCKETS, Histogram
+from ..obs.tracing import SpanRecorder
 from ..runtime import TrackingScheme, derive_seed
 from ..service.errors import DuplicateJobError, UnknownJobError
 from .merge import UnmergeableQueryError, composed_error_bound, merged_query
@@ -153,6 +156,13 @@ class ShardedTrackingService:
         self.relaxed = bool(relaxed)
         self.elements_processed = 0
         self._jobs: Dict[str, ShardJobView] = {}
+        #: dispatch-plane telemetry, owned here and always on (two
+        #: clock reads per fan-out): spans for dispatch/merge/fence,
+        #: histograms for merge fan-out latency and candidate-union
+        #: sizes.  Scrapers attach these to their registry.
+        self.spans = SpanRecorder()
+        self.merge_latency = Histogram(DEFAULT_BUCKETS)
+        self.merge_candidates = Histogram(SIZE_BUCKETS)
         self._checkpoint_dir = checkpoint_dir
         self._wal_segment_records = wal_segment_records
         self._wal_sync = wal_sync
@@ -329,12 +339,19 @@ class ShardedTrackingService:
         for shard, local_ids, shard_items in parts:
             per_shard[shard] = (local_ids, shard_items)
             total += len(local_ids)
-        if self.relaxed:
-            # The router already validated and sized the batch; counts
-            # are known without acks, so posting is the whole job.
-            self._group.map("ingest", per_shard, collect=False)
-        else:
-            total = sum(self._group.map("ingest", per_shard))
+        with self.spans.span(
+            "dispatch",
+            events=total,
+            shards=len(parts),
+            relaxed=self.relaxed,
+        ):
+            if self.relaxed:
+                # The router already validated and sized the batch;
+                # counts are known without acks, so posting is the
+                # whole job.
+                self._group.map("ingest", per_shard, collect=False)
+            else:
+                total = sum(self._group.map("ingest", per_shard))
         self.elements_processed += total
         return total
 
@@ -345,8 +362,10 @@ class ShardedTrackingService:
         call this to surface deferred ingest errors at a point of your
         choosing (e.g. at the end of a load phase).
         """
-        if self._group.pending:
-            self._group.collect()
+        pending = self._group.pending
+        if pending:
+            with self.spans.span("fence", pending_commands=pending):
+                self._group.collect()
 
     def ingest_stream(self, stream: Iterable, batch_size: int = 8192) -> int:
         """Drain an iterable of ``(site_id, item)`` pairs in batches."""
@@ -392,7 +411,23 @@ class ShardedTrackingService:
                 [(name, sub_method, sub_args, sub_kwargs)] * self.num_shards,
             )
 
-        return merged_query(fanout, view.problem, method, args, kwargs)
+        started = time.perf_counter()
+        with self.spans.span(
+            "merge",
+            job=name,
+            method=method or "default",
+            shards=self.num_shards,
+        ) as attrs:
+            def observe(size):
+                self.merge_candidates.observe(size)
+                attrs["candidates"] = size
+
+            result = merged_query(
+                fanout, view.problem, method, args, kwargs,
+                observe_candidates=observe,
+            )
+        self.merge_latency.observe(time.perf_counter() - started)
+        return result
 
     def query_shard(self, shard: int, name: str,
                     method: Optional[str] = None, *args, **kwargs):
@@ -519,6 +554,56 @@ class ShardedTrackingService:
             ],
         }
 
+    def metrics_sample(self) -> dict:
+        """Fleet telemetry: merged totals plus per-shard detail.
+
+        Fans the cheap hub-side ``metrics_sample`` command out (no
+        query evaluation anywhere), so the gateway's scrape path sees
+        remote hubs' engine/WAL/space numbers.  Like every collecting
+        command this fences outstanding relaxed batches first.
+        """
+        samples = self._group.map("metrics_sample", [()] * self.num_shards)
+        jobs: dict = {}
+        for view in self._jobs.values():
+            per_shard = [s["jobs"][view.name] for s in samples]
+            space = {
+                "max_site_words": max(
+                    j["space"]["max_site_words"] for j in per_shard
+                ),
+                "mean_site_words": sum(
+                    j["space"]["mean_site_words"] for j in per_shard
+                ) / len(per_shard),
+                "coordinator_words": sum(
+                    j["space"]["coordinator_words"] for j in per_shard
+                ),
+            }
+            jobs[view.name] = {
+                "elements": view.elements_processed,
+                "comm": _sum_dicts([j["comm"] for j in per_shard]),
+                "space": space,
+                "budget": view.space_budget_words,
+                "shards": [
+                    {"shard": shard, "space": j["space"]}
+                    for shard, j in enumerate(per_shard)
+                ],
+            }
+        return {
+            "elements": self.elements_processed,
+            "engine": _sum_dicts([s["engine"] for s in samples]),
+            "comm": _sum_dicts([s["comm"] for s in samples]),
+            "wal_bytes": sum(s["wal_bytes"] for s in samples),
+            "wal_records": sum(s["wal_records"] for s in samples),
+            "jobs": jobs,
+            "shards": [
+                {
+                    "shard": shard,
+                    "elements": s["elements"],
+                    "wal_bytes": s["wal_bytes"],
+                }
+                for shard, s in enumerate(samples)
+            ],
+        }
+
     # -- persistence -------------------------------------------------------
 
     def checkpoint(self) -> list:
@@ -606,6 +691,22 @@ class ShardedTrackingService:
                 elements_offset=self.elements_processed
                 - per_shard_elements,
             )
+
+    @property
+    def backends(self) -> list:
+        """The per-shard exec backends, in shard order.
+
+        The telemetry surface of the exec plane: each backend's
+        ``latency`` histogram (submit-to-collect, i.e. the relaxed
+        in-flight window) and ``pending`` count, plus the byte counters
+        of cluster backends' transports.
+        """
+        return list(self._group.backends)
+
+    @property
+    def pending_commands(self) -> int:
+        """Commands posted but not collected (the pending-fence gauge)."""
+        return self._group.pending
 
     @property
     def checkpoint_dir(self) -> Optional[str]:

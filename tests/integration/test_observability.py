@@ -1,0 +1,427 @@
+"""The observability plane end to end: scrape, stream, trace, CLI.
+
+One live gateway per fixture; assertions cover the acceptance surface:
+``/metrics`` exposes families from every layer (gateway, service,
+shard, exec) with per-tenant and per-shard labels, a standing query
+streams a delta over SSE after an ingest *without the client polling*,
+``Last-Event-ID`` replays missed events, and ``/healthz`` agrees with
+the registry it is backed by.
+"""
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.net.gateway import GatewayThread
+from repro.service import TrackingService
+from repro.service.jobspec import parse_job_spec
+from repro.shard import ShardedTrackingService
+
+
+def request(url, method="GET", obj=None, headers=None):
+    data = None if obj is None else json.dumps(obj).encode()
+    req = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+def scrape(gw):
+    with urllib.request.urlopen(gw.url + "/metrics", timeout=30) as response:
+        assert response.headers["Content-Type"].startswith("text/plain")
+        return response.read().decode()
+
+
+def sample_lines(text):
+    return [
+        line for line in text.splitlines()
+        if line and not line.startswith("#")
+    ]
+
+
+def families(text):
+    return {
+        line.split()[2]
+        for line in text.splitlines()
+        if line.startswith("# TYPE")
+    }
+
+
+class SseClient:
+    """A raw-socket SSE reader (urllib cannot stream indefinitely)."""
+
+    def __init__(self, gw, sid, last_event_id=None, timeout=30):
+        self._sock = socket.create_connection(
+            (gw.gateway.host, gw.gateway.port), timeout=timeout
+        )
+        extra = (
+            f"Last-Event-ID: {last_event_id}\r\n"
+            if last_event_id is not None else ""
+        )
+        self._sock.sendall(
+            f"GET /v1/stream/{sid} HTTP/1.1\r\nHost: t\r\n"
+            f"Accept: text/event-stream\r\n{extra}\r\n".encode()
+        )
+        self._buf = b""
+
+    def read_event(self, name):
+        """Block until a frame with ``event: <name>`` is complete."""
+        token = f"event: {name}".encode()
+        while True:
+            start = self._buf.find(token)
+            if start != -1:
+                end = self._buf.find(b"\n\n", start)
+                if end != -1:
+                    frame = self._buf[start:end].decode()
+                    self._buf = self._buf[end + 2:]
+                    fields = {}
+                    for line in frame.splitlines():
+                        key, _, value = line.partition(": ")
+                        fields.setdefault(key, []).append(value)
+                    data = "\n".join(fields.get("data", []))
+                    return {
+                        "event": fields["event"][0],
+                        "id": fields.get("id", [None])[0],
+                        "data": json.loads(data) if data else None,
+                    }
+            chunk = self._sock.recv(4096)
+            if not chunk:
+                raise AssertionError(f"stream closed awaiting {name!r}")
+            self._buf += chunk
+
+    def close(self):
+        self._sock.close()
+
+
+@pytest.fixture()
+def sharded_gateway():
+    service = ShardedTrackingService(
+        num_sites=8, num_shards=2, seed=3, executor="thread", relaxed=True
+    )
+    _, _, scheme = parse_job_spec("hh=frequency/deterministic:0.05", 0.05)
+    service.register("hh", scheme)
+    _, _, scheme = parse_job_spec("med=rank/deterministic:0.05", 0.05)
+    service.register("med", scheme)
+    with GatewayThread(service) as gw:
+        yield gw
+    service.close()
+
+
+def ingest(gw, n=200, headers=None):
+    status, body = request(
+        gw.url + "/v1/ingest",
+        "POST",
+        {
+            "site_ids": [i % 8 for i in range(n)],
+            "items": [float(i % 7) for i in range(n)],
+        },
+        headers=headers,
+    )
+    assert status == 200
+    return body
+
+
+class TestMetricsEndpoint:
+    def test_families_span_every_layer(self, sharded_gateway):
+        gw = sharded_gateway
+        ingest(gw)
+        request(gw.url + "/v1/query/med?method=quantile&arg=0.5")
+        text = scrape(gw)
+        fams = families(text)
+        assert len(fams) >= 8
+        for prefix in (
+            "repro_gateway_", "repro_service_", "repro_shard_", "repro_exec_"
+        ):
+            assert any(f.startswith(prefix) for f in fams), (
+                f"no {prefix} family in {sorted(fams)}"
+            )
+
+    def test_per_shard_labels(self, sharded_gateway):
+        gw = sharded_gateway
+        ingest(gw)
+        text = scrape(gw)
+        for shard in ("0", "1"):
+            assert f'repro_shard_elements_total{{shard="{shard}"}}' in text
+            assert (
+                f'repro_exec_dispatch_seconds_count{{shard="{shard}"}}'
+                in text
+            )
+
+    def test_service_totals_track_ingest(self, sharded_gateway):
+        gw = sharded_gateway
+        ingest(gw, n=300)
+        text = scrape(gw)
+        values = dict(
+            line.rsplit(" ", 1)
+            for line in sample_lines(text)
+        )
+        assert float(values["repro_service_elements_total"]) == 300.0
+        per_shard = sum(
+            float(v)
+            for k, v in values.items()
+            if k.startswith("repro_shard_elements_total{")
+        )
+        assert per_shard == 300.0
+
+    def test_merge_instrumented(self, sharded_gateway):
+        gw = sharded_gateway
+        ingest(gw)
+        request(gw.url + "/v1/query/med?method=quantile&arg=0.5")
+        text = scrape(gw)
+        values = dict(
+            line.rsplit(" ", 1) for line in sample_lines(text)
+        )
+        assert float(values["repro_shard_merge_seconds_count"]) >= 1.0
+        assert float(values["repro_shard_merge_candidates_count"]) >= 1.0
+
+    def test_json_metrics_agree_with_text(self, sharded_gateway):
+        gw = sharded_gateway
+        ingest(gw, n=100)
+        status, data = request(gw.url + "/v1/metrics")
+        assert status == 200
+        sample = data["repro_service_elements_total"]["samples"][0]
+        assert sample["value"] == 100.0
+
+    def test_healthz_reads_the_registry(self, sharded_gateway):
+        gw = sharded_gateway
+        status, health = request(gw.url + "/healthz")
+        assert status == 200
+        assert health["quota"]["rejected_429"] == 0
+        assert health["auth"]["rejected_401"] == 0
+        text = scrape(gw)
+        assert 'repro_gateway_rejections_total{code="429"} 0' in text
+        assert 'repro_gateway_rejections_total{code="401"} 0' in text
+
+    def test_request_counters_by_route_template(self, sharded_gateway):
+        gw = sharded_gateway
+        ingest(gw)
+        request(gw.url + "/v1/query/med?method=quantile&arg=0.5")
+        request(gw.url + "/v1/query/hh?method=heavy_hitters&arg=0.2")
+        text = scrape(gw)
+        # both literal paths collapse into one template child
+        assert (
+            'repro_gateway_requests_total{route="/v1/query/{job}",'
+            'method="GET",status="200"} 2' in text
+        )
+
+
+class TestTrace:
+    def test_dispatch_and_merge_spans(self, sharded_gateway):
+        gw = sharded_gateway
+        ingest(gw)
+        request(gw.url + "/v1/query/med?method=quantile&arg=0.5")
+        status, body = request(gw.url + "/v1/trace")
+        assert status == 200
+        names = {span["name"] for span in body["spans"]}
+        assert "dispatch" in names
+        assert "merge" in names
+        merge = next(s for s in body["spans"] if s["name"] == "merge")
+        assert merge["attrs"]["job"] == "med"
+        assert merge["attrs"]["candidates"] >= 1
+
+
+class TestStandingQueries:
+    def test_delta_streams_without_polling(self, sharded_gateway):
+        gw = sharded_gateway
+        status, sub = request(
+            gw.url + "/v1/subscribe",
+            "POST",
+            {"kind": "query", "job": "hh", "method": "heavy_hitters",
+             "args": [0.2]},
+        )
+        assert status == 200
+        assert sub["value"] == {}  # baseline before any ingest
+        client = SseClient(gw, sub["subscription"])
+        try:
+            hello = client.read_event("hello")
+            assert hello["data"]["subscription"] == sub["subscription"]
+            ingest(gw)
+            # the delta is pushed by the evaluator; the client never
+            # re-requests anything after this point
+            delta = client.read_event("delta")
+            assert delta["data"]["value"]  # heavy hitters appeared
+            assert delta["data"]["previous"] == {}
+            assert delta["data"]["elements"] == 200
+        finally:
+            client.close()
+
+    def test_threshold_fires_on_flip_only(self, sharded_gateway):
+        gw = sharded_gateway
+        status, sub = request(
+            gw.url + "/v1/subscribe",
+            "POST",
+            {"kind": "threshold", "job": "med",
+             "method": "estimate_total", "op": ">", "value": 250},
+        )
+        assert status == 200
+        assert sub["value"]["crossed"] is False
+        client = SseClient(gw, sub["subscription"])
+        try:
+            client.read_event("hello")
+            ingest(gw, n=100)  # total ~100: still below, no event
+            ingest(gw, n=300)  # total ~400: crosses
+            event = client.read_event("threshold")
+            assert event["data"]["value"]["crossed"] is True
+            assert event["data"]["previous"]["crossed"] is False
+        finally:
+            client.close()
+
+    def test_last_event_id_replays_missed_deltas(self, sharded_gateway):
+        gw = sharded_gateway
+        status, sub = request(
+            gw.url + "/v1/subscribe",
+            "POST",
+            {"kind": "query", "job": "med", "method": "estimate_total"},
+        )
+        sid = sub["subscription"]
+        client = SseClient(gw, sid)
+        try:
+            client.read_event("hello")
+            ingest(gw, n=100)
+            first = client.read_event("delta")
+        finally:
+            client.close()
+        # miss an event while disconnected (the evaluator publishes
+        # shortly after the ingest is applied; wait for the ring to
+        # hold it before reconnecting)
+        ingest(gw, n=100)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            status, info = request(gw.url + "/v1/subscriptions")
+            delivered = next(
+                s for s in info["subscriptions"] if s["id"] == sid
+            )["events_delivered"]
+            if delivered >= 2:
+                break
+            time.sleep(0.02)
+        assert delivered >= 2
+        replayer = SseClient(gw, sid, last_event_id=first["id"])
+        try:
+            replayer.read_event("hello")
+            missed = replayer.read_event("delta")
+            assert int(missed["id"]) > int(first["id"])
+            assert missed["data"]["value"] == 200.0
+        finally:
+            replayer.close()
+
+    def test_subscription_lifecycle(self, sharded_gateway):
+        gw = sharded_gateway
+        status, sub = request(
+            gw.url + "/v1/subscribe", "POST",
+            {"kind": "query", "job": "med"},
+        )
+        sid = sub["subscription"]
+        status, listing = request(gw.url + "/v1/subscriptions")
+        assert any(s["id"] == sid for s in listing["subscriptions"])
+        status, body = request(gw.url + f"/v1/subscribe/{sid}", "DELETE")
+        assert (status, body["unsubscribed"]) == (200, sid)
+        status, _ = request(gw.url + f"/v1/stream/{sid}")
+        assert status == 404
+
+    def test_subscribe_validation(self, sharded_gateway):
+        gw = sharded_gateway
+        cases = [
+            ({"kind": "nope"}, 400),
+            ({"kind": "query"}, 400),                      # no job
+            ({"kind": "query", "job": "ghost"}, 404),
+            ({"kind": "threshold", "job": "med", "op": "~",
+              "value": 1}, 400),
+            ({"kind": "threshold", "job": "med", "op": ">",
+              "value": "x"}, 400),
+            ({"kind": "metrics"}, 400),                    # no metric
+        ]
+        for payload, expected in cases:
+            status, _ = request(gw.url + "/v1/subscribe", "POST", payload)
+            assert status == expected, payload
+
+    def test_metrics_subscription(self, sharded_gateway):
+        gw = sharded_gateway
+        status, sub = request(
+            gw.url + "/v1/subscribe", "POST",
+            {"kind": "metrics", "metric": "repro_service_elements_total"},
+        )
+        assert status == 200
+        client = SseClient(gw, sub["subscription"])
+        try:
+            client.read_event("hello")
+            ingest(gw, n=150)
+            delta = client.read_event("delta")
+            assert delta["data"]["value"] == 150.0
+        finally:
+            client.close()
+
+
+class TestAuthAndOpenScrape:
+    def test_metrics_open_but_v1_guarded(self):
+        service = TrackingService(num_sites=4, seed=1)
+        with GatewayThread(service, api_keys={"k1": "acme"}) as gw:
+            text = scrape(gw)  # no credentials needed
+            assert "repro_gateway_requests_total" in text
+            status, _ = request(gw.url + "/v1/metrics")
+            assert status == 401
+            status, _ = request(
+                gw.url + "/v1/metrics",
+                headers={"Authorization": "Bearer k1"},
+            )
+            assert status == 200
+        service.close()
+
+    def test_ingest_counted_per_tenant(self):
+        service = TrackingService(num_sites=4, seed=1)
+        _, _, scheme = parse_job_spec("c=count/deterministic:0.05", 0.05)
+        service.register("c", scheme)
+        with GatewayThread(
+            service, api_keys={"k1": "acme", "k2": "zenith"}
+        ) as gw:
+            for key, n in (("k1", 40), ("k2", 24)):
+                status, _ = request(
+                    gw.url + "/v1/ingest", "POST",
+                    {"site_ids": [i % 4 for i in range(n)]},
+                    headers={"Authorization": f"Bearer {key}"},
+                )
+                assert status == 200
+            text = scrape(gw)
+            assert (
+                'repro_gateway_events_ingested_total{tenant="acme"} 40'
+                in text
+            )
+            assert (
+                'repro_gateway_events_ingested_total{tenant="zenith"} 24'
+                in text
+            )
+        service.close()
+
+
+class TestMetricsCli:
+    def test_table_and_json(self, sharded_gateway, capsys):
+        gw = sharded_gateway
+        ingest(gw, n=100)
+        assert cli_main(
+            ["metrics", gw.url, "--grep", "repro_service_elements"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro_service_elements_total" in out
+        assert "100" in out
+        assert cli_main(["metrics", gw.url, "--json", "--grep",
+                         "repro_service_elements"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert (
+            payload["repro_service_elements_total"]["samples"][0]["value"]
+            == 100.0
+        )
+
+    def test_unreachable_gateway(self, capsys):
+        assert cli_main(
+            ["metrics", "http://127.0.0.1:9", "--timeout", "2"]
+        ) == 1
+        assert "error" in capsys.readouterr().err

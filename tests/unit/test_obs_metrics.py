@@ -1,0 +1,220 @@
+"""The metrics core: instruments, families, registry, Prometheus text.
+
+The renderer test is a golden-file comparison — the exposition format
+is a wire protocol (Prometheus text 0.0.4), so the exact bytes matter:
+HELP/TYPE ordering, label escaping, cumulative histogram buckets with a
+closing ``+Inf``, and a trailing newline.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.obs.metrics import (
+    DEFAULT_MAX_CHILDREN,
+    OVERFLOW_LABEL,
+    Counter,
+    Gauge,
+    Histogram,
+)
+from repro.obs.prometheus import CONTENT_TYPE
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(4.5)
+        assert c.sample() == 5.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.sample() == 7.0
+
+    def test_gauge_function_overrides_stored_value(self):
+        g = Gauge()
+        g.set(1)
+        g.set_function(lambda: 42)
+        assert g.sample() == 42.0
+
+    def test_gauge_function_failure_falls_back(self):
+        g = Gauge()
+        g.set(7)
+
+        def boom():
+            raise RuntimeError("collector died")
+
+        g.set_function(boom)
+        assert g.sample() == 7.0
+
+    def test_histogram_buckets_cumulative(self):
+        h = Histogram([1.0, 5.0, 10.0])
+        for value in (0.5, 0.7, 3.0, 20.0):
+            h.observe(value)
+        sampled = h.sample()
+        assert sampled["buckets"] == [(1.0, 2), (5.0, 3), (10.0, 3)]
+        assert sampled["count"] == 4
+        assert sampled["sum"] == pytest.approx(24.2)
+
+    def test_histogram_boundary_counts_le(self):
+        h = Histogram([1.0, 2.0])
+        h.observe(1.0)  # le="1.0" includes exactly 1.0
+        assert h.sample()["buckets"][0] == (1.0, 1)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+
+
+class TestRegistry:
+    def test_family_get_or_create_idempotent(self):
+        r = MetricsRegistry()
+        a = r.counter("x_total", "help.", ["l"])
+        b = r.counter("x_total", "help.", ["l"])
+        assert a is b
+
+    def test_family_kind_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("x_total", "help.")
+        with pytest.raises(ValueError):
+            r.gauge("x_total", "help.")
+
+    def test_family_label_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("x_total", "help.", ["a"])
+        with pytest.raises(ValueError):
+            r.counter("x_total", "help.", ["b"])
+
+    def test_invalid_names_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.counter("bad-name", "help.")
+        with pytest.raises(ValueError):
+            r.counter("ok_total", "help.", ["bad-label"])
+
+    def test_labels_get_or_create(self):
+        r = MetricsRegistry()
+        fam = r.counter("x_total", "help.", ["tenant"])
+        fam.labels("a").inc(2)
+        fam.labels("a").inc(3)
+        fam.labels("b").inc(1)
+        assert dict(fam.samples()) == {("a",): 5.0, ("b",): 1.0}
+
+    def test_cardinality_guard_collapses_overflow(self):
+        r = MetricsRegistry()
+        fam = r.counter("x_total", "help.", ["l"], max_children=4)
+        for i in range(10):
+            fam.labels(str(i)).inc()
+        keys = dict(fam.samples())
+        assert (OVERFLOW_LABEL,) in keys
+        # 4 real children + the overflow child
+        assert len(keys) == 5
+        assert keys[(OVERFLOW_LABEL,)] == 6.0
+        overflowed = dict(r._overflow.samples())
+        assert overflowed[("x_total",)] == 6.0
+
+    def test_default_cardinality_bound(self):
+        r = MetricsRegistry()
+        fam = r.counter("x_total", "help.", ["l"])
+        assert fam.max_children == DEFAULT_MAX_CHILDREN
+
+    def test_collector_runs_at_collect_time(self):
+        r = MetricsRegistry()
+        fam = r.gauge("x", "help.")
+        seen = []
+        r.register_collector(lambda: (seen.append(1), fam.set(len(seen)))[0])
+        r.collect()
+        r.collect()
+        assert fam.labels().sample() == 2.0
+
+    def test_collector_failure_swallowed(self):
+        r = MetricsRegistry()
+
+        def boom():
+            raise RuntimeError("no")
+
+        r.register_collector(boom)
+        r.collect()  # must not raise
+
+    def test_as_dict_shape(self):
+        r = MetricsRegistry()
+        r.counter("x_total", "help.", ["l"]).labels("a").inc()
+        data = r.as_dict()
+        assert data["x_total"]["kind"] == "counter"
+        assert data["x_total"]["samples"] == [
+            {"labels": {"l": "a"}, "value": 1.0}
+        ]
+
+
+class TestPrometheusRenderer:
+    def test_golden_exposition(self):
+        r = MetricsRegistry()
+        c = r.counter("demo_requests_total", "Requests served.", ["route"])
+        c.labels("/a").inc(3)
+        c.labels("/b").inc(1)
+        g = r.gauge("demo_queue_depth", 'Depth with "quotes" and \\slash.')
+        g.set(7)
+        h = r.histogram("demo_seconds", "Latency.", buckets=[0.1, 1.0])
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = render_prometheus(r)
+        assert text == (
+            "# HELP demo_queue_depth Depth with \"quotes\" and \\\\slash.\n"
+            "# TYPE demo_queue_depth gauge\n"
+            "demo_queue_depth 7\n"
+            "# HELP demo_requests_total Requests served.\n"
+            "# TYPE demo_requests_total counter\n"
+            'demo_requests_total{route="/a"} 3\n'
+            'demo_requests_total{route="/b"} 1\n'
+            "# HELP demo_seconds Latency.\n"
+            "# TYPE demo_seconds histogram\n"
+            'demo_seconds_bucket{le="0.1"} 1\n'
+            'demo_seconds_bucket{le="1"} 2\n'
+            'demo_seconds_bucket{le="+Inf"} 3\n'
+            "demo_seconds_sum 5.55\n"
+            "demo_seconds_count 3\n"
+            "# HELP repro_obs_label_overflow_total Label sets collapsed "
+            "by the cardinality guard.\n"
+            "# TYPE repro_obs_label_overflow_total counter\n"
+        )
+
+    def test_label_value_escaping(self):
+        r = MetricsRegistry()
+        c = r.counter("x_total", "h.", ["l"])
+        c.labels('with "quote" and \\ and \nnewline').inc()
+        text = render_prometheus(r)
+        assert (
+            'x_total{l="with \\"quote\\" and \\\\ and \\nnewline"} 1' in text
+        )
+
+    def test_special_float_values(self):
+        r = MetricsRegistry()
+        g = r.gauge("x", "h.")
+        g.set(math.inf)
+        assert "x +Inf\n" in render_prometheus(r)
+        g.set(-math.inf)
+        assert "x -Inf\n" in render_prometheus(r)
+        g.set(math.nan)
+        assert "x NaN\n" in render_prometheus(r)
+        g.set(0.25)
+        assert "x 0.25\n" in render_prometheus(r)
+
+    def test_content_type_is_prometheus_text(self):
+        assert "text/plain" in CONTENT_TYPE
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_render_ends_with_single_trailing_newline(self):
+        r = MetricsRegistry()
+        r.counter("x_total", "h.").inc()
+        text = render_prometheus(r)
+        assert text.endswith("\n")
+        assert not text.endswith("\n\n")

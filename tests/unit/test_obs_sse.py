@@ -1,0 +1,161 @@
+"""SSE framing and the standing-query bookkeeping (hub, replay ring)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs import Subscription, SubscriptionHub, render_sse_event
+from repro.obs.tracing import SpanRecorder
+
+
+class TestRenderSseEvent:
+    def test_minimal_frame(self):
+        assert render_sse_event("hi") == "data: hi\n\n"
+
+    def test_full_frame_field_order(self):
+        frame = render_sse_event("x", event="delta", id=7, retry=3000)
+        assert frame == "retry: 3000\nevent: delta\nid: 7\ndata: x\n\n"
+
+    def test_multiline_data_split(self):
+        frame = render_sse_event('{"a":\n1}', event="delta")
+        assert frame == 'event: delta\ndata: {"a":\ndata: 1}\n\n'
+
+    def test_blank_line_terminator(self):
+        assert render_sse_event("x").endswith("\n\n")
+
+    def test_newlines_rejected_in_fields(self):
+        with pytest.raises(ValueError):
+            render_sse_event("x", event="a\nb")
+        with pytest.raises(ValueError):
+            render_sse_event("x", id="1\r2")
+
+
+class TestSubscription:
+    def _sub(self):
+        return Subscription("abc123", {"kind": "query", "job": "j"})
+
+    def test_ids_monotonic_from_one(self):
+        sub = self._sub()
+        loop = asyncio.new_event_loop()
+        try:
+            asyncio.set_event_loop(loop)
+            assert sub.publish({"v": 1}) == 1
+            assert sub.publish({"v": 2}) == 2
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    def test_replay_after_filters_by_id(self):
+        sub = self._sub()
+        loop = asyncio.new_event_loop()
+        try:
+            asyncio.set_event_loop(loop)
+            for v in range(5):
+                sub.publish({"v": v})
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+        frames = sub.replay_after(3)
+        assert [fid for fid, _, _ in frames] == [4, 5]
+        assert json.loads(frames[0][2]) == {"v": 3}
+
+    def test_replay_ring_bounded(self):
+        sub = Subscription("x", {}, replay=3)
+        loop = asyncio.new_event_loop()
+        try:
+            asyncio.set_event_loop(loop)
+            for v in range(10):
+                sub.publish({"v": v})
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+        assert [fid for fid, _, _ in sub.replay_after(0)] == [8, 9, 10]
+
+    def test_publish_fans_out_to_listeners(self):
+        async def run():
+            sub = self._sub()
+            q1, q2 = sub.attach_listener(), sub.attach_listener()
+            sub.publish({"v": 1}, event="delta")
+            f1, f2 = q1.get_nowait(), q2.get_nowait()
+            assert f1 == f2
+            assert f1[1] == "delta"
+            sub.detach_listener(q1)
+            sub.publish({"v": 2})
+            assert q1.empty()
+            assert q2.qsize() == 1
+
+        asyncio.run(run())
+
+    def test_never_evaluated_flag(self):
+        sub = self._sub()
+        assert sub.never_evaluated
+        sub.last_value = None  # None is a legitimate evaluated value
+        assert not sub.never_evaluated
+
+    def test_describe(self):
+        sub = self._sub()
+        info = sub.describe()
+        assert info["id"] == "abc123"
+        assert info["spec"]["kind"] == "query"
+        assert info["listeners"] == 0
+        assert info["events_delivered"] == 0
+
+
+class TestSubscriptionHub:
+    def test_subscribe_get_unsubscribe(self):
+        hub = SubscriptionHub()
+        sub = hub.subscribe({"kind": "query"})
+        assert hub.get(sub.sid) is sub
+        assert len(hub) == 1
+        assert hub.unsubscribe(sub.sid)
+        assert hub.get(sub.sid) is None
+        assert not hub.unsubscribe(sub.sid)
+
+    def test_cap_enforced(self):
+        hub = SubscriptionHub(max_subscriptions=2)
+        hub.subscribe({})
+        hub.subscribe({})
+        with pytest.raises(OverflowError):
+            hub.subscribe({})
+
+    def test_all_lists_subscriptions(self):
+        hub = SubscriptionHub()
+        a, b = hub.subscribe({}), hub.subscribe({})
+        assert {s.sid for s in hub.all()} == {a.sid, b.sid}
+
+
+class TestSpanRecorder:
+    def test_span_records_duration_and_attrs(self):
+        rec = SpanRecorder()
+        with rec.span("dispatch", events=10) as attrs:
+            attrs["extra"] = 1
+        spans = rec.dump()
+        assert len(spans) == 1
+        span = spans[0]
+        assert span["name"] == "dispatch"
+        assert span["attrs"] == {"events": 10, "extra": 1}
+        assert span["duration_s"] >= 0.0
+
+    def test_span_records_error(self):
+        rec = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("merge"):
+                raise RuntimeError("boom")
+        assert rec.dump()[0]["attrs"]["error"] == "RuntimeError: boom"
+
+    def test_ring_buffer_bounded(self):
+        rec = SpanRecorder(capacity=3)
+        for i in range(6):
+            with rec.span("s", i=i):
+                pass
+        spans = rec.dump()
+        assert len(spans) == 3
+        assert [s["attrs"]["i"] for s in spans] == [3, 4, 5]
+
+    def test_clear(self):
+        rec = SpanRecorder()
+        with rec.span("s"):
+            pass
+        rec.clear()
+        assert len(rec) == 0
