@@ -7,13 +7,19 @@ into the service at scrape time.  This bench puts numbers on that:
 1. **Ingest overhead**: the same seeded multi-job stream driven through
    a bare ``TrackingService`` (metrics-off — no registry, no hooks)
    and through one wired to a gateway's :class:`MetricsRegistry` with
-   the per-round ``on_applied`` observations the production path makes
-   (metrics-on).  The acceptance bar is <= 5% throughput overhead.
+   everything the production path does per coalescing round: the trace
+   scope + ``round`` span, the ``on_applied`` observations, and an
+   alert-rule evaluation pass (metrics-on).  The acceptance bar is
+   <= 5% throughput overhead.
 2. **Scrape cost**: p50/p99 latency of rendering the full Prometheus
    exposition (collectors included — a scrape fans ``metrics_sample``
    into the service) plus the payload size.
 3. **Subscription eval**: cost per coalescing round of re-evaluating
    three representative standing queries under the service lock.
+4. **Alert eval**: cost per round of computing every alert rule's raw
+   value and stepping the rule state machines (the evaluator's alert
+   leg), plus the synchronous dispatch latency of one transition event
+   into a logfile sink.
 
 Results go to ``benchmarks/results/obs.txt`` and the ``obs`` section
 of ``BENCH_service.json``.
@@ -24,7 +30,9 @@ Run directly::
 """
 
 import argparse
+import os
 import statistics
+import tempfile
 import time
 
 from repro import (
@@ -34,7 +42,7 @@ from repro import (
     TrackingService,
 )
 from repro.net.gateway import Gateway
-from repro.obs import render_prometheus
+from repro.obs import AlertManager, new_trace_id, render_prometheus, trace_scope
 from repro.workloads import uniform_sites, with_items, zipf_items
 
 from _common import save_bench_json, save_table
@@ -64,6 +72,21 @@ SUBSCRIPTION_SPECS = (
      "op": ">", "value": 10_000_000, "args": []},
     {"kind": "metrics", "metric": "repro_service_elements_total"},
 )
+
+#: the alert rules the metrics-on drive and the alert-eval stage step
+#: each round; thresholds sit far from the stream's totals so rounds
+#: measure the steady state (no transitions, no sink traffic)
+ALERT_MANIFEST = {
+    "rules": [
+        {"name": "volume-floor", "kind": "metrics",
+         "metric": "repro_service_elements_total", "op": "<", "value": 0.0},
+        {"name": "volume-ceiling", "kind": "metrics",
+         "metric": "repro_service_elements_total",
+         "op": ">", "value": 1e15, "for": 60.0},
+        {"name": "total-runaway", "kind": "threshold", "job": "total",
+         "op": ">", "value": 1e15},
+    ],
+}
 
 
 def make_stream(n):
@@ -97,24 +120,60 @@ def drive(service, site_ids, items, per_batch=None):
 
 
 def bench_ingest(site_ids, items):
-    """Bare vs instrumented throughput over the identical stream."""
-    bare = build_service()
-    try:
-        off_rate = drive(bare, site_ids, items)
-    finally:
-        bare.close()
+    """Bare vs instrumented throughput over the identical stream.
 
+    The instrumented side runs exactly what a coalescing round costs on
+    the live gateway — mint a trace id, enter its scope, record the
+    ``round`` span (the service's ``ingest`` span rides the same
+    scope), make the ``on_applied`` observations, then compute every
+    alert rule's value and step the rule state machines.
+
+    Whole-pass timings are noise-dominated (a scheduler hiccup swings a
+    pass by 10%+), so the two modes alternate *per batch* — the same
+    slice lands on the bare service and then immediately on the
+    instrumented one — and the gated figure is the median of the paired
+    per-batch overheads, which cancels drift.
+    """
+    bare = build_service()
     service = build_service()
-    gateway = Gateway(service)  # registry + collectors, no socket
+    # registry + collectors + alert rules, no socket
+    gateway = Gateway(service, alert_rules=ALERT_MANIFEST)
+    rules = list(gateway.alerts.rules.values())
+    off_total = on_total = 0.0
+    paired_pct = []
     try:
-        # the production per-round observations (observe two histograms,
-        # invalidate the sample cache, set the dirty flag)
-        on_rate = drive(service, site_ids, items,
-                        per_batch=gateway._on_applied)
+        for base in range(0, len(site_ids), BATCH):
+            sids = site_ids[base:base + BATCH]
+            vals = items[base:base + BATCH]
+
+            started = time.perf_counter()
+            bare.ingest(sids, vals)
+            t_off = time.perf_counter() - started
+
+            started = time.perf_counter()
+            trace_id = new_trace_id()
+            with trace_scope({"trace_id": trace_id}):
+                with gateway.spans.span(
+                    "round", events=len(sids), coalesced=1
+                ):
+                    n = service.ingest(sids, vals)
+            gateway._on_applied(n, time.perf_counter() - started)
+            values = {
+                rule.name: gateway._rule_value(rule.spec) for rule in rules
+            }
+            gateway.alerts.step(values, trace_id=trace_id)
+            t_on = time.perf_counter() - started
+
+            off_total += t_off
+            on_total += t_on
+            paired_pct.append((t_on - t_off) / t_off * 100.0)
     finally:
+        gateway.alerts.close()
         service.close()
-    overhead_pct = (off_rate - on_rate) / off_rate * 100.0
-    return off_rate, on_rate, overhead_pct
+        bare.close()
+    off_rate = len(site_ids) / off_total
+    on_rate = len(site_ids) / on_total
+    return off_rate, on_rate, statistics.median(paired_pct)
 
 
 def bench_scrape(site_ids, items, scrapes):
@@ -156,6 +215,55 @@ def bench_subscription_eval(site_ids, items, rounds):
     return statistics.median(samples)
 
 
+def bench_alert_eval(site_ids, items, rounds):
+    """Per-round alert leg: rule values + state-machine step."""
+    service = build_service()
+    gateway = Gateway(service, alert_rules=ALERT_MANIFEST)
+    try:
+        drive(service, site_ids, items, per_batch=gateway._on_applied)
+        rules = list(gateway.alerts.rules.values())
+        samples = []
+        for _ in range(rounds):
+            started = time.perf_counter()
+            values = {
+                rule.name: gateway._rule_value(rule.spec) for rule in rules
+            }
+            gateway.alerts.step(values, trace_id="bench")
+            samples.append((time.perf_counter() - started) * 1e6)
+    finally:
+        gateway.alerts.close()
+        service.close()
+    return statistics.median(samples)
+
+
+def bench_sink_dispatch(rounds):
+    """Synchronous logfile-sink latency for one transition event."""
+    with tempfile.TemporaryDirectory() as tmp:
+        manifest = {
+            "sinks": {
+                "log": {
+                    "type": "logfile",
+                    "path": os.path.join(tmp, "alerts.log"),
+                },
+            },
+            "rules": [dict(ALERT_MANIFEST["rules"][0], sinks=["log"])],
+        }
+        manager = AlertManager.from_manifest(manifest)
+        try:
+            event = {
+                "rule": "volume-floor", "state": "firing", "value": 0.0,
+                "at": time.time(), "labels": {}, "trace_id": "bench",
+            }
+            samples = []
+            for _ in range(rounds):
+                started = time.perf_counter()
+                assert manager.dispatch_now("log", event)
+                samples.append((time.perf_counter() - started) * 1e6)
+        finally:
+            manager.close()
+    return statistics.median(samples)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
@@ -170,6 +278,9 @@ def main() -> None:
         site_ids, items, scrapes
     )
     eval_us = bench_subscription_eval(site_ids, items, rounds)
+    alert_us = bench_alert_eval(site_ids, items, rounds)
+    sink_rounds = max(rounds * 10, 100)
+    sink_us = bench_sink_dispatch(sink_rounds)
 
     save_table(
         "obs",
@@ -182,6 +293,10 @@ def main() -> None:
              f"{scrape_p99:.1f} us p99, {payload_bytes} B"],
             ["subscription eval", f"{eval_us:.1f} us/batch",
              f"{len(SUBSCRIPTION_SPECS)} standing queries"],
+            ["alert eval", f"{alert_us:.1f} us/round",
+             f"{len(ALERT_MANIFEST['rules'])} rules, values + step"],
+            ["sink dispatch", f"{sink_us:.1f} us/event",
+             "logfile sink, synchronous"],
         ],
         title=f"Observability overhead (n={n:,}, k={K})",
     )
@@ -215,6 +330,11 @@ def main() -> None:
             },
             "subscription_eval_us_per_round": round(eval_us, 1),
             "standing_queries": len(SUBSCRIPTION_SPECS),
+            "alerts": {
+                "rules": len(ALERT_MANIFEST["rules"]),
+                "eval_us_per_round": round(alert_us, 1),
+                "sink_dispatch_us_per_event": round(sink_us, 1),
+            },
         },
     )
     if not within_budget:

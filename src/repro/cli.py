@@ -97,7 +97,9 @@ distributed:
   places each hub on a `repro hub` TCP actor (remote shard hubs behind
   one gateway), `--relaxed` pipelines ingest dispatch across hubs, and
   `--ingest-rate`/`--space-budget`/`--api-keys-file` enforce quotas and
-  per-tenant auth as HTTP 429/413/401+403.  `repro site --listen
+  per-tenant auth as HTTP 429/413/401+403, and `--alert-rules FILE`
+  routes threshold/metric alert transitions (with cross-process trace
+  exemplars) to webhook/exec/logfile sinks.  `repro site --listen
   HOST:PORT` runs a TCP site-actor host for distributed scheme runs
   (repro.net.Cluster); `repro hub --listen HOST:PORT` hosts shard hubs;
   `repro query URL JOB [METHOD] [ARG...]` queries a running gateway and
@@ -461,6 +463,13 @@ def run_gateway(argv) -> int:
         "and ingest rate buckets are scoped per key",
     )
     parser.add_argument(
+        "--alert-rules", metavar="FILE",
+        help="enable alert routing: a JSON manifest of delivery sinks "
+        "(webhook/exec/logfile) and rules (threshold/metrics/"
+        "error_bound predicates with for/rearm durations); transitions "
+        "land on the sinks and GET /v1/alerts",
+    )
+    parser.add_argument(
         "--queue-events", type=int, default=1 << 16,
         help="ingest queue bound, in events (backpressure threshold)",
     )
@@ -527,6 +536,26 @@ def run_gateway(argv) -> int:
                 "mapping key -> tenant",
                 file=sys.stderr,
             )
+            return 2
+    alert_rules = None
+    if args.alert_rules:
+        try:
+            with open(args.alert_rules) as f:
+                alert_rules = json.load(f)
+        except (OSError, ValueError) as exc:
+            print(
+                f"error: cannot load --alert-rules: {exc}", file=sys.stderr
+            )
+            return 2
+        try:
+            # Validate eagerly (rule/sink schema errors should fail the
+            # launch, not the first evaluation round); the gateway
+            # builds its own manager from the same manifest.
+            from .obs import AlertManager
+
+            AlertManager.from_manifest(alert_rules).close()
+        except ValueError as exc:
+            print(f"error: --alert-rules: {exc}", file=sys.stderr)
             return 2
     from .shard import ShardedTrackingService
 
@@ -611,6 +640,7 @@ def run_gateway(argv) -> int:
             max_ingest_rate=args.ingest_rate,
             ingest_burst=args.ingest_burst,
             api_keys=api_keys,
+            alert_rules=alert_rules,
         )
         await gateway.start()
         served = True

@@ -32,6 +32,7 @@ from collections import deque
 from typing import Callable, List, Optional, Sequence
 
 from ..obs.metrics import LATENCY_BUCKETS, Histogram
+from ..obs.tracing import current_trace
 
 __all__ = [
     "EXECUTORS",
@@ -78,12 +79,16 @@ class ExecBackend(abc.ABC):
     # -- core (subclass contract) ------------------------------------------
 
     @abc.abstractmethod
-    def _post(self, op: str, args: tuple) -> None:
+    def _post(self, op: str, args: tuple, trace=None) -> None:
         """Enqueue one command; must not wait for the worker's reply.
 
-        A delivery failure (dead pipe, closed connection) must be
-        recorded and surfaced by the matching :meth:`_take`, never
-        swallowed and never allowed to desynchronize later replies.
+        ``trace`` is the caller's trace context (see
+        :func:`repro.obs.tracing.current_trace`) or ``None``; placed
+        backends carry it in their command envelope so worker-side
+        spans join the caller's trace.  A delivery failure (dead pipe,
+        closed connection) must be recorded and surfaced by the
+        matching :meth:`_take`, never swallowed and never allowed to
+        desynchronize later replies.
         """
 
     @abc.abstractmethod
@@ -106,8 +111,14 @@ class ExecBackend(abc.ABC):
         return self._outstanding
 
     def submit(self, op: str, *args) -> None:
-        """Post one command without waiting for its result."""
-        self._post(op, args)
+        """Post one command without waiting for its result.
+
+        The caller's active trace context (if any) is captured into the
+        command envelope, so spans the worker records — in a thread, a
+        subprocess, or on a remote hub host — parent to the span that
+        was open at submit time.
+        """
+        self._post(op, args, current_trace())
         self._outstanding += 1
         self._post_clock.append(time.perf_counter())
 

@@ -29,6 +29,7 @@ import traceback
 from collections import deque
 from typing import List, Optional, Sequence
 
+from ..obs.tracing import trace_scope
 from .base import EXECUTORS, ExecBackend, ExecError, ExecGroup, ExecWorkerError
 from .workers import build_worker, close_worker, worker_commands
 
@@ -57,9 +58,12 @@ class InprocBackend(ExecBackend):
         self._results: deque = deque()
         self._closed = False
 
-    def _post(self, op: str, args: tuple) -> None:
+    def _post(self, op: str, args: tuple, trace=None) -> None:
         try:
-            self._results.append(("ok", self._commands[op](self._worker, *args)))
+            with trace_scope(trace):
+                self._results.append(
+                    ("ok", self._commands[op](self._worker, *args))
+                )
         except BaseException as exc:
             self._results.append(("err", exc))
 
@@ -93,10 +97,16 @@ class ThreadBackend(InprocBackend):
             max_workers=1, thread_name_prefix="repro-exec"
         )
 
-    def _post(self, op: str, args: tuple) -> None:
-        self._results.append(
-            ("future", self._pool.submit(self._commands[op], self._worker, *args))
-        )
+    def _post(self, op: str, args: tuple, trace=None) -> None:
+        # The pool thread is not the caller's thread, so the captured
+        # context is re-entered explicitly around the command.
+        command = self._commands[op]
+
+        def run(worker=self._worker, args=args, trace=trace):
+            with trace_scope(trace):
+                return command(worker, *args)
+
+        self._results.append(("future", self._pool.submit(run)))
 
     def _take(self):
         status, payload = self._results.popleft()
@@ -142,7 +152,7 @@ def _worker_main(conn, spec: dict) -> None:
     conn.send(("ok", True))
     while True:
         try:
-            op, args = conn.recv()
+            op, args, trace = conn.recv()
         except (EOFError, OSError):
             break
         if op == "close":
@@ -153,7 +163,8 @@ def _worker_main(conn, spec: dict) -> None:
                 conn.send(("err", _shippable(exc)))
             break
         try:
-            result = commands[op](worker, *args)
+            with trace_scope(trace):
+                result = commands[op](worker, *args)
             conn.send(("ok", result))
         except BaseException as exc:
             conn.send(("err", _shippable(exc)))
@@ -218,9 +229,9 @@ class ProcessBackend(ExecBackend):
         # checkpoint dir) fails in the caller, not silently later.
         self._collect()
 
-    def _post(self, op: str, args: tuple) -> None:
+    def _post(self, op: str, args: tuple, trace=None) -> None:
         try:
-            self._conn.send((op, args))
+            self._conn.send((op, args, trace))
             self._send_failures.append(None)
         except (BrokenPipeError, OSError) as exc:
             self._send_failures.append(
@@ -252,7 +263,7 @@ class ProcessBackend(ExecBackend):
     def _teardown(self, timeout: float = 10.0) -> None:
         if self._conn is not None:
             try:
-                self._conn.send(("close", ()))
+                self._conn.send(("close", (), None))
             except (BrokenPipeError, OSError):
                 pass
             try:

@@ -32,6 +32,7 @@ import threading
 import traceback
 from typing import Optional
 
+from ..obs.tracing import trace_scope
 from .base import ExecBackend, ExecError, ExecWorkerError
 from .workers import build_worker, close_worker, worker_commands
 
@@ -86,8 +87,10 @@ class ExecHost:
 
     ``{"t": "spawn", "spec": <encoded>}`` -> ``{"t": "ok"}``
         build the worker (hub configs may carry ``restore_from``).
-    ``{"t": "op", "op": NAME, "args": <encoded list>}``
-        run one command; replies ``{"t": "ok", "result": <encoded>}`` or
+    ``{"t": "op", "op": NAME, "args": <encoded list>[, "trace": {...}]}``
+        run one command (under the caller's trace context when the
+        frame carries one, so hub-side spans join the caller's trace);
+        replies ``{"t": "ok", "result": <encoded>}`` or
         ``{"t": "err", "type": ..., "error": ..., "tb": ...}``.  The
         ``close`` op shuts the worker down and ends the session.
     ``{"t": "ping"}`` -> ``{"t": "pong"}``
@@ -200,7 +203,8 @@ def _session_main(send, recv) -> None:
                         send({"t": "ok", "result": True})
                         return
                     args = decode_value(frame.get("args"))
-                    result = commands[op](worker, *args)
+                    with trace_scope(frame.get("trace")):
+                        result = commands[op](worker, *args)
                     send({"t": "ok", "result": encode_value(result)})
                 else:
                     send({"t": "err", "type": "ExecError",
@@ -331,11 +335,15 @@ class ClusterBackend(ExecBackend):
 
     # -- ExecBackend core --------------------------------------------------
 
-    def _post(self, op: str, args: tuple) -> None:
+    def _post(self, op: str, args: tuple, trace=None) -> None:
         from ..persistence.codec import encode_value  # deferred
 
+        frame = {"t": "op", "op": op, "args": encode_value(list(args))}
+        if trace is not None:
+            # plain strings; rides the JSON control frame untouched
+            frame["trace"] = trace
         try:
-            self._send({"t": "op", "op": op, "args": encode_value(list(args))})
+            self._send(frame)
             self._send_failures.append(None)
         except Exception as exc:
             self._send_failures.append(

@@ -183,6 +183,18 @@ def _hub_elements(service):
     return service.elements_processed
 
 
+def _hub_collect_spans(service):
+    """Drain the hub's span buffer (return-and-clear).
+
+    The facade fans this out so `/v1/trace` can stitch hub-side spans
+    (recorded in another process or on another machine) into the
+    gateway's cross-process trace view; draining keeps a span from
+    being shipped twice.
+    """
+    spans = getattr(service, "spans", None)
+    return spans.drain() if spans is not None else []
+
+
 def _hub_ping(service):
     return True
 
@@ -209,6 +221,7 @@ HUB_COMMANDS = {
     "job_manifest": _hub_job_manifest,
     "checkpoint": _hub_checkpoint,
     "elements": _hub_elements,
+    "collect_spans": _hub_collect_spans,
     "ping": _hub_ping,
     "crash": _hub_crash,
 }

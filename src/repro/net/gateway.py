@@ -8,7 +8,9 @@ parsing over ``asyncio.start_server``) exposing the
 GET    /healthz                    liveness + ingest-queue gauges
 GET    /metrics                    Prometheus text exposition (open)
 GET    /v1/metrics                 the same registry as JSON
-GET    /v1/trace                   recent dispatch/merge/fence spans
+GET    /v1/trace                   cross-process trace spans
+                                   (``?trace_id=``/``?name=``/``?limit=``)
+GET    /v1/alerts                  alert rules, states and recent events
 GET    /v1/status                  full service status (pods-style)
 GET    /v1/jobs                    registered jobs, compact
 POST   /v1/jobs                    register: ``{"name", "spec", ...}``
@@ -53,6 +55,23 @@ deltas over SSE.  Evaluation is push-based: the ingestor's
 ``on_applied`` hook marks the plane dirty after every coalescing
 round, and one evaluator task re-evaluates all standing queries under
 the service lock — clients stop polling.
+
+**Alerting.**  Pass ``alert_rules=`` (the parsed ``--alert-rules``
+manifest) and the same evaluator also computes each alert rule's raw
+value per coalescing round, steps the
+:class:`~repro.obs.AlertManager` state machines, and routes
+firing/resolved transitions to the manifest's sinks.  Every event
+carries the ``trace_id`` of the round that flipped it, and
+``/v1/trace?trace_id=`` resolves that exemplar to the stitched
+cross-process dispatch — gateway ``round`` span, facade ``dispatch``
+span, and remote hubs' ``ingest`` spans (collected over the exec
+plane's ``collect_spans`` command and retained gateway-side).
+
+**Tracing.**  ``POST /v1/ingest`` mints a ``trace_id`` (returned in
+the 200) and the coalescing round that applies the request adopts the
+first queued request's trace; the context rides the exec plane's
+command envelopes into worker threads, subprocesses and remote hub
+actors, so one ``GET /v1/trace?trace_id=<id>`` shows the whole path.
 """
 
 from __future__ import annotations
@@ -62,13 +81,17 @@ import hmac
 import json
 import math
 import time
+from collections import deque
 from typing import Optional
 from urllib.parse import parse_qsl, urlsplit
 
 from ..obs import (
+    AlertManager,
     MetricsRegistry,
     SpanRecorder,
     SubscriptionHub,
+    filter_spans,
+    new_trace_id,
     render_prometheus,
     render_sse_event,
 )
@@ -209,8 +232,8 @@ def _route_template(path: str) -> str:
     if segments[:1] == ["v1"] and len(segments) >= 2:
         head = segments[1]
         if head in (
-            "status", "metrics", "trace", "ingest", "query", "jobs",
-            "subscribe", "subscriptions", "stream",
+            "status", "metrics", "trace", "alerts", "ingest", "query",
+            "jobs", "subscribe", "subscriptions", "stream",
         ):
             if len(segments) == 2:
                 return f"/v1/{head}"
@@ -265,6 +288,12 @@ class Gateway:
         probes).  The ingest token buckets are then scoped **per key**
         (each tenant gets its own ``max_ingest_rate``/``ingest_burst``
         budget) instead of one bucket per gateway.
+    alert_rules:
+        The parsed ``--alert-rules`` JSON manifest (see
+        :meth:`repro.obs.AlertManager.from_manifest`): delivery sinks
+        plus rules whose raw values the gateway evaluates each
+        coalescing round.  ``None`` (default) runs without alerting;
+        ``GET /v1/alerts`` then answers with an empty rule set.
     """
 
     def __init__(
@@ -279,6 +308,7 @@ class Gateway:
         ingest_burst: Optional[int] = None,
         api_keys: Optional[dict] = None,
         registry: Optional[MetricsRegistry] = None,
+        alert_rules: Optional[dict] = None,
     ):
         self.service = service
         self.host = host
@@ -313,6 +343,16 @@ class Gateway:
         self.spans: SpanRecorder = (
             service_spans if service_spans is not None else SpanRecorder()
         )
+        # The ingestor records its per-round "round" spans here too, so
+        # gateway, facade and (unsharded) hub spans share one buffer.
+        self.ingestor.spans = self.spans
+        #: hub-side spans already collected from remote shard hubs
+        #: (collection *drains* their buffers, so the gateway retains
+        #: what it has seen for repeated /v1/trace reads)
+        self._hub_spans: deque = deque(maxlen=4096)
+        #: trace id of the most recently applied coalescing round — the
+        #: exemplar stamped onto alert transition events
+        self._last_trace_id: Optional[str] = None
         self.subscriptions = SubscriptionHub()
         self._dirty: Optional[asyncio.Event] = None
         self._evaluator_task: Optional[asyncio.Task] = None
@@ -320,6 +360,11 @@ class Gateway:
         self._sample_cache: Optional[dict] = None
         self._sample_time = 0.0
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.alerts: Optional[AlertManager] = (
+            None
+            if alert_rules is None
+            else AlertManager.from_manifest(alert_rules, registry=self.registry)
+        )
         self._init_metrics()
 
     # -- metrics wiring ----------------------------------------------------
@@ -343,6 +388,17 @@ class Gateway:
             "Request handling latency by route template.",
             ["route"],
             buckets=LATENCY_BUCKETS,
+        )
+        self.m_inflight = r.gauge(
+            "repro_gateway_inflight_requests",
+            "Requests currently being handled, by route template.",
+            ["route"],
+        )
+        self.m_route_errors = r.counter(
+            "repro_gateway_errors_total",
+            "Responses with a 5xx status, by route template (the "
+            "top-level handler's exception path).",
+            ["route"],
         )
         self.m_rejections = r.counter(
             "repro_gateway_rejections_total",
@@ -594,6 +650,7 @@ class Gateway:
         """Ingestor callback after each applied coalescing round."""
         self.m_batch_events.observe(events)
         self.m_apply_seconds.observe(seconds)
+        self._last_trace_id = self.ingestor.last_trace_id
         # the TTL cache only dedupes *concurrent* scrapes; an applied
         # batch must be visible to the next scrape (and to metrics-kind
         # standing queries) immediately
@@ -637,6 +694,12 @@ class Gateway:
                 pass
             self._evaluator_task = None
         await self.ingestor.close()
+        if self.alerts is not None:
+            # joins the delivery thread; off-loop so a slow sink's
+            # in-flight emit cannot stall the event loop
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.alerts.close
+            )
 
     # -- HTTP plumbing -----------------------------------------------------
 
@@ -658,30 +721,37 @@ class Gateway:
                     break
                 method, path, query, headers, body = request
                 extra_headers = None
+                route = _route_template(path)
+                inflight = self.m_inflight.labels(route)
+                inflight.inc()
                 started = time.perf_counter()
                 try:
-                    key = self._authenticate(path, headers)
-                    status, payload = await self._route(
-                        method, path, query, body, key
-                    )
-                except _HttpError as exc:
-                    status, payload = exc.status, {"error": exc.message}
-                    extra_headers = exc.headers
-                except (UnknownJobError, AttributeError) as exc:
-                    status, payload = 404, {"error": str(exc)}
-                except DuplicateJobError as exc:
-                    status, payload = 409, {"error": str(exc)}
-                except (ValueError, TypeError, ServiceError) as exc:
-                    status, payload = 400, {"error": str(exc)}
-                except Exception as exc:  # keep serving other clients
-                    status, payload = 500, {
-                        "error": f"{type(exc).__name__}: {exc}"
-                    }
-                route = _route_template(path)
+                    try:
+                        key = self._authenticate(path, headers)
+                        status, payload = await self._route(
+                            method, path, query, body, key
+                        )
+                    except _HttpError as exc:
+                        status, payload = exc.status, {"error": exc.message}
+                        extra_headers = exc.headers
+                    except (UnknownJobError, AttributeError) as exc:
+                        status, payload = 404, {"error": str(exc)}
+                    except DuplicateJobError as exc:
+                        status, payload = 409, {"error": str(exc)}
+                    except (ValueError, TypeError, ServiceError) as exc:
+                        status, payload = 400, {"error": str(exc)}
+                    except Exception as exc:  # keep serving other clients
+                        status, payload = 500, {
+                            "error": f"{type(exc).__name__}: {exc}"
+                        }
+                finally:
+                    inflight.dec()
                 self.m_requests.labels(route, method, str(status)).inc()
                 self.m_request_seconds.labels(route).observe(
                     time.perf_counter() - started
                 )
+                if status >= 500:
+                    self.m_route_errors.labels(route).inc()
                 if isinstance(payload, _SSEStream):
                     # Hijack: the connection becomes a one-way event
                     # stream and closes when either side gives up.
@@ -853,7 +923,14 @@ class Gateway:
         if rest == ["metrics"] and method == "GET":
             return 200, await self._locked(self.registry.as_dict)
         if rest == ["trace"] and method == "GET":
-            return 200, {"spans": jsonable(self.spans.dump())}
+            return 200, await self._trace(dict(query))
+        if rest == ["alerts"] and method == "GET":
+            if self.alerts is None:
+                return 200, {
+                    "rules": [], "sinks": {}, "events": [],
+                    "dead_letters": [],
+                }
+            return 200, jsonable(self.alerts.describe())
         if rest == ["subscribe"] and method == "POST":
             return await self._subscribe(self._json_body(body))
         if rest == ["subscriptions"] and method == "GET":
@@ -990,7 +1067,10 @@ class Gateway:
                 raise _HttpError(
                     413, f"space budget exceeded for job(s): {detail}"
                 )
-        ingested = await self.ingestor.submit(site_ids, items)
+        trace_id = new_trace_id()
+        ingested = await self.ingestor.submit(
+            site_ids, items, trace_id=trace_id
+        )
         tenant = (
             "default"
             if key is None or self.api_keys is None
@@ -1000,7 +1080,50 @@ class Gateway:
         return 200, {
             "ingested": ingested,
             "elements": self.service.elements_processed,
+            "trace_id": trace_id,
         }
+
+    async def _trace(self, params: dict):
+        """``GET /v1/trace``: the stitched cross-process span view.
+
+        Gathers gateway-side spans (rounds, dispatch/fence/merge) and
+        hub-side spans (collected from placed hubs over the exec plane,
+        then retained), merges them in start order, and applies the
+        ``?name=`` / ``?trace_id=`` / ``?limit=`` filters.
+        """
+        limit = params.get("limit")
+        if limit is not None:
+            try:
+                limit = int(limit)
+            except ValueError:
+                raise _HttpError(400, "'limit' must be an integer") from None
+            if limit < 0:
+                raise _HttpError(400, "'limit' must be >= 0")
+        spans = await self._locked(self._stitched_spans)
+        spans = filter_spans(
+            spans,
+            name=params.get("name"),
+            trace_id=params.get("trace_id"),
+            limit=limit,
+        )
+        return {"spans": jsonable(spans)}
+
+    def _stitched_spans(self) -> list:
+        """Merge gateway- and hub-side spans (runs under the lock).
+
+        ``collect_spans`` *drains* hub buffers (fencing relaxed batches
+        like any collecting command), so collected spans are retained
+        in a gateway-side ring — repeated reads keep seeing them.  On
+        an unsharded service the hub recorder *is* ``self.spans`` and
+        there is nothing to collect.
+        """
+        collect = getattr(self.service, "collect_spans", None)
+        if collect is not None:
+            for span in collect():
+                self._hub_spans.append(span)
+        merged = list(self.spans.dump()) + list(self._hub_spans)
+        merged.sort(key=lambda s: s.get("start") or 0.0)
+        return merged
 
     async def _query(self, job, method, args):
         if not job or not isinstance(job, str):
@@ -1092,6 +1215,34 @@ class Gateway:
             "threshold": spec["value"],
         }
 
+    def _rule_value(self, spec: dict) -> float:
+        """One alert rule's raw value (runs under the service lock).
+
+        ``threshold`` rules evaluate a job query, ``metrics`` rules a
+        registry family total, and ``error_bound`` rules the composed
+        accuracy accounting — the facade's ``error_bound`` when it has
+        one, else the paper's ``epsilon * n`` directly.
+        """
+        kind = spec.get("kind", "threshold")
+        if kind == "metrics":
+            return float(self._metric_total(spec["metric"]))
+        if kind == "error_bound":
+            error_bound = getattr(self.service, "error_bound", None)
+            if error_bound is not None:
+                return float(error_bound(spec["job"])["bound"])
+            job = self.service.job(spec["job"])
+            epsilon = getattr(job.scheme, "epsilon", None)
+            if epsilon is None:
+                raise ValueError(
+                    f"job {spec['job']!r} scheme has no epsilon"
+                )
+            return float(epsilon) * job.elements_processed
+        return float(
+            self.service.query(
+                spec["job"], spec.get("method"), *(spec.get("args") or ())
+            )
+        )
+
     def _metric_total(self, name: str) -> float:
         """One metric family's total over all children (count for
         histograms), straight from the registry."""
@@ -1128,21 +1279,43 @@ class Gateway:
             await self._dirty.wait()
             self._dirty.clear()
             subs = self.subscriptions.all()
-            if not subs:
+            rules = (
+                list(self.alerts.rules.values())
+                if self.alerts is not None
+                else []
+            )
+            if not subs and not rules:
                 continue
 
-            def eval_all(subs=subs):
+            def eval_all(subs=subs, rules=rules):
                 results = []
+                rule_values = {}
                 with self.ingestor.lock:
                     for sub in subs:
                         try:
                             results.append((sub, self._evaluate_spec(sub.spec), None))
                         except Exception as exc:
                             results.append((sub, None, exc))
-                return results
+                    for rule in rules:
+                        try:
+                            rule_values[rule.name] = self._rule_value(
+                                rule.spec
+                            )
+                        except Exception:
+                            rule_values[rule.name] = None
+                return results, rule_values
 
             loop = asyncio.get_running_loop()
-            results = await loop.run_in_executor(None, eval_all)
+            results, rule_values = await loop.run_in_executor(None, eval_all)
+            if rules:
+                self.alerts.step(rule_values, trace_id=self._last_trace_id)
+                # A quiet gateway must still complete pending -> firing:
+                # schedule a re-evaluation for the earliest `for` expiry
+                # (the step itself needs no new ingest, only time).
+                deadline = self.alerts.pending_deadline()
+                if deadline is not None:
+                    delay = max(0.0, deadline - time.monotonic()) + 0.02
+                    loop.call_later(delay, self._dirty.set)
             elements = self.service.elements_processed
             for sub, value, error in results:
                 if self.subscriptions.get(sub.sid) is not sub:

@@ -14,7 +14,14 @@ every layer — runtime, service, shard, exec, net — may import it):
 * :mod:`repro.obs.prometheus` — the Prometheus text-exposition
   renderer behind the gateway's ``GET /metrics``.
 * :mod:`repro.obs.tracing` — :class:`SpanRecorder`, a ring-buffered
-  recorder of dispatch/merge/fence spans (``GET /v1/trace``).
+  recorder of dispatch/merge/fence spans (``GET /v1/trace``), plus the
+  thread-local trace context (:func:`trace_scope` /
+  :func:`current_trace`) that stitches one ingest round across
+  threads, processes and TCP hops.
+* :mod:`repro.obs.alerts` — :class:`AlertManager`, the rule state
+  machine (``ok → pending → firing → resolved`` with re-arm
+  hysteresis) routing threshold flips to webhook / exec / logfile
+  sinks and the ``GET /v1/alerts`` ring.
 * :mod:`repro.obs.sse` — Server-Sent-Events framing plus the
   standing-query subscription bookkeeping behind ``POST /v1/subscribe``
   and ``GET /v1/stream/<id>``.
@@ -25,12 +32,21 @@ stats structures and the gateway *attaches* them, so a layer can be
 instrumented without knowing whether anyone is scraping.
 """
 
+from .alerts import AlertManager, AlertRule
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .prometheus import render_prometheus
 from .sse import Subscription, SubscriptionHub, render_sse_event
-from .tracing import SpanRecorder
+from .tracing import (
+    SpanRecorder,
+    current_trace,
+    filter_spans,
+    new_trace_id,
+    trace_scope,
+)
 
 __all__ = [
+    "AlertManager",
+    "AlertRule",
     "Counter",
     "Gauge",
     "Histogram",
@@ -38,6 +54,10 @@ __all__ = [
     "SpanRecorder",
     "Subscription",
     "SubscriptionHub",
+    "current_trace",
+    "filter_spans",
+    "new_trace_id",
     "render_prometheus",
     "render_sse_event",
+    "trace_scope",
 ]

@@ -1,25 +1,127 @@
-"""Ring-buffered span recording for the dispatch plane.
+"""Ring-buffered span recording with cross-process trace context.
 
-A *span* is one timed region of the fan-out machinery — ``dispatch``
-(posting an ingest batch across shard backends), ``merge`` (a
-cross-shard query merge), ``fence`` (waiting out the relaxed in-flight
-window) — with a wall-clock start, a monotonic duration, and free-form
-attributes (event counts, shard counts, relaxed flag).
+A *span* is one timed region of the fan-out machinery — ``round`` (a
+coalesced ingest round applying on the gateway's writer thread),
+``dispatch`` (posting an ingest batch across shard backends), ``merge``
+(a cross-shard query merge), ``fence`` (waiting out the relaxed
+in-flight window), ``ingest`` (a hub applying its slice, possibly in
+another process) — with a wall-clock start, a monotonic duration, and
+free-form attributes (event counts, shard counts, relaxed flag).
+
+Spans carry **trace identity**: every span has a ``span_id``, and when
+a *trace context* is active (see :func:`trace_scope`) it also carries
+the context's ``trace_id`` and the enclosing span's id as
+``parent_id``.  The context lives in a thread-local, so synchronous
+call chains — gateway writer thread → sharded facade → exec backend
+submit — pick it up implicitly; crossing a thread, process or TCP
+boundary is explicit: the sender captures :func:`current_trace` into
+its envelope and the receiver re-enters it with :func:`trace_scope`.
+That is how ``/v1/trace?trace_id=`` stitches one ingest round into a
+single cross-process view.
 
 :class:`SpanRecorder` keeps the most recent ``capacity`` spans in a
 deque; recording is two clock reads and an append, cheap enough to
-leave on permanently.  ``GET /v1/trace`` dumps the buffer as JSON,
-newest last.
+leave on permanently.  Spans whose body raised are kept — the most
+interesting spans — marked with ``error=True`` and the exception type.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
-__all__ = ["SpanRecorder"]
+__all__ = [
+    "SpanRecorder",
+    "current_trace",
+    "filter_spans",
+    "new_trace_id",
+    "trace_scope",
+]
+
+#: thread-local carrier of the active trace context, a dict of
+#: ``{"trace_id": str, "span_id": str | None}`` (``span_id`` is the
+#: innermost open span — the parent of anything started below it)
+_context = threading.local()
+
+_id_lock = threading.Lock()
+_id_counter = 0
+
+
+def _fresh_id(nbytes: int) -> str:
+    """A short unique hex id (urandom + a counter so ids never collide
+    within a process even if the entropy pool repeats)."""
+    global _id_counter
+    with _id_lock:
+        _id_counter += 1
+        count = _id_counter
+    return f"{int.from_bytes(os.urandom(nbytes), 'big'):0{nbytes * 2}x}" \
+        f"{count & 0xFFFF:04x}"
+
+
+def new_trace_id() -> str:
+    """A fresh trace id (one per gateway ingest request)."""
+    return _fresh_id(6)
+
+
+def _new_span_id() -> str:
+    return _fresh_id(4)
+
+
+def current_trace() -> Optional[dict]:
+    """The active trace context of this thread, or ``None``.
+
+    The returned dict — ``{"trace_id", "span_id"}`` — is what a sender
+    captures into a command envelope; the receiving side re-enters it
+    with :func:`trace_scope` so remote spans parent correctly.
+    """
+    return getattr(_context, "trace", None)
+
+
+@contextmanager
+def trace_scope(trace: Optional[dict]) -> Iterator[Optional[dict]]:
+    """Make ``trace`` the active context for the body of the ``with``.
+
+    ``trace`` is ``{"trace_id": ..., "span_id": ...}`` (``span_id``
+    optional — it becomes the parent of spans opened inside) or
+    ``None``, which is a no-op so call sites can pass an envelope's
+    trace field through unconditionally.
+    """
+    if trace is None or not trace.get("trace_id"):
+        yield None
+        return
+    previous = getattr(_context, "trace", None)
+    _context.trace = {
+        "trace_id": trace["trace_id"],
+        "span_id": trace.get("span_id"),
+    }
+    try:
+        yield _context.trace
+    finally:
+        _context.trace = previous
+
+
+def filter_spans(
+    spans: List[dict],
+    name: Optional[str] = None,
+    trace_id: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> List[dict]:
+    """Filter a span dump (``/v1/trace`` query params).
+
+    ``name`` and ``trace_id`` match exactly; ``limit`` keeps the
+    *newest* N of what survives (dumps are oldest-first).
+    """
+    if name is not None:
+        spans = [s for s in spans if s.get("name") == name]
+    if trace_id is not None:
+        spans = [s for s in spans if s.get("trace_id") == trace_id]
+    if limit is not None and limit >= 0:
+        spans = spans[len(spans) - limit:] if limit else []
+    return spans
 
 
 class SpanRecorder:
@@ -38,21 +140,40 @@ class SpanRecorder:
 
         Yields the attribute dict so the body may add outcomes
         (e.g. result sizes) before the span closes.  The span is
-        recorded even when the body raises, with ``error`` set.
+        recorded even when the body raises — ``error=True`` plus the
+        exception type land in its attrs.  While the body runs, this
+        span is the thread's innermost open span, so nested spans (and
+        envelopes captured by :func:`current_trace`) parent to it.
         """
         started_wall = time.time()
         started = time.perf_counter()
         record = dict(attrs)
+        trace = getattr(_context, "trace", None)
+        span_id = _new_span_id()
+        if trace is not None:
+            trace_id = trace["trace_id"]
+            parent_id = trace.get("span_id")
+            _context.trace = {"trace_id": trace_id, "span_id": span_id}
+        else:
+            trace_id = None
+            parent_id = None
         try:
             yield record
         except BaseException as exc:
-            record["error"] = f"{type(exc).__name__}: {exc}"
+            record["error"] = True
+            record["error_type"] = type(exc).__name__
+            record["error_message"] = str(exc)
             raise
         finally:
+            if trace is not None:
+                _context.trace = trace
             self._spans.append(
                 {
                     "id": self._next_id,
                     "name": name,
+                    "trace_id": trace_id,
+                    "span_id": span_id,
+                    "parent_id": parent_id,
                     "start": started_wall,
                     "duration_s": time.perf_counter() - started,
                     "attrs": record,
@@ -60,9 +181,19 @@ class SpanRecorder:
             )
             self._next_id += 1
 
+    def record(self, span: dict) -> None:
+        """Adopt one finished span (collected from another process)."""
+        self._spans.append(dict(span))
+
     def dump(self) -> List[dict]:
         """All buffered spans, oldest first, JSON-ready copies."""
         return [dict(span) for span in self._spans]
+
+    def drain(self) -> List[dict]:
+        """Dump and clear in one step (the ``collect_spans`` command)."""
+        spans = self.dump()
+        self._spans.clear()
+        return spans
 
     def clear(self) -> None:
         self._spans.clear()

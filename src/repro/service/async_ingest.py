@@ -33,6 +33,8 @@ import threading
 from collections import deque
 from typing import Optional
 
+from ..obs.tracing import trace_scope
+
 __all__ = ["AsyncBatchIngestor", "IngestorClosedError"]
 
 
@@ -87,6 +89,13 @@ class AsyncBatchIngestor:
         #: standing-query evaluation here).  Failures are swallowed:
         #: telemetry must never fail an ingest that already applied.
         self.on_applied: list = []
+        #: optional :class:`~repro.obs.tracing.SpanRecorder`; when set
+        #: (the gateway shares its own), each coalescing round records
+        #: a ``round`` span under the adopted trace
+        self.spans = None
+        #: trace id of the most recently applied round (the gateway's
+        #: alert exemplar); set before ``on_applied`` hooks run
+        self.last_trace_id: Optional[str] = None
 
     async def start(self) -> "AsyncBatchIngestor":
         """Bind to the running loop and start the drain worker."""
@@ -103,12 +112,17 @@ class AsyncBatchIngestor:
 
     # -- producer side -----------------------------------------------------
 
-    async def submit(self, site_ids, items=None) -> int:
+    async def submit(self, site_ids, items=None, trace_id=None) -> int:
         """Admit one ordered batch; resolves once it has been applied.
 
         Blocks (asynchronously) while the queue is at capacity — the
         caller slows down to the engine's pace; nothing is ever dropped.
         Returns the number of events ingested for this request.
+
+        ``trace_id`` (optional) names the request's trace; the
+        coalescing round that applies this request adopts the *first*
+        queued request's trace, so one cross-process trace follows one
+        representative request through the engine and the exec plane.
         """
         if self._cond is None:
             raise RuntimeError("ingestor not started")
@@ -129,7 +143,7 @@ class AsyncBatchIngestor:
                 await self._cond.wait()
                 if self._closing:
                     raise IngestorClosedError("ingestor is shutting down")
-            self._requests.append((site_ids, items, n, future))
+            self._requests.append((site_ids, items, n, future, trace_id))
             self._pending_events += n
             self.stats["submitted_requests"] += 1
             if self._pending_events > self.stats["max_queued_events"]:
@@ -157,11 +171,19 @@ class AsyncBatchIngestor:
                     batch.append(request)
                     total += request[2]
             site_ids, items = _concatenate(batch)
+            # The round adopts the first request's trace (one exemplar
+            # request is followed end to end; coalesced peers ride along
+            # uninstrumented).
+            trace_id = next(
+                (t for _, _, _, _, t in batch if t is not None), None
+            )
             started = loop.time()
             try:
-                await loop.run_in_executor(None, self._apply, site_ids, items)
+                await loop.run_in_executor(
+                    None, self._apply, site_ids, items, trace_id, len(batch)
+                )
             except Exception as exc:
-                for _, _, _, future in batch:
+                for _, _, _, future, _ in batch:
                     if not future.cancelled():
                         future.set_exception(exc)
             else:
@@ -169,7 +191,8 @@ class AsyncBatchIngestor:
                 self.stats["engine_calls"] += 1
                 self.stats["coalesced_requests"] += len(batch) - 1
                 self.stats["ingested_events"] += total
-                for _, _, n, future in batch:
+                self.last_trace_id = trace_id
+                for _, _, n, future, _ in batch:
                     if not future.cancelled():
                         future.set_result(n)
                 for hook in self.on_applied:
@@ -181,9 +204,18 @@ class AsyncBatchIngestor:
                 self._pending_events -= total
                 self._cond.notify_all()
 
-    def _apply(self, site_ids, items) -> int:
+    def _apply(self, site_ids, items, trace_id=None, coalesced=1) -> int:
         with self.lock:
-            return self.service.ingest(site_ids, items)
+            if trace_id is None or self.spans is None:
+                return self.service.ingest(site_ids, items)
+            # Runs on the executor thread, so the thread-local trace
+            # context is safe to enter here: the whole engine call (and
+            # every exec-plane submit it makes) happens under it.
+            with trace_scope({"trace_id": trace_id}):
+                with self.spans.span(
+                    "round", events=len(site_ids), coalesced=coalesced
+                ):
+                    return self.service.ingest(site_ids, items)
 
     # -- shutdown ----------------------------------------------------------
 
@@ -209,12 +241,12 @@ def _concatenate(batch):
     if len(batch) == 1:
         return batch[0][0], batch[0][1]
     site_ids: list = []
-    for ids, _, _, _ in batch:
+    for ids, _, _, _, _ in batch:
         site_ids.extend(ids.tolist() if hasattr(ids, "tolist") else ids)
-    if all(items is None for _, items, _, _ in batch):
+    if all(items is None for _, items, _, _, _ in batch):
         return site_ids, None
     merged: list = []
-    for _, items, n, _ in batch:
+    for _, items, n, _, _ in batch:
         if items is None:
             merged.extend([1] * n)
         else:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
+from ..obs.tracing import SpanRecorder, current_trace
 from ..runtime import CommStats, TrackingScheme, derive_seed
 from ..runtime.batching import batch_from_stream
 from .engine import BatchIngestEngine
@@ -82,6 +83,14 @@ class TrackingService:
         self.comm = CommStats()  # fleet-wide aggregate (all jobs)
         self.engine = BatchIngestEngine(space_sample_interval)
         self.elements_processed = 0
+        #: span buffer for traced ingests.  Spans are only recorded
+        #: while a trace context is active (a gateway round, a hub
+        #: command carrying a trace), so untraced hot paths pay one
+        #: thread-local read per batch and nothing more.  On shard
+        #: hubs the facade drains this via the ``collect_spans``
+        #: command; on an unsharded gateway it doubles as the gateway's
+        #: own ``/v1/trace`` buffer.
+        self.spans = SpanRecorder()
         self._jobs: Dict[str, TrackingJob] = {}
         self._manager = None  # CheckpointManager when durability is on
         self._wal = None
@@ -205,7 +214,15 @@ class TrackingService:
         if self._wal is not None and not self._replaying:
             self._wal_seq = self._wal.append_batch(site_ids, items)
         try:
-            n = self.engine.ingest(self._jobs.values(), site_ids, items)
+            if current_trace() is not None:
+                with self.spans.span(
+                    "ingest", events=len(site_ids), jobs=len(self._jobs)
+                ):
+                    n = self.engine.ingest(
+                        self._jobs.values(), site_ids, items
+                    )
+            else:
+                n = self.engine.ingest(self._jobs.values(), site_ids, items)
         except BaseException:
             # A logged-but-unappliable batch (bad site id, hostile item)
             # must not survive to poison every future restore.  The

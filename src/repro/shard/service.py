@@ -554,6 +554,27 @@ class ShardedTrackingService:
             ],
         }
 
+    def collect_spans(self) -> list:
+        """Drain every hub's span buffer (cross-process trace stitching).
+
+        Hub-side ``ingest`` spans are recorded wherever the hub lives —
+        another thread, a subprocess, a remote ``repro hub`` actor —
+        and buffered there; this fans the ``collect_spans`` command out
+        (fencing outstanding relaxed batches like any collecting call)
+        and returns the union, each span annotated with its shard
+        index.  Draining means a span is shipped exactly once; the
+        caller (the gateway's ``/v1/trace``) retains what it needs.
+        """
+        collected: list = []
+        per_shard = self._group.map(
+            "collect_spans", [()] * self.num_shards
+        )
+        for shard, spans in enumerate(per_shard):
+            for span in spans or ():
+                span["shard"] = shard
+                collected.append(span)
+        return collected
+
     def metrics_sample(self) -> dict:
         """Fleet telemetry: merged totals plus per-shard detail.
 

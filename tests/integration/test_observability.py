@@ -1,15 +1,19 @@
-"""The observability plane end to end: scrape, stream, trace, CLI.
+"""The observability plane end to end: scrape, stream, trace, alerts.
 
 One live gateway per fixture; assertions cover the acceptance surface:
 ``/metrics`` exposes families from every layer (gateway, service,
 shard, exec) with per-tenant and per-shard labels, a standing query
 streams a delta over SSE after an ingest *without the client polling*,
-``Last-Event-ID`` replays missed events, and ``/healthz`` agrees with
-the registry it is backed by.
+``Last-Event-ID`` replays missed events, ``/healthz`` agrees with the
+registry it is backed by, an ingest's ``trace_id`` resolves to a
+stitched cross-process span view at ``/v1/trace?trace_id=``, and alert
+rules fire/resolve through real sinks with that trace as exemplar.
 """
 
+import http.server
 import json
 import socket
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -425,3 +429,289 @@ class TestMetricsCli:
             ["metrics", "http://127.0.0.1:9", "--timeout", "2"]
         ) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestTracePropagation:
+    """One trace_id from the HTTP POST to shard-local hub spans."""
+
+    @pytest.fixture()
+    def process_gateway(self):
+        service = ShardedTrackingService(
+            num_sites=8, num_shards=2, seed=3, executor="process",
+            relaxed=True,
+        )
+        _, _, scheme = parse_job_spec("med=rank/deterministic:0.05", 0.05)
+        service.register("med", scheme)
+        with GatewayThread(service) as gw:
+            yield gw
+        service.close()
+
+    def test_cross_process_stitched_view(self, process_gateway):
+        gw = process_gateway
+        body = ingest(gw)
+        tid = body["trace_id"]
+        assert tid
+        status, tr = request(gw.url + f"/v1/trace?trace_id={tid}")
+        assert status == 200
+        spans = tr["spans"]
+        by_name = {}
+        for span in spans:
+            assert span["trace_id"] == tid
+            by_name.setdefault(span["name"], []).append(span)
+        # gateway-process spans: the coalesced round and its dispatch
+        assert len(by_name["round"]) == 1
+        assert len(by_name["dispatch"]) == 1
+        # hub-process spans carried over the process pipe, one per shard
+        shards = {s["shard"] for s in by_name["ingest"]}
+        assert shards == {0, 1}
+        # the parent chain stitches across the process boundary
+        round_span = by_name["round"][0]
+        dispatch = by_name["dispatch"][0]
+        assert round_span["parent_id"] is None
+        assert dispatch["parent_id"] == round_span["span_id"]
+        for hub_span in by_name["ingest"]:
+            assert hub_span["parent_id"] == dispatch["span_id"]
+
+    def test_hub_spans_retained_across_reads(self, process_gateway):
+        gw = process_gateway
+        tid = ingest(gw)["trace_id"]
+        for _ in range(2):  # collect_spans drains hubs; gateway retains
+            status, tr = request(gw.url + f"/v1/trace?trace_id={tid}")
+            assert status == 200
+            assert any(s["name"] == "ingest" for s in tr["spans"])
+
+    def test_trace_filters_over_http(self, sharded_gateway):
+        gw = sharded_gateway
+        first = ingest(gw, n=50)["trace_id"]
+        second = ingest(gw, n=50)["trace_id"]
+        status, tr = request(gw.url + "/v1/trace?name=round")
+        assert status == 200
+        assert {s["name"] for s in tr["spans"]} == {"round"}
+        if first != second:  # rounds coalesced into one trace otherwise
+            status, tr = request(gw.url + f"/v1/trace?trace_id={second}")
+            assert {s["trace_id"] for s in tr["spans"]} == {second}
+        status, tr = request(gw.url + "/v1/trace?limit=1")
+        assert len(tr["spans"]) == 1
+        status, body = request(gw.url + "/v1/trace?limit=many")
+        assert status == 400
+        assert "limit" in body["error"]
+
+
+class _HookReceiver(http.server.BaseHTTPRequestHandler):
+    received: list = []
+
+    def do_POST(self):
+        length = int(self.headers.get("Content-Length", 0))
+        _HookReceiver.received.append(json.loads(self.rfile.read(length)))
+        self.send_response(200)
+        self.end_headers()
+
+    def log_message(self, *args):
+        pass
+
+
+@pytest.fixture()
+def webhook():
+    _HookReceiver.received = []
+    server = http.server.HTTPServer(("127.0.0.1", 0), _HookReceiver)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_port}/hook", _HookReceiver
+    server.shutdown()
+    server.server_close()
+
+
+def _wait_for(predicate, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.03)
+    return False
+
+
+class TestAlertsEndToEnd:
+    def test_fire_and_resolve_with_trace_exemplar(self, webhook):
+        url, receiver = webhook
+        rules = {
+            "sinks": {"hook": {"type": "webhook", "url": url}},
+            "rules": [{
+                "name": "underfed",
+                "kind": "metrics",
+                "metric": "repro_service_elements_total",
+                "op": "<", "value": 100.0,
+                "sinks": ["hook"],
+                "labels": {"severity": "page"},
+            }],
+        }
+        service = ShardedTrackingService(
+            num_sites=8, num_shards=2, seed=3, executor="thread",
+            relaxed=True,
+        )
+        _, _, scheme = parse_job_spec("med=rank/deterministic:0.05", 0.05)
+        service.register("med", scheme)
+        with GatewayThread(service, alert_rules=rules) as gw:
+            ingest(gw, n=10)  # 10 < 100: the rule flips to firing
+            assert _wait_for(lambda: any(
+                e["state"] == "firing" for e in receiver.received
+            ))
+            firing = next(
+                e for e in receiver.received if e["state"] == "firing"
+            )
+            assert firing["rule"] == "underfed"
+            assert firing["labels"] == {"severity": "page"}
+            assert firing["value"] == 10.0
+            # the exemplar trace resolves to the round that flipped it
+            tid = firing["trace_id"]
+            assert tid
+            status, tr = request(gw.url + f"/v1/trace?trace_id={tid}")
+            assert status == 200
+            assert "round" in {s["name"] for s in tr["spans"]}
+            ingest(gw, n=200)  # 210 >= 100: resolved
+            assert _wait_for(lambda: any(
+                e["state"] == "resolved" for e in receiver.received
+            ))
+            status, listing = request(gw.url + "/v1/alerts")
+            assert status == 200
+            rule = next(
+                r for r in listing["rules"] if r["name"] == "underfed"
+            )
+            assert rule["state"] == "ok"
+            states = [e["state"] for e in listing["events"]]
+            assert states == ["firing", "resolved"]
+            assert listing["sinks"] == {"hook": "webhook"}
+            assert listing["dead_letters"] == []
+            text = scrape(gw)
+            assert 'repro_alerts_transitions_total{rule="underfed"' in text
+            assert "repro_alerts_firing 0" in text
+        service.close()
+
+    def test_pending_fires_on_quiet_gateway(self):
+        # a `for:` rule must complete pending -> firing even when no
+        # further ingest wakes the evaluator: the gateway arms a timer
+        # for the pending deadline.
+        rules = {
+            "rules": [{
+                "name": "sustained",
+                "kind": "metrics",
+                "metric": "repro_service_elements_total",
+                "op": ">", "value": 5.0,
+                "for": 0.3,
+            }],
+        }
+        service = TrackingService(num_sites=8, seed=1)
+        with GatewayThread(service, alert_rules=rules) as gw:
+            ingest(gw, n=10)  # predicate holds -> pending
+
+            def state():
+                _, listing = request(gw.url + "/v1/alerts")
+                return listing["rules"][0]["state"]
+
+            # the evaluator runs asynchronously: ok -> pending, then the
+            # armed deadline timer completes pending -> firing with no
+            # further traffic.
+            assert _wait_for(lambda: state() == "firing", timeout=10.0)
+        service.close()
+
+    def test_alerts_endpoint_empty_without_manifest(self, sharded_gateway):
+        status, listing = request(sharded_gateway.url + "/v1/alerts")
+        assert status == 200
+        assert listing == {"rules": [], "sinks": {}, "events": [],
+                           "dead_letters": []}
+
+
+class TestRouteHealthMetrics:
+    def test_inflight_gauge_settles_to_zero(self, sharded_gateway):
+        gw = sharded_gateway
+        ingest(gw)
+        text = scrape(gw)
+        assert (
+            'repro_gateway_inflight_requests{route="/v1/ingest"} 0'
+            in text
+        )
+
+    def test_5xx_counted_by_route(self, sharded_gateway):
+        gw = sharded_gateway
+
+        def explode():
+            raise RuntimeError("boom")
+
+        gw.gateway.service.status = explode
+        try:
+            status, body = request(gw.url + "/v1/status")
+            assert status == 500
+        finally:
+            del gw.gateway.service.status
+        text = scrape(gw)
+        assert (
+            'repro_gateway_errors_total{route="/v1/status"} 1' in text
+        )
+        # 2xx traffic does not touch the 5xx counter
+        ingest(gw)
+        text = scrape(gw)
+        assert 'repro_gateway_errors_total{route="/v1/ingest"}' not in text
+
+
+class TestSseLifecycle:
+    def _listeners(self, gw, sid):
+        _, info = request(gw.url + "/v1/subscriptions")
+        return next(
+            s for s in info["subscriptions"] if s["id"] == sid
+        )["listeners"]
+
+    def test_client_disconnect_aborts_mid_stream(self, sharded_gateway):
+        gw = sharded_gateway
+        _, sub = request(
+            gw.url + "/v1/subscribe", "POST",
+            {"kind": "query", "job": "med", "method": "estimate_total"},
+        )
+        sid = sub["subscription"]
+        client = SseClient(gw, sid)
+        client.read_event("hello")
+        ingest(gw, n=100)
+        client.read_event("delta")
+        assert self._listeners(gw, sid) == 1
+        client.close()  # abort mid-stream, no unsubscribe
+        assert _wait_for(lambda: self._listeners(gw, sid) == 0)
+        assert _wait_for(
+            lambda: "repro_gateway_streams 0" in scrape(gw)
+        )
+        # the subscription itself survives; events keep accumulating
+        ingest(gw, n=100)
+        assert _wait_for(lambda: next(
+            s for s in request(gw.url + "/v1/subscriptions")[1]
+            ["subscriptions"] if s["id"] == sid
+        )["events_delivered"] >= 2)
+
+    def test_idle_listener_detached_on_keepalive(
+        self, sharded_gateway, monkeypatch
+    ):
+        # with a short keep-alive interval, a silently-gone client is
+        # discovered by the idle tick and detached without any event
+        # traffic on the subscription.
+        from repro.net import gateway as gateway_mod
+
+        monkeypatch.setattr(gateway_mod, "_SSE_KEEPALIVE", 0.1)
+        gw = sharded_gateway
+        _, sub = request(
+            gw.url + "/v1/subscribe", "POST",
+            {"kind": "query", "job": "med", "method": "estimate_total"},
+        )
+        sid = sub["subscription"]
+        client = SseClient(gw, sid)
+        client.read_event("hello")
+        # an idle stream emits keep-alive comments, not events
+        assert _wait_for(
+            lambda: b": keep-alive" in self._recv_some(client)
+        )
+        client.close()
+        assert _wait_for(lambda: self._listeners(gw, sid) == 0)
+
+    @staticmethod
+    def _recv_some(client):
+        client._sock.settimeout(0.5)
+        try:
+            client._buf += client._sock.recv(4096)
+        except socket.timeout:
+            pass
+        return client._buf

@@ -17,6 +17,7 @@ from repro import (
 )
 from repro.exec import EXECUTORS, ExecError, make_backend
 from repro.exec.workers import hub_spec, sim_spec
+from repro.obs.tracing import trace_scope
 from repro.service.errors import DuplicateJobError, UnknownJobError
 
 K = 8
@@ -235,3 +236,31 @@ class TestGroupSemantics:
             assert group.map("elements", [(), ()]) == [0, 0]
         finally:
             group.close()
+
+
+class TestTracePropagation:
+    """The caller's trace context rides every placement's envelope."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_submit_carries_trace_to_hub(self, executor):
+        with hub_backend(executor) as backend:
+            build_jobs(backend)
+            with trace_scope({"trace_id": "t-exec", "span_id": "caller"}):
+                backend.submit("ingest", STREAM, ITEMS)
+            assert backend.drain() == [len(STREAM)]
+            spans = backend.dispatch_run("collect_spans")
+            ingests = [s for s in spans if s["name"] == "ingest"]
+            assert len(ingests) == 1
+            assert ingests[0]["trace_id"] == "t-exec"
+            assert ingests[0]["parent_id"] == "caller"
+            assert ingests[0]["attrs"]["events"] == len(STREAM)
+            # collect_spans drains: a second read is empty
+            assert backend.dispatch_run("collect_spans") == []
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_untraced_work_records_no_hub_span(self, executor):
+        with hub_backend(executor) as backend:
+            build_jobs(backend)
+            backend.submit("ingest", STREAM, ITEMS)
+            assert backend.drain() == [len(STREAM)]
+            assert backend.dispatch_run("collect_spans") == []

@@ -1,0 +1,352 @@
+"""Alert rules, the transition state machine, sinks, and the manager."""
+
+import http.server
+import json
+import threading
+
+import pytest
+
+from repro.obs import AlertManager, AlertRule, MetricsRegistry
+from repro.obs.alerts import (
+    ExecSink,
+    LogfileSink,
+    SinkError,
+    WebhookSink,
+    _build_sink,
+)
+
+
+def _rule(name="r", op=">", value=10.0, for_s=0.0, rearm_s=0.0, **kw):
+    spec = {"kind": "threshold", "job": "j", "op": op, "value": value}
+    return AlertRule(name, spec, for_s=for_s, rearm_s=rearm_s, **kw)
+
+
+class TestAlertRuleValidation:
+    def test_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+            AlertRule("", {"kind": "threshold", "job": "j", "op": ">",
+                           "value": 1})
+
+    def test_requires_known_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            AlertRule("r", {"kind": "nope", "job": "j", "op": ">",
+                            "value": 1})
+
+    def test_kind_required_fields(self):
+        with pytest.raises(ValueError, match="'job'"):
+            AlertRule("r", {"kind": "threshold", "op": ">", "value": 1})
+        with pytest.raises(ValueError, match="'metric'"):
+            AlertRule("r", {"kind": "metrics", "op": ">", "value": 1})
+        with pytest.raises(ValueError, match="'job'"):
+            AlertRule("r", {"kind": "error_bound", "op": ">", "value": 1})
+
+    def test_requires_valid_op_and_value(self):
+        with pytest.raises(ValueError, match="op"):
+            AlertRule("r", {"kind": "threshold", "job": "j", "op": "!=",
+                            "value": 1})
+        with pytest.raises(ValueError, match="value"):
+            AlertRule("r", {"kind": "threshold", "job": "j", "op": ">",
+                            "value": True})
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(ValueError, match="'for' and 'rearm'"):
+            _rule(for_s=-1)
+
+
+class TestAlertRuleStateMachine:
+    def test_fires_immediately_with_zero_for(self):
+        rule = _rule()
+        assert rule.step(5.0, now=0.0) is None
+        assert rule.state == "ok"
+        assert rule.step(15.0, now=1.0) == "firing"
+        assert rule.state == "firing"
+        assert rule.fired_count == 1
+
+    def test_resolves_when_predicate_lets_go(self):
+        rule = _rule()
+        rule.step(15.0, now=0.0)
+        assert rule.step(5.0, now=1.0) == "resolved"
+        assert rule.state == "ok"
+
+    def test_for_duration_gates_firing(self):
+        rule = _rule(for_s=5.0)
+        assert rule.step(15.0, now=0.0) is None
+        assert rule.state == "pending"
+        assert rule.pending_deadline() == 5.0
+        assert rule.step(15.0, now=3.0) is None
+        assert rule.step(15.0, now=5.0) == "firing"
+
+    def test_pending_that_lets_go_returns_to_ok_silently(self):
+        rule = _rule(for_s=5.0)
+        rule.step(15.0, now=0.0)
+        assert rule.step(5.0, now=2.0) is None  # never fired: no resolve
+        assert rule.state == "ok"
+        # the pending clock restarts from scratch
+        rule.step(15.0, now=3.0)
+        assert rule.step(15.0, now=7.0) is None
+        assert rule.step(15.0, now=8.0) == "firing"
+
+    def test_rearm_hysteresis_suppresses_flapping(self):
+        rule = _rule(rearm_s=10.0)
+        rule.step(15.0, now=0.0)
+        rule.step(5.0, now=1.0)  # resolved; re-arm until t=11
+        assert rule.step(15.0, now=5.0) is None  # inside holdoff
+        assert rule.state == "ok"
+        assert rule.step(15.0, now=11.0) == "firing"
+
+    def test_all_comparison_ops(self):
+        assert _rule(op=">", value=10).active(11)
+        assert not _rule(op=">", value=10).active(10)
+        assert _rule(op=">=", value=10).active(10)
+        assert _rule(op="<", value=10).active(9)
+        assert _rule(op="<=", value=10).active(10)
+
+
+class _Receiver(http.server.BaseHTTPRequestHandler):
+    status = 200
+    received: list = []
+
+    def do_POST(self):
+        body = self.rfile.read(int(self.headers["Content-Length"]))
+        type(self).received.append(json.loads(body))
+        self.send_response(type(self).status)
+        self.end_headers()
+
+    def log_message(self, *args):
+        pass
+
+
+@pytest.fixture
+def webhook_server():
+    _Receiver.received = []
+    _Receiver.status = 200
+    server = http.server.HTTPServer(("127.0.0.1", 0), _Receiver)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_port}/", _Receiver
+    server.shutdown()
+    server.server_close()
+
+
+class TestSinks:
+    def test_webhook_posts_json(self, webhook_server):
+        url, receiver = webhook_server
+        WebhookSink(url).emit({"rule": "r", "state": "firing"})
+        assert receiver.received == [{"rule": "r", "state": "firing"}]
+
+    def test_webhook_retries_then_raises(self, webhook_server):
+        url, receiver = webhook_server
+        receiver.status = 500
+        sink = WebhookSink(url, retries=2, backoff=0.0)
+        with pytest.raises(SinkError, match="3 attempt"):
+            sink.emit({"rule": "r"})
+        assert len(receiver.received) == 3
+
+    def test_webhook_connection_refused(self):
+        sink = WebhookSink("http://127.0.0.1:1/", retries=0, backoff=0.0)
+        with pytest.raises(SinkError):
+            sink.emit({})
+
+    def test_exec_sink_gets_event_on_stdin(self, tmp_path):
+        out = tmp_path / "seen.json"
+        sink = ExecSink(
+            ["python", "-c",
+             "import sys; open(%r, 'w').write(sys.stdin.read())" % str(out)]
+        )
+        sink.emit({"rule": "r", "state": "firing"})
+        assert json.loads(out.read_text())["rule"] == "r"
+
+    def test_exec_sink_nonzero_exit_raises(self):
+        sink = ExecSink(["python", "-c", "import sys; sys.exit(3)"])
+        with pytest.raises(SinkError, match="exited 3"):
+            sink.emit({})
+
+    def test_logfile_sink_appends_json_lines(self, tmp_path):
+        path = tmp_path / "alerts.log"
+        sink = LogfileSink(str(path))
+        sink.emit({"rule": "a"})
+        sink.emit({"rule": "b"})
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["rule"] for line in lines] == ["a", "b"]
+
+    def test_logfile_sink_unwritable_raises(self):
+        with pytest.raises(SinkError):
+            LogfileSink("/nonexistent-dir/alerts.log").emit({})
+
+    def test_build_sink_validation(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            _build_sink("s", {"type": "smoke-signal"})
+        with pytest.raises(ValueError, match="url"):
+            _build_sink("s", {"type": "webhook"})
+        with pytest.raises(ValueError, match="command"):
+            _build_sink("s", {"type": "exec", "command": "not-a-list"})
+
+
+class TestAlertManager:
+    def _manager(self, rules=None, sinks=None, **kw):
+        return AlertManager(
+            rules if rules is not None else [_rule()],
+            sinks=sinks,
+            registry=MetricsRegistry(),
+            **kw,
+        )
+
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            self._manager([_rule("a"), _rule("a")])
+
+    def test_unknown_sink_rejected(self):
+        with pytest.raises(ValueError, match="unknown sink"):
+            self._manager([_rule(sinks=["ops"])])
+
+    def test_step_emits_transition_events_with_exemplar(self):
+        mgr = self._manager()
+        assert mgr.step({"r": 5.0}, now=0.0) == []
+        events = mgr.step({"r": 15.0}, now=1.0, trace_id="abc123")
+        assert len(events) == 1
+        assert events[0]["state"] == "firing"
+        assert events[0]["trace_id"] == "abc123"
+        assert events[0]["value"] == 15.0
+        assert mgr.events()[-1]["rule"] == "r"
+
+    def test_none_value_holds_state_and_counts_error(self):
+        mgr = self._manager()
+        mgr.step({"r": 15.0}, now=0.0)
+        assert mgr.step({"r": None}, now=1.0) == []
+        assert mgr.rules["r"].state == "firing"
+        assert mgr.m_eval_errors.labels("r").value == 1
+
+    def test_missing_rule_value_skips(self):
+        mgr = self._manager()
+        assert mgr.step({}, now=0.0) == []
+        assert mgr.m_evals.labels().value == 0
+
+    def test_dispatch_to_logfile_sink(self, tmp_path):
+        path = tmp_path / "alerts.log"
+        mgr = self._manager(
+            [_rule(sinks=["audit"])],
+            sinks={"audit": LogfileSink(str(path))},
+        )
+        try:
+            mgr.step({"r": 15.0}, now=0.0)
+            assert mgr.flush()
+            deadline = 50
+            while not path.exists() and deadline:
+                import time
+
+                time.sleep(0.02)
+                deadline -= 1
+            event = json.loads(path.read_text().splitlines()[0])
+            assert event["state"] == "firing"
+        finally:
+            mgr.close()
+
+    def test_dead_letter_on_sink_failure(self):
+        mgr = self._manager(
+            [_rule(sinks=["bad"])],
+            sinks={"bad": LogfileSink("/nonexistent-dir/x.log")},
+        )
+        try:
+            event = mgr.step({"r": 15.0}, now=0.0)[0]
+            assert not mgr.dispatch_now("bad", event)
+            assert mgr.m_dead_letters.labels("bad").value >= 1
+            assert mgr.m_sink_failures.labels("bad").value >= 1
+            assert mgr.dead_letters()[-1]["sink"] == "bad"
+        finally:
+            mgr.close()
+
+    def test_pending_deadline_min_over_rules(self):
+        mgr = self._manager([_rule("a", for_s=5.0), _rule("b", for_s=2.0)])
+        mgr.step({"a": 15.0, "b": 15.0}, now=0.0)
+        assert mgr.pending_deadline() == 2.0
+
+    def test_describe_shape(self):
+        mgr = self._manager()
+        mgr.step({"r": 15.0}, now=0.0)
+        info = mgr.describe()
+        assert info["rules"][0]["state"] == "firing"
+        assert info["events"][0]["state"] == "firing"
+        assert info["sinks"] == {}
+        assert info["dead_letters"] == []
+
+    def test_firing_gauge_tracks_states(self):
+        registry = MetricsRegistry()
+        mgr = AlertManager([_rule()], registry=registry)
+        sample = registry.as_dict()["repro_alerts_firing"]["samples"][0]
+        assert sample["value"] == 0
+        mgr.step({"r": 15.0}, now=0.0)
+        sample = registry.as_dict()["repro_alerts_firing"]["samples"][0]
+        assert sample["value"] == 1
+
+    def test_event_ring_bounded(self):
+        mgr = self._manager([_rule("flap")])
+        for i in range(300):
+            mgr.step({"flap": 15.0}, now=float(2 * i))
+            mgr.step({"flap": 5.0}, now=float(2 * i + 1))
+        assert len(mgr.events()) == 256
+        assert mgr.events(limit=5)[-1]["state"] == "resolved"
+
+    def test_close_idempotent(self, tmp_path):
+        mgr = self._manager(
+            [_rule(sinks=["audit"])],
+            sinks={"audit": LogfileSink(str(tmp_path / "a.log"))},
+        )
+        mgr.close()
+        mgr.close()
+
+
+class TestFromManifest:
+    def _manifest(self, tmp_path):
+        return {
+            "sinks": {
+                "audit": {"type": "logfile",
+                          "path": str(tmp_path / "alerts.log")},
+            },
+            "rules": [
+                {"name": "hot", "kind": "threshold", "job": "hh",
+                 "method": "estimate", "op": ">", "value": 100,
+                 "for": 2, "rearm": 30, "sinks": ["audit"],
+                 "labels": {"severity": "page"}},
+                {"name": "low", "kind": "metrics",
+                 "metric": "repro_service_elements_total",
+                 "op": "<", "value": 10},
+            ],
+        }
+
+    def test_parses_rules_and_sinks(self, tmp_path):
+        mgr = AlertManager.from_manifest(
+            self._manifest(tmp_path), registry=MetricsRegistry()
+        )
+        try:
+            assert set(mgr.rules) == {"hot", "low"}
+            hot = mgr.rules["hot"]
+            assert hot.for_s == 2.0
+            assert hot.rearm_s == 30.0
+            assert hot.sinks == ["audit"]
+            assert hot.labels == {"severity": "page"}
+            assert hot.spec["method"] == "estimate"
+            assert mgr.rules["low"].spec["kind"] == "metrics"
+            assert isinstance(mgr.sinks["audit"], LogfileSink)
+        finally:
+            mgr.close()
+
+    def test_kind_defaults_to_threshold(self, tmp_path):
+        manifest = {"rules": [{"name": "r", "job": "j", "op": ">",
+                               "value": 1}]}
+        mgr = AlertManager.from_manifest(manifest, registry=MetricsRegistry())
+        assert mgr.rules["r"].spec["kind"] == "threshold"
+
+    def test_rejects_bad_documents(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="object"):
+            AlertManager.from_manifest([], registry=registry)
+        with pytest.raises(ValueError, match="rules"):
+            AlertManager.from_manifest({}, registry=registry)
+        with pytest.raises(ValueError, match="rules"):
+            AlertManager.from_manifest({"rules": []}, registry=registry)
+        with pytest.raises(ValueError, match="unknown sink"):
+            AlertManager.from_manifest(
+                {"rules": [{"name": "r", "job": "j", "op": ">", "value": 1,
+                            "sinks": ["missing"]}]},
+                registry=registry,
+            )

@@ -6,7 +6,13 @@ import json
 import pytest
 
 from repro.obs import Subscription, SubscriptionHub, render_sse_event
-from repro.obs.tracing import SpanRecorder
+from repro.obs.tracing import (
+    SpanRecorder,
+    current_trace,
+    filter_spans,
+    new_trace_id,
+    trace_scope,
+)
 
 
 class TestRenderSseEvent:
@@ -87,6 +93,29 @@ class TestSubscription:
 
         asyncio.run(run())
 
+    def test_replay_ring_wraparound_past_default(self):
+        # The default ring keeps 64 events; a client reconnecting with a
+        # Last-Event-ID older than the ring start gets only what is
+        # retained (no error, no phantom events).
+        sub = self._sub()
+        loop = asyncio.new_event_loop()
+        try:
+            asyncio.set_event_loop(loop)
+            for v in range(80):
+                sub.publish({"v": v})
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+        frames = sub.replay_after(0)
+        assert len(frames) == 64
+        assert [fid for fid, _, _ in frames] == list(range(17, 81))
+        # a Last-Event-ID that fell off the ring replays the whole ring
+        assert [fid for fid, _, _ in sub.replay_after(5)] == list(
+            range(17, 81)
+        )
+        # the newest id replays nothing
+        assert sub.replay_after(80) == []
+
     def test_never_evaluated_flag(self):
         sub = self._sub()
         assert sub.never_evaluated
@@ -142,7 +171,10 @@ class TestSpanRecorder:
         with pytest.raises(RuntimeError):
             with rec.span("merge"):
                 raise RuntimeError("boom")
-        assert rec.dump()[0]["attrs"]["error"] == "RuntimeError: boom"
+        attrs = rec.dump()[0]["attrs"]
+        assert attrs["error"] is True
+        assert attrs["error_type"] == "RuntimeError"
+        assert attrs["error_message"] == "boom"
 
     def test_ring_buffer_bounded(self):
         rec = SpanRecorder(capacity=3)
@@ -159,3 +191,95 @@ class TestSpanRecorder:
             pass
         rec.clear()
         assert len(rec) == 0
+
+    def test_drain_returns_and_clears(self):
+        rec = SpanRecorder()
+        with rec.span("a"):
+            pass
+        drained = rec.drain()
+        assert [s["name"] for s in drained] == ["a"]
+        assert len(rec) == 0
+        assert rec.dump() == []
+
+    def test_record_adopts_foreign_span(self):
+        rec = SpanRecorder()
+        rec.record({"name": "ingest", "trace_id": "t1", "shard": 2})
+        assert rec.dump()[0]["shard"] == 2
+
+
+class TestTraceContext:
+    def test_no_context_by_default(self):
+        assert current_trace() is None
+
+    def test_trace_scope_sets_and_restores(self):
+        with trace_scope({"trace_id": "t1", "span_id": "s1"}):
+            assert current_trace() == {"trace_id": "t1", "span_id": "s1"}
+            with trace_scope({"trace_id": "t2"}):
+                assert current_trace()["trace_id"] == "t2"
+            assert current_trace()["trace_id"] == "t1"
+        assert current_trace() is None
+
+    def test_none_scope_is_noop(self):
+        with trace_scope(None):
+            assert current_trace() is None
+        with trace_scope({"span_id": "orphan"}):  # no trace_id: no-op
+            assert current_trace() is None
+
+    def test_span_without_context_has_no_trace(self):
+        rec = SpanRecorder()
+        with rec.span("s"):
+            pass
+        span = rec.dump()[0]
+        assert span["trace_id"] is None
+        assert span["parent_id"] is None
+        assert span["span_id"]
+
+    def test_span_joins_active_trace_and_nests(self):
+        rec = SpanRecorder()
+        with trace_scope({"trace_id": "t1"}):
+            with rec.span("outer"):
+                with rec.span("inner"):
+                    pass
+        inner, outer = rec.dump()  # inner closes first
+        assert inner["name"] == "inner"
+        assert outer["trace_id"] == inner["trace_id"] == "t1"
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+
+    def test_open_span_is_captured_as_parent(self):
+        # what ExecBackend.submit does: capture inside an open span
+        rec = SpanRecorder()
+        with trace_scope({"trace_id": "t1"}):
+            with rec.span("dispatch"):
+                captured = current_trace()
+        span = rec.dump()[0]
+        assert captured == {"trace_id": "t1", "span_id": span["span_id"]}
+
+    def test_new_trace_ids_unique(self):
+        ids = {new_trace_id() for _ in range(256)}
+        assert len(ids) == 256
+
+
+class TestFilterSpans:
+    SPANS = [
+        {"name": "round", "trace_id": "t1"},
+        {"name": "ingest", "trace_id": "t1"},
+        {"name": "ingest", "trace_id": "t2"},
+        {"name": "merge", "trace_id": None},
+    ]
+
+    def test_name_filter(self):
+        assert len(filter_spans(self.SPANS, name="ingest")) == 2
+
+    def test_trace_id_filter(self):
+        out = filter_spans(self.SPANS, trace_id="t1")
+        assert [s["name"] for s in out] == ["round", "ingest"]
+
+    def test_combined_and_limit_keeps_newest(self):
+        out = filter_spans(self.SPANS, name="ingest", trace_id="t2")
+        assert len(out) == 1
+        assert filter_spans(self.SPANS, limit=2) == self.SPANS[2:]
+        assert filter_spans(self.SPANS, limit=0) == []
+
+    def test_no_filters_pass_through(self):
+        assert filter_spans(self.SPANS) == self.SPANS
