@@ -103,7 +103,10 @@ distributed:
   HOST:PORT` runs a TCP site-actor host for distributed scheme runs
   (repro.net.Cluster); `repro hub --listen HOST:PORT` hosts shard hubs;
   `repro query URL JOB [METHOD] [ARG...]` queries a running gateway and
-  pretty-prints the JSON answer.  Each subcommand has its own --help.
+  pretty-prints the JSON answer; `repro metrics URL [--watch N]`
+  scrapes its metrics; `repro fleet URL [--watch N]` shows the hub
+  fleet's liveness + capacity from GET /v1/fleet.  Each subcommand has
+  its own --help.
 """
 
 
@@ -466,8 +469,14 @@ def run_gateway(argv) -> int:
         "--alert-rules", metavar="FILE",
         help="enable alert routing: a JSON manifest of delivery sinks "
         "(webhook/exec/logfile) and rules (threshold/metrics/"
-        "error_bound predicates with for/rearm durations); transitions "
-        "land on the sinks and GET /v1/alerts",
+        "error_bound/fleet predicates with for/rearm durations); "
+        "transitions land on the sinks and GET /v1/alerts",
+    )
+    parser.add_argument(
+        "--fleet-interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between fleet heartbeat polls to every shard hub "
+        "(GET /v1/fleet, repro_fleet_* metrics, fleet alert rules; "
+        "default 2)",
     )
     parser.add_argument(
         "--queue-events", type=int, default=1 << 16,
@@ -511,6 +520,9 @@ def run_gateway(argv) -> int:
             return 2
     if args.ingest_rate is not None and args.ingest_rate <= 0:
         print("error: --ingest-rate must be positive", file=sys.stderr)
+        return 2
+    if args.fleet_interval <= 0:
+        print("error: --fleet-interval must be positive", file=sys.stderr)
         return 2
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
@@ -641,6 +653,7 @@ def run_gateway(argv) -> int:
             ingest_burst=args.ingest_burst,
             api_keys=api_keys,
             alert_rules=alert_rules,
+            fleet_interval=args.fleet_interval,
         )
         await gateway.start()
         served = True
@@ -756,8 +769,16 @@ def run_hub(argv) -> int:
     args = parser.parse_args(argv)
 
     async def serve() -> None:
+        import platform
+
+        from . import __version__
+
         host = await ExecHost(TcpTransport(), args.listen).start()
-        print(f"hub host listening on {host.address}", flush=True)
+        print(
+            f"hub host listening on {host.address} "
+            f"(repro {__version__}, python {platform.python_version()})",
+            flush=True,
+        )
         try:
             await _until_stopped()
         finally:
@@ -869,17 +890,68 @@ def run_query(argv) -> int:
     return 0
 
 
+class _ScrapeError(RuntimeError):
+    """A gateway scrape failed; the message is operator-clean."""
+
+
+def _scrape_text(url: str, headers: dict, timeout: float) -> str:
+    """GET a gateway URL, normalizing every failure mode into
+    :class:`_ScrapeError` with a one-line human message (no traceback
+    ever reaches a watch loop)."""
+    import http.client
+    import urllib.error
+    import urllib.request
+
+    request = urllib.request.Request(url, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.read().decode()
+    except urllib.error.HTTPError as exc:
+        raise _ScrapeError(f"HTTP {exc.code} {exc.reason}") from None
+    except (
+        urllib.error.URLError,
+        http.client.HTTPException,
+        TimeoutError,
+        OSError,
+    ) as exc:
+        reason = getattr(exc, "reason", None) or exc
+        raise _ScrapeError(f"cannot reach {url}: {reason}") from None
+
+
+def _watch_loop(header: str, once, interval: float) -> int:
+    """Re-render ``once()`` every ``interval`` seconds, forever.
+
+    A dropped gateway connection prints one clean ``connection lost``
+    line and keeps retrying with exponential backoff (reset on the
+    next successful scrape) — never a traceback, never an exit.
+    """
+    backoff = interval
+    while True:
+        print(
+            f"\x1b[2J\x1b[H-- {header} (every {interval:g}s, "
+            "Ctrl-C to stop)"
+        )
+        try:
+            once()
+        except _ScrapeError as exc:
+            print(f"connection lost: {exc} -- retrying in {backoff:g}s")
+            time.sleep(backoff)
+            backoff = min(backoff * 2, max(interval, 30.0))
+            continue
+        backoff = interval
+        time.sleep(interval)
+
+
 def run_metrics(argv) -> int:
     """The `repro metrics` subcommand: scrape a gateway, pretty-print.
 
     Reads the Prometheus text exposition from ``GET /metrics`` (open —
     no API key needed) and renders a sorted name/value table, or dumps
     the registry JSON from ``GET /v1/metrics`` with ``--json``.
-    ``--watch N`` re-scrapes every N seconds until interrupted.
+    ``--watch N`` re-scrapes every N seconds until interrupted; a
+    dropped connection prints a one-line notice and retries with
+    backoff.
     """
-    import urllib.error
-    import urllib.request
-
     parser = argparse.ArgumentParser(
         prog="repro metrics",
         description="Scrape and pretty-print a running gateway's metrics.",
@@ -925,20 +997,8 @@ def run_metrics(argv) -> int:
     if args.api_key:
         headers["Authorization"] = f"Bearer {args.api_key}"
 
-    def scrape() -> int:
-        request = urllib.request.Request(base + path, headers=headers)
-        try:
-            with urllib.request.urlopen(
-                request, timeout=args.timeout
-            ) as response:
-                text = response.read().decode()
-        except urllib.error.HTTPError as exc:
-            print(f"error: HTTP {exc.code} {exc.reason}", file=sys.stderr)
-            return 1
-        except (urllib.error.URLError, TimeoutError, OSError) as exc:
-            reason = getattr(exc, "reason", exc)
-            print(f"error: cannot reach {base}: {reason}", file=sys.stderr)
-            return 1
+    def scrape() -> None:
+        text = _scrape_text(base + path, headers, args.timeout)
         if args.json:
             payload = json.loads(text)
             if args.grep:
@@ -948,7 +1008,7 @@ def run_metrics(argv) -> int:
                     if args.grep in name
                 }
             print(json.dumps(payload, indent=2, sort_keys=True))
-            return 0
+            return
         rows = []
         for line in text.splitlines():
             line = line.strip()
@@ -962,16 +1022,16 @@ def run_metrics(argv) -> int:
         width = max((len(name) for name, _ in rows), default=0)
         for name, value in rows:
             print(f"{name:<{width}}  {value}")
-        return 0
 
     try:
         if args.watch is None:
-            return scrape()
-        while True:
-            print(f"\x1b[2J\x1b[H-- {base}{path} (every {args.watch:g}s, "
-                  "Ctrl-C to stop)")
-            scrape()
-            time.sleep(args.watch)
+            try:
+                scrape()
+            except _ScrapeError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            return 0
+        return _watch_loop(f"{base}{path}", scrape, args.watch)
     except KeyboardInterrupt:
         return 0
     except BrokenPipeError:
@@ -983,12 +1043,140 @@ def run_metrics(argv) -> int:
         return 0
 
 
+def run_fleet(argv) -> int:
+    """The `repro fleet` subcommand: a gateway's hub-fleet at a glance.
+
+    Renders ``GET /v1/fleet`` as a per-hub table (liveness state,
+    heartbeat, last-seen age, RTT, space used vs. budget, overcommit
+    ratio) followed by the newest fleet events.  ``--watch N`` re-polls
+    every N seconds with the same reconnect/backoff behavior as
+    ``repro metrics --watch``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro fleet",
+        description="Show a gateway's shard-hub fleet: liveness + capacity.",
+        epilog=(
+            "examples: repro fleet http://127.0.0.1:8791 | "
+            "repro fleet http://127.0.0.1:8791 --watch 2"
+        ),
+    )
+    parser.add_argument("url", help="gateway base URL, e.g. http://127.0.0.1:8791")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="dump the raw /v1/fleet snapshot as JSON",
+    )
+    parser.add_argument(
+        "--events", type=int, default=8, metavar="N",
+        help="show the newest N fleet events under the table (default 8)",
+    )
+    parser.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-poll every SECONDS seconds until interrupted",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=10.0, metavar="SECONDS",
+        help="give up waiting for the gateway after this long (default 10)",
+    )
+    parser.add_argument(
+        "--api-key", metavar="KEY",
+        help="API key for authenticated gateways",
+    )
+    args = parser.parse_args(argv)
+    if args.timeout <= 0:
+        print("error: --timeout must be positive", file=sys.stderr)
+        return 2
+    if args.watch is not None and args.watch <= 0:
+        print("error: --watch must be positive", file=sys.stderr)
+        return 2
+    if args.events < 0:
+        print("error: --events must be >= 0", file=sys.stderr)
+        return 2
+
+    base = args.url.rstrip("/")
+    headers = {}
+    if args.api_key:
+        headers["Authorization"] = f"Bearer {args.api_key}"
+
+    def fmt(value, spec="", missing="-"):
+        return format(value, spec) if value is not None else missing
+
+    def show() -> None:
+        snap = json.loads(
+            _scrape_text(base + "/v1/fleet", headers, args.timeout)
+        )
+        if args.json:
+            print(json.dumps(snap, indent=2, sort_keys=True))
+            return
+        rows = []
+        for hub in snap["hubs"]:
+            capacity = hub.get("capacity") or {}
+            rtt = hub.get("rtt_ms") or {}
+            budget = capacity.get("budget_words")
+            rows.append([
+                hub["hub"],
+                hub["state"],
+                str(hub["heartbeat"]),
+                fmt(hub.get("last_seen_s"), ".1f") + "s",
+                fmt(rtt.get("last"), ".1f") + "ms",
+                f"{capacity.get('used_words', 0) or 0:,}"
+                + (f" / {budget:,}" if budget is not None else ""),
+                fmt(capacity.get("ratio"), ".1%"),
+                fmt(hub.get("elements"), ","),
+                fmt(hub.get("pending")),
+            ])
+        states = snap["states"]
+        print(render_table(
+            ["hub", "state", "beat", "seen", "rtt", "space", "used",
+             "elements", "pending"],
+            rows,
+            title=(
+                f"fleet @ {base}: "
+                + ", ".join(
+                    f"{n} {s}" for s, n in states.items() if n
+                )
+                + f" (poll every {snap['interval_s']:g}s)"
+            ),
+        ))
+        if args.events:
+            events = json.loads(_scrape_text(
+                f"{base}/v1/fleet/events?limit={args.events}",
+                headers, args.timeout,
+            ))["events"]
+            for event in events:
+                stamp = time.strftime(
+                    "%H:%M:%S", time.localtime(event["at"])
+                )
+                detail = f" ({event['detail']})" if event.get("detail") else ""
+                print(
+                    f"  {stamp} hub {event['hub']}: {event['event']} "
+                    f"[{event['from']} -> {event['state']}]"
+                    f"{detail} trace={event.get('trace_id')}"
+                )
+
+    try:
+        if args.watch is None:
+            try:
+                show()
+            except _ScrapeError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            return 0
+        return _watch_loop(f"{base}/v1/fleet", show, args.watch)
+    except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
 _NET_SUBCOMMANDS = {
     "gateway": run_gateway,
     "site": run_site,
     "hub": run_hub,
     "query": run_query,
     "metrics": run_metrics,
+    "fleet": run_fleet,
 }
 
 

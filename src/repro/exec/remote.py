@@ -32,6 +32,8 @@ import threading
 import traceback
 from typing import Optional
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.process import register_process_metrics
 from ..obs.tracing import trace_scope
 from .base import ExecBackend, ExecError, ExecWorkerError
 from .workers import build_worker, close_worker, worker_commands
@@ -100,12 +102,19 @@ class ExecHost:
     only pumps frames, so one host serves many workers concurrently.
     """
 
-    def __init__(self, transport, address: str):
+    def __init__(self, transport, address: str, registry=None):
         self.transport = transport
         self._requested_address = address
         self._listener = None
         self._active_sessions = 0
         self._idle: Optional[asyncio.Event] = None
+        # every hub host carries build/process self-stats, so the
+        # fleet plane (and `repro hub` logs) can identify it even
+        # though the host itself exposes no scrape endpoint
+        if registry is None:
+            registry = MetricsRegistry()
+        self.registry = registry
+        register_process_metrics(self.registry)
 
     async def start(self) -> "ExecHost":
         self._idle = asyncio.Event()

@@ -35,6 +35,7 @@ __all__ = [
     "worker_commands",
     "restore_spec",
     "hub_spec",
+    "hub_stats",
     "sim_spec",
 ]
 
@@ -195,6 +196,60 @@ def _hub_collect_spans(service):
     return spans.drain() if spans is not None else []
 
 
+def hub_stats(service) -> dict:
+    """Capacity + liveness sample for the fleet telemetry plane.
+
+    Modeled on ``collect_spans``: one cheap command every placement of
+    the hub kind answers identically — in-process, subprocess, or a
+    ``repro hub`` actor on another machine — so the gateway's
+    :class:`~repro.obs.fleet.FleetMonitor` can heartbeat the whole
+    fleet through the exec plane it already holds.  Returns per-job
+    space used vs. budget (refreshed with a sweep, like
+    ``metrics_sample``), aggregate capacity with an overcommit-style
+    ``used/budget`` ratio, process footprint (RSS/fds/uptime via
+    :func:`~repro.obs.process.process_stats`), and a monotonic
+    heartbeat sequence — a restart shows up as the sequence going
+    backwards.
+    """
+    from ..obs.process import process_stats  # deferred: keep import light
+
+    seq = getattr(service, "_hub_heartbeat_seq", 0) + 1
+    service._hub_heartbeat_seq = seq
+    jobs = {}
+    used_total = 0
+    budget_total = 0
+    budgeted = False
+    for name, job in service.jobs.items():
+        job.sample_space()
+        used = job.space.max_site_words
+        budget = job.space_budget_words
+        jobs[name] = {
+            "elements": job.elements_processed,
+            "space_words": used,
+            "space_budget_words": budget,
+        }
+        used_total += used
+        if budget is not None:
+            budgeted = True
+            budget_total += budget
+    return {
+        "heartbeat": seq,
+        "elements": service.elements_processed,
+        "rounds": int(service.engine.stats.get("batches", 0)),
+        "jobs": jobs,
+        "capacity": {
+            "used_words": used_total,
+            "budget_words": budget_total if budgeted else None,
+            "ratio": (
+                used_total / budget_total
+                if budgeted and budget_total
+                else None
+            ),
+        },
+        "process": process_stats(),
+    }
+
+
 def _hub_ping(service):
     return True
 
@@ -222,6 +277,7 @@ HUB_COMMANDS = {
     "checkpoint": _hub_checkpoint,
     "elements": _hub_elements,
     "collect_spans": _hub_collect_spans,
+    "hub_stats": hub_stats,
     "ping": _hub_ping,
     "crash": _hub_crash,
 }

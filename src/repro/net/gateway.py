@@ -87,11 +87,14 @@ from urllib.parse import parse_qsl, urlsplit
 
 from ..obs import (
     AlertManager,
+    FleetMonitor,
+    FleetTarget,
     MetricsRegistry,
     SpanRecorder,
     SubscriptionHub,
     filter_spans,
     new_trace_id,
+    register_process_metrics,
     render_prometheus,
     render_sse_event,
 )
@@ -233,10 +236,12 @@ def _route_template(path: str) -> str:
         head = segments[1]
         if head in (
             "status", "metrics", "trace", "alerts", "ingest", "query",
-            "jobs", "subscribe", "subscriptions", "stream",
+            "jobs", "subscribe", "subscriptions", "stream", "fleet",
         ):
             if len(segments) == 2:
                 return f"/v1/{head}"
+            if head == "fleet":
+                return "/v1/fleet/events"
             if head == "jobs":
                 return "/v1/jobs/{name}"
             if head == "query":
@@ -294,6 +299,11 @@ class Gateway:
         plus rules whose raw values the gateway evaluates each
         coalescing round.  ``None`` (default) runs without alerting;
         ``GET /v1/alerts`` then answers with an empty rule set.
+    fleet_interval:
+        Seconds between fleet heartbeat polls (``hub_stats`` to every
+        shard hub — or to the in-process service when unsharded).  The
+        monitor behind it feeds ``GET /v1/fleet``, the
+        ``repro_fleet_*`` families, and ``fleet``-kind alert rules.
     """
 
     def __init__(
@@ -309,6 +319,7 @@ class Gateway:
         api_keys: Optional[dict] = None,
         registry: Optional[MetricsRegistry] = None,
         alert_rules: Optional[dict] = None,
+        fleet_interval: float = 2.0,
     ):
         self.service = service
         self.host = host
@@ -365,7 +376,76 @@ class Gateway:
             if alert_rules is None
             else AlertManager.from_manifest(alert_rules, registry=self.registry)
         )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.fleet = self._init_fleet(fleet_interval)
         self._init_metrics()
+
+    def _init_fleet(self, fleet_interval: float) -> FleetMonitor:
+        """One poll target per shard hub; the service itself unsharded.
+
+        Each poll posts ``hub_stats`` down the hub's command pipe
+        *under the ingest lock* — the pipes are FIFO and not safe
+        against interleaved dispatch, so polls queue behind coalescing
+        rounds exactly like scrapes and status reads do.  Liveness
+        transitions wake the evaluator (via ``call_soon_threadsafe``)
+        only when ``fleet``-kind alert rules exist: their values change
+        with time, not with ingest, so the ingest-driven wakeup alone
+        would never fire a hub-down alert on a quiet gateway.
+        """
+        targets = []
+        backends = list(getattr(self.service, "backends", None) or ())
+        if backends:
+            def make_poll(backend):
+                def poll():
+                    with self.ingestor.lock:
+                        return backend.dispatch_run("hub_stats")
+
+                return poll
+
+            for shard, backend in enumerate(backends):
+                targets.append(
+                    FleetTarget(
+                        str(shard),
+                        make_poll(backend),
+                        address=(
+                            getattr(backend, "address", None)
+                            or type(backend).__name__
+                        ),
+                        pending=(lambda b=backend: b.pending),
+                    )
+                )
+        else:
+            from ..exec.workers import hub_stats
+
+            def poll_local():
+                with self.ingestor.lock:
+                    return hub_stats(self.service)
+
+            targets.append(
+                FleetTarget("0", poll_local, address="in-process")
+            )
+        self._fleet_wakes = self.alerts is not None and any(
+            rule.spec.get("kind") == "fleet"
+            for rule in self.alerts.rules.values()
+        )
+        return FleetMonitor(
+            targets,
+            interval=fleet_interval,
+            spans=self.spans,
+            on_round=self._on_fleet_round,
+        )
+
+    def _on_fleet_round(self) -> None:
+        """Fleet-poll callback (monitor thread): nudge the evaluator."""
+        if not self._fleet_wakes:
+            return
+        loop, dirty = self._loop, self._dirty
+        if loop is None or dirty is None:
+            return
+        try:
+            loop.call_soon_threadsafe(dirty.set)
+        except RuntimeError:
+            pass  # loop already closed
 
     # -- metrics wiring ----------------------------------------------------
 
@@ -378,6 +458,8 @@ class Gateway:
         here adds work to the per-event ingest path.
         """
         r = self.registry
+        register_process_metrics(r)
+        self.fleet.register_metrics(r)
         self.m_requests = r.counter(
             "repro_gateway_requests_total",
             "HTTP requests served, by route template, method and status.",
@@ -638,9 +720,11 @@ class Gateway:
 
     async def start(self) -> "Gateway":
         await self.ingestor.start()
+        self._loop = asyncio.get_running_loop()
         self._dirty = asyncio.Event()
         self.ingestor.on_applied.append(self._on_applied)
         self._evaluator_task = asyncio.ensure_future(self._evaluator())
+        self.fleet.start()
         self._server = await asyncio.start_server(
             self._handle, self.host, self._requested_port
         )
@@ -674,6 +758,11 @@ class Gateway:
         await self._server.serve_forever()
 
     async def close(self) -> None:
+        # stop heartbeating first: a poll in flight holds the ingest
+        # lock and may be blocked on a dead hub, so join it off-loop
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.fleet.stop
+        )
         if self._server is not None:
             self._server.close()
             # SSE connections are long-lived by design; abort them so
@@ -931,6 +1020,15 @@ class Gateway:
                     "dead_letters": [],
                 }
             return 200, jsonable(self.alerts.describe())
+        if rest == ["fleet"] and method == "GET":
+            return 200, jsonable(self.fleet.snapshot())
+        if rest == ["fleet", "events"] and method == "GET":
+            params = dict(query)
+            try:
+                limit = int(params.get("limit", 0) or 0) or None
+            except ValueError:
+                raise _HttpError(400, "malformed limit") from None
+            return 200, {"events": jsonable(self.fleet.events(limit))}
         if rest == ["subscribe"] and method == "POST":
             return await self._subscribe(self._json_body(body))
         if rest == ["subscriptions"] and method == "GET":
@@ -1219,13 +1317,16 @@ class Gateway:
         """One alert rule's raw value (runs under the service lock).
 
         ``threshold`` rules evaluate a job query, ``metrics`` rules a
-        registry family total, and ``error_bound`` rules the composed
-        accuracy accounting — the facade's ``error_bound`` when it has
-        one, else the paper's ``epsilon * n`` directly.
+        registry family total, ``fleet`` rules a liveness/capacity
+        quantity from the fleet monitor, and ``error_bound`` rules the
+        composed accuracy accounting — the facade's ``error_bound``
+        when it has one, else the paper's ``epsilon * n`` directly.
         """
         kind = spec.get("kind", "threshold")
         if kind == "metrics":
             return float(self._metric_total(spec["metric"]))
+        if kind == "fleet":
+            return float(self.fleet.rule_value(spec["metric"]))
         if kind == "error_bound":
             error_bound = getattr(self.service, "error_bound", None)
             if error_bound is not None:

@@ -33,7 +33,9 @@ instrumented without knowing whether anyone is scraping.
 """
 
 from .alerts import AlertManager, AlertRule
+from .fleet import FleetMonitor, FleetTarget
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .process import process_stats, register_process_metrics
 from .prometheus import render_prometheus
 from .sse import Subscription, SubscriptionHub, render_sse_event
 from .tracing import (
@@ -48,6 +50,8 @@ __all__ = [
     "AlertManager",
     "AlertRule",
     "Counter",
+    "FleetMonitor",
+    "FleetTarget",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -57,6 +61,8 @@ __all__ = [
     "current_trace",
     "filter_spans",
     "new_trace_id",
+    "process_stats",
+    "register_process_metrics",
     "render_prometheus",
     "render_sse_event",
     "trace_scope",

@@ -71,6 +71,10 @@ _RULE_KINDS = {
     "threshold": ("job",),
     "metrics": ("metric",),
     "error_bound": ("job",),
+    # fleet rules compare a FleetMonitor quantity (hubs_down,
+    # capacity_ratio, ...) named by the same ``metric`` field the
+    # metrics kind uses; the gateway resolves it against /v1/fleet state
+    "fleet": ("metric",),
 }
 
 #: transition events kept for ``GET /v1/alerts``

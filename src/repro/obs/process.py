@@ -1,0 +1,104 @@
+"""Process-level self-stats: RSS, open fds, uptime, build info.
+
+Two consumers share this module.  The gateway (and any ``repro hub``
+host) registers ``repro_build_info`` and the ``repro_process_*`` gauge
+family into its :class:`~repro.obs.metrics.MetricsRegistry` so every
+scrape carries the host process's footprint; and the ``hub_stats``
+worker command ships the same :func:`process_stats` dict over the exec
+plane so the gateway's fleet monitor can see a *remote* hub's RSS and
+uptime without that hub exposing an HTTP port.
+
+Everything reads ``/proc`` directly (with a ``resource.getrusage``
+fallback for the RSS figure) — the observability core stays free of
+third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+
+__all__ = ["process_stats", "register_process_metrics"]
+
+#: import time stands in for process start; close enough for uptime
+#: (the interpreter imports this module within milliseconds of exec on
+#: every entry point that reports it).
+_STARTED_MONOTONIC = time.monotonic()
+_STARTED_WALL = time.time()
+
+
+def _rss_bytes() -> int:
+    try:
+        with open("/proc/self/status", "rb") as f:
+            for line in f:
+                if line.startswith(b"VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is kilobytes on Linux, bytes on macOS
+        return peak if sys.platform == "darwin" else peak * 1024
+    except Exception:
+        return 0
+
+
+def _open_fds() -> int:
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return 0
+
+
+def process_stats() -> dict:
+    """A flat snapshot of this process: identity + footprint."""
+    return {
+        "pid": os.getpid(),
+        "rss_bytes": _rss_bytes(),
+        "open_fds": _open_fds(),
+        "uptime_s": time.monotonic() - _STARTED_MONOTONIC,
+        "started_at": _STARTED_WALL,
+    }
+
+
+def _build_version() -> str:
+    # deferred so the dependency-free obs package never imports the
+    # repro root at module-import time (the root imports obs)
+    try:
+        import repro
+
+        return str(getattr(repro, "__version__", "0"))
+    except Exception:
+        return "0"
+
+
+def register_process_metrics(registry) -> None:
+    """Register ``repro_build_info`` + ``repro_process_*`` gauges.
+
+    ``repro_build_info`` follows the Prometheus build-info idiom: a
+    constant ``1`` carrying the interesting facts as labels.  The
+    process gauges are function-backed, so each scrape reads ``/proc``
+    fresh; nothing is sampled between scrapes.  Idempotent — the
+    registry's get-or-create semantics make a second call a no-op.
+    """
+    registry.gauge(
+        "repro_build_info",
+        "Build/runtime identity (constant 1; facts ride the labels).",
+        ["version", "python"],
+    ).labels(_build_version(), platform.python_version()).set(1.0)
+    registry.gauge(
+        "repro_process_rss_bytes",
+        "Resident set size of this process.",
+    ).set_function(_rss_bytes)
+    registry.gauge(
+        "repro_process_open_fds",
+        "Open file descriptors held by this process.",
+    ).set_function(_open_fds)
+    registry.gauge(
+        "repro_process_uptime_seconds",
+        "Seconds since this process started.",
+    ).set_function(lambda: time.monotonic() - _STARTED_MONOTONIC)

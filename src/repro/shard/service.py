@@ -564,12 +564,19 @@ class ShardedTrackingService:
         and returns the union, each span annotated with its shard
         index.  Draining means a span is shipped exactly once; the
         caller (the gateway's ``/v1/trace``) retains what it needs.
+
+        Collection is best-effort per hub: a dead shard's buffered
+        spans are unreachable anyway, and the trace surface must stay
+        readable while the fleet plane is reporting that hub ``down``
+        (the alert exemplar points here) — so unreachable hubs are
+        skipped rather than failing the whole fan-out.
         """
         collected: list = []
-        per_shard = self._group.map(
-            "collect_spans", [()] * self.num_shards
-        )
-        for shard, spans in enumerate(per_shard):
+        for shard, backend in enumerate(self._group.backends):
+            try:
+                spans = backend.dispatch_run("collect_spans")
+            except Exception:
+                continue
             for span in spans or ():
                 span["shard"] = shard
                 collected.append(span)
