@@ -460,6 +460,17 @@ def run_gateway(argv) -> int:
         "transcripts — and therefore answers — are unchanged",
     )
     parser.add_argument(
+        "--window", type=int, metavar="RUNS",
+        help="with --relaxed: bound in-flight dispatch at RUNS runs "
+        "total, collecting the oldest ack when posting would exceed "
+        "it (flat memory on unbounded streams; default: unbounded)",
+    )
+    parser.add_argument(
+        "--site-depth", type=int, metavar="FRAMES",
+        help="with --relaxed: bound each shard hub's pipe at FRAMES "
+        "outstanding sub-batch commands (default: unbounded)",
+    )
+    parser.add_argument(
         "--api-keys-file", metavar="FILE",
         help="enable per-tenant auth: a JSON object mapping API key -> "
         "tenant label; requests then need `Authorization: Bearer KEY` "
@@ -532,6 +543,19 @@ def run_gateway(argv) -> int:
             "error: --hub requires --shard-workers cluster", file=sys.stderr
         )
         return 2
+    if (args.window is not None or args.site_depth is not None) \
+            and not args.relaxed:
+        print(
+            "error: --window/--site-depth require --relaxed",
+            file=sys.stderr,
+        )
+        return 2
+    for flag, value in (
+        ("--window", args.window), ("--site-depth", args.site_depth)
+    ):
+        if value is not None and value < 1:
+            print(f"error: {flag} must be positive", file=sys.stderr)
+            return 2
     api_keys = None
     if args.api_keys_file:
         try:
@@ -589,6 +613,8 @@ def run_gateway(argv) -> int:
                     executor=args.shard_workers,
                     hub_addresses=args.hubs,
                     relaxed=args.relaxed,
+                    window=args.window,
+                    per_site_depth=args.site_depth,
                 )
             else:
                 # The checkpoint fixes the topology: an unsharded bundle
@@ -616,6 +642,8 @@ def run_gateway(argv) -> int:
                     executor=args.shard_workers,
                     hub_addresses=args.hubs,
                     relaxed=args.relaxed,
+                    window=args.window,
+                    per_site_depth=args.site_depth,
                 )
             else:
                 service = TrackingService(
@@ -659,9 +687,17 @@ def run_gateway(argv) -> int:
         served = True
         shard_note = ""
         if hasattr(service, "num_shards"):
-            mode = service.executor + (
-                ", relaxed" if getattr(service, "relaxed", False) else ""
-            )
+            mode = service.executor
+            dispatch = getattr(service, "dispatch_mode", "lockstep")
+            if dispatch != "lockstep":
+                mode += f", {dispatch}"
+                if dispatch == "windowed":
+                    bounds = []
+                    if service.window is not None:
+                        bounds.append(f"window={service.window}")
+                    if service.per_site_depth is not None:
+                        bounds.append(f"depth={service.per_site_depth}")
+                    mode += f" ({', '.join(bounds)})"
             shard_note = f", shards={service.num_shards} ({mode})"
         print(
             f"gateway listening on {gateway.url} "
@@ -776,7 +812,8 @@ def run_hub(argv) -> int:
         host = await ExecHost(TcpTransport(), args.listen).start()
         print(
             f"hub host listening on {host.address} "
-            f"(repro {__version__}, python {platform.python_version()})",
+            f"(repro {__version__}, python {platform.python_version()}, "
+            f"dispatch modes: lockstep/relaxed/windowed)",
             flush=True,
         )
         try:

@@ -147,6 +147,43 @@ class ExecBackend(abc.ABC):
             raise first_error
         return results
 
+    def collect_one(self) -> object:
+        """Collect the single oldest outstanding reply (FIFO).
+
+        The credit-based windowed dispatch loop uses this to free
+        exactly one in-flight slot before posting the next sub-batch,
+        instead of fencing the whole pipe with :meth:`drain`.  Raises
+        the reply's worker error (the reply is still consumed, so the
+        stream never desynchronizes); raises :class:`ExecError` when
+        nothing is outstanding.
+        """
+        if self._outstanding <= 0:
+            raise ExecError("no outstanding command to collect")
+        self._outstanding -= 1
+        posted = self._post_clock.popleft() if self._post_clock else None
+        try:
+            return self._take()
+        finally:
+            if posted is not None:
+                self.latency.observe(time.perf_counter() - posted)
+
+    def submit_many(self, commands) -> None:
+        """Post several commands as ONE ``multi`` round trip.
+
+        ``commands`` is a sequence of ``(op, args_tuple)`` pairs; the
+        worker runs them in order and replies once with the list of
+        results (see the ``multi`` entry in
+        :mod:`repro.exec.workers`).  On placed backends this collapses
+        N pipe/TCP round trips into one — the restore path uses it to
+        fetch a hub's manifest and counters in a single trip.
+        """
+        self.submit("multi", [(op, tuple(args)) for op, args in commands])
+
+    def dispatch_many(self, commands) -> list:
+        """Run several commands in one round trip; list of results."""
+        self.submit_many(commands)
+        return self.drain()[-1]
+
     def dispatch_run(self, op: str, *args):
         """Run one command in lockstep: post it, wait, return its result."""
         self.submit(op, *args)

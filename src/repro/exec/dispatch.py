@@ -22,15 +22,55 @@ Three dispatch shapes cover every driving loop in the repo:
   may now observe uplinks in a different interleaving — see
   ``docs/relaxed-mode.md`` for the accuracy contract.
 
+On top of the relaxed shape, two hot-path stages make pipelined
+dispatch columnar and memory-bounded:
+
+* :func:`coalesce_runs` — merge runs into *super-runs* before posting.
+  In order-preserving mode only consecutive same-site runs merge (an
+  identity on one batch's decomposition, useful when concatenating
+  sub-batches).  In per-site (relaxed) mode the run sequence is cut
+  into consecutive windows of at most ``window`` runs and, inside each
+  window, **all** of a site's runs merge into one super-run — per-site
+  concatenation order is exactly per-site arrival order, which is the
+  only order relaxed mode promises.  A fine-grained interleaving
+  (round-robin: one element per run) collapses from one frame per
+  element to one frame per site per window.  Super-run chunks are
+  lifted to typed numpy arrays when numpy is available and the chunk
+  is large homogeneous numerics, so the frame codec packs them via
+  ``tobytes`` instead of a per-element ``struct.pack`` walk.
+* :func:`dispatch_windowed` — the credit-based posting loop: at most
+  ``window`` original runs in flight in total and ``per_site_depth``
+  super-run frames in flight per site.  When posting would exceed a
+  credit, the dispatcher services inbound completions/messages until
+  credit frees up, so memory stays flat on huge batches and the
+  fence/checkpoint tail is bounded by the window, not the batch.
+
 This module is dependency-free on purpose: the runtime, service, shard
 and net layers all import it, so it must not import any of them.
+(numpy is an optional accelerator, import-guarded like everywhere
+else in the repo.)
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
-__all__ = ["drive_runs", "dispatch_lockstep", "dispatch_relaxed"]
+try:  # gate: keep the dispatcher importable on numpy-less installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "drive_runs",
+    "dispatch_lockstep",
+    "dispatch_relaxed",
+    "coalesce_runs",
+    "dispatch_windowed",
+]
+
+#: shortest merged chunk worth lifting into a typed numpy array; below
+#: this the conversion costs more than the packing it accelerates
+_COLUMNAR_MIN = 1024
 
 
 def drive_runs(host, runs, space_sample_interval: int) -> int:
@@ -92,4 +132,169 @@ def dispatch_relaxed(
     """
     for site_id, chunk in runs:
         post_run(site_id, chunk)
+    return collect_outstanding()
+
+
+def _columnar(chunk: list):
+    """Lift a merged chunk into a typed numpy array when profitable.
+
+    Only large homogeneous int/float chunks are lifted (the frame codec
+    then packs them via ``tobytes`` instead of a per-element struct
+    walk).  Anything else — small chunks, mixed types, rich payloads,
+    ints outside 64 bits — ships as the plain list it already is.
+    """
+    if _np is None or len(chunk) < _COLUMNAR_MIN:
+        return chunk
+    first = chunk[0]
+    if type(first) is int:
+        try:
+            arr = _np.asarray(chunk, dtype=_np.int64)
+        except (TypeError, ValueError, OverflowError):
+            return chunk
+        return arr
+    if type(first) is float:
+        try:
+            arr = _np.asarray(chunk, dtype=_np.float64)
+        except (TypeError, ValueError):
+            return chunk
+        return arr
+    return chunk
+
+
+def _merged(chunks: List[list]) -> list:
+    if len(chunks) == 1:
+        out = chunks[0]
+    else:
+        out = []
+        for chunk in chunks:
+            out.extend(chunk)
+    return _columnar(out)
+
+
+def coalesce_runs(
+    runs: Iterable[Tuple[int, list]],
+    *,
+    window: Optional[int] = None,
+    per_site: bool = False,
+) -> List[Tuple[int, list, int]]:
+    """Merge runs into super-runs; returns ``(site_id, chunk, weight)``.
+
+    ``weight`` is the number of original runs a super-run carries — the
+    unit :func:`dispatch_windowed` accounts in-flight credit in.
+
+    With ``per_site=False`` only *consecutive* same-site runs merge, so
+    the global interleaving is preserved exactly (safe even for
+    lockstep).  With ``per_site=True`` — the relaxed mode — the run
+    sequence is cut into consecutive groups of at most ``window``
+    original runs (one group for the whole batch when ``window`` is
+    None) and within each group **all** of a site's runs merge into one
+    super-run, emitted in order of the site's first appearance.  Each
+    site's elements are concatenated in arrival order, so per-site
+    streams — the only order relaxed mode promises — are untouched;
+    applying one merged ``on_elements`` is exactly equivalent to
+    applying the original runs back to back.
+    """
+    if window is not None and window < 1:
+        raise ValueError("window must be >= 1 (or None for unbounded)")
+    if not per_site:
+        out: List[Tuple[int, list, int]] = []
+        last_site = None
+        for site_id, chunk in runs:
+            if site_id == last_site:
+                prev_site, prev_chunk, prev_weight = out[-1]
+                if prev_weight == 1:
+                    prev_chunk = list(prev_chunk)  # don't mutate caller's chunk
+                prev_chunk.extend(chunk)
+                out[-1] = (prev_site, prev_chunk, prev_weight + 1)
+            else:
+                out.append((site_id, chunk, 1))
+                last_site = site_id
+        return [(s, _columnar(c) if w > 1 else c, w) for s, c, w in out]
+
+    out = []
+    group_order: List[int] = []  # sites in first-appearance order
+    group_chunks = {}  # site_id -> list of chunks
+    group_weights = {}  # site_id -> run count
+    in_group = 0
+
+    def flush_group() -> None:
+        for site_id in group_order:
+            out.append(
+                (
+                    site_id,
+                    _merged(group_chunks[site_id]),
+                    group_weights[site_id],
+                )
+            )
+        group_order.clear()
+        group_chunks.clear()
+        group_weights.clear()
+
+    for site_id, chunk in runs:
+        if window is not None and in_group >= window:
+            flush_group()
+            in_group = 0
+        if site_id in group_chunks:
+            group_chunks[site_id].append(chunk)
+            group_weights[site_id] += 1
+        else:
+            group_order.append(site_id)
+            group_chunks[site_id] = [chunk]
+            group_weights[site_id] = 1
+        in_group += 1
+    flush_group()
+    return out
+
+
+def dispatch_windowed(
+    runs: Iterable[Tuple[int, list, int]],
+    post_run: Callable[[int, list, int], None],
+    collect_outstanding: Callable[[], int],
+    *,
+    window: Optional[int] = None,
+    per_site_depth: Optional[int] = None,
+    inflight_total: Optional[Callable[[], int]] = None,
+    inflight_site: Optional[Callable[[int], int]] = None,
+    service_one: Optional[Callable[[], None]] = None,
+    on_stall: Optional[Callable[[], None]] = None,
+) -> int:
+    """Credit-based relaxed posting over ``(site_id, chunk, weight)``.
+
+    At most ``window`` original runs (sum of in-flight weights) and
+    ``per_site_depth`` super-run frames per site are in flight at once.
+    When posting the next super-run would exceed a credit, the
+    dispatcher calls ``service_one()`` — which must block until one
+    inbound completion/protocol frame has been serviced — until credit
+    frees up, invoking ``on_stall`` once per wait iteration.  With both
+    bounds None this degenerates to :func:`dispatch_relaxed` (post
+    everything, then collect).
+
+    ``inflight_total()`` / ``inflight_site(site_id)`` report the
+    carrier's current in-flight weight / per-site frame count.  A
+    super-run heavier than the whole window still posts once the pipe
+    is empty, so progress is unconditional.
+    """
+    bounded = (window is not None or per_site_depth is not None) and (
+        inflight_total is not None and service_one is not None
+    )
+    for site_id, chunk, weight in runs:
+        if bounded:
+            while True:
+                total = inflight_total()
+                if total <= 0:
+                    break
+                if window is not None and total + weight > window:
+                    pass  # over the global credit — service and retry
+                elif (
+                    per_site_depth is not None
+                    and inflight_site is not None
+                    and inflight_site(site_id) >= per_site_depth
+                ):
+                    pass  # site pipe at depth — service and retry
+                else:
+                    break
+                if on_stall is not None:
+                    on_stall()
+                service_one()
+        post_run(site_id, chunk, weight)
     return collect_outstanding()

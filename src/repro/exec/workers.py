@@ -114,15 +114,24 @@ def restore_spec(spec: dict) -> dict:
 def _build_hub(config: dict):
     from ..service import TrackingService  # deferred: service layer
 
+    # Not a TrackingService parameter: the facade driving this hub
+    # stamps its negotiated dispatch mode (lockstep/relaxed/windowed)
+    # into the spec so hub_stats can report it from any placement —
+    # including a `repro hub` actor on another machine.
+    dispatch_mode = config.pop("dispatch_mode", None)
     if config.get("restore_from"):
-        return TrackingService.restore(
+        service = TrackingService.restore(
             config["restore_from"],
             wal_segment_records=config.get("wal_segment_records", 4096),
             wal_sync=config.get("wal_sync", False),
         )
-    return TrackingService(
-        **{k: v for k, v in config.items() if k != "restore_from"}
-    )
+    else:
+        service = TrackingService(
+            **{k: v for k, v in config.items() if k != "restore_from"}
+        )
+    if dispatch_mode is not None:
+        service.dispatch_mode = dispatch_mode
+    return service
 
 
 def _hub_register(service, name, scheme, seed, budget):
@@ -234,6 +243,7 @@ def hub_stats(service) -> dict:
             budget_total += budget
     return {
         "heartbeat": seq,
+        "dispatch_mode": getattr(service, "dispatch_mode", "lockstep"),
         "elements": service.elements_processed,
         "rounds": int(service.engine.stats.get("batches", 0)),
         "jobs": jobs,
@@ -248,6 +258,18 @@ def hub_stats(service) -> dict:
         },
         "process": process_stats(),
     }
+
+
+def _make_multi(table):
+    """A ``multi`` command over ``table``: run ``(op, args)`` pairs in
+    order, reply once with the list of results.  One round trip where a
+    lockstep caller would pay one per command (see
+    :meth:`~repro.exec.ExecBackend.submit_many`)."""
+
+    def _multi(worker, commands):
+        return [table[op](worker, *args) for op, args in commands]
+
+    return _multi
 
 
 def _hub_ping(service):
@@ -281,6 +303,7 @@ HUB_COMMANDS = {
     "ping": _hub_ping,
     "crash": _hub_crash,
 }
+HUB_COMMANDS["multi"] = _make_multi(HUB_COMMANDS)
 
 
 # -- sim workers -----------------------------------------------------------
@@ -363,3 +386,4 @@ SIM_COMMANDS = {
     "load_state": _sim_load_state,
     "ping": _sim_ping,
 }
+SIM_COMMANDS["multi"] = _make_multi(SIM_COMMANDS)

@@ -37,6 +37,34 @@ pump for frames.  Per-connection FIFO plus the depth-first RPC
 discipline make the distributed transcript — every message, every RNG
 draw, every ledger entry — byte-identical to the in-process simulator
 with the same seed.
+
+**The relaxed fast path.**  Relaxed mode (negotiated at spawn) drops
+the per-frame synchronization that lockstep's byte-identity needs but
+per-site exactness does not:
+
+* *Coalesced super-runs* — before posting, the batch's runs are merged
+  per site within the in-flight window
+  (:func:`~repro.exec.dispatch.coalesce_runs`), so a burst of hundreds
+  of same-site runs is one ``run`` frame and one vectorized
+  ``on_elements`` apply.  Per-site concatenation order is arrival
+  order, the only order relaxed mode promises.
+* *Streamed uplinks* — sites send reports without awaiting an ``ack``
+  and the hub sends none.  Acks are pure transport sync tokens (they
+  never touch the ``Network`` ledger), so message counts are
+  untouched; per-site FIFO still delivers each site's reports in
+  exact local order, and the hub still runs every cascade atomically
+  on its protocol thread.  Sites poll their inbox at uplink boundaries
+  so coordinator responses keep applying between reports.
+* *Fire-and-forget posting* — hub run/deliver posts and site
+  uplink/completion replies are encoded on the sending thread and
+  handed to the event loop as one ``call_soon_threadsafe`` write: no
+  coroutine, no completion future, no cross-thread wait per frame.
+  Send failures surface on the next ``recv`` (EOF), exactly like a
+  peer death.
+* *Bounded windows* — ``window``/``per_site_depth`` cap in-flight runs
+  (:func:`~repro.exec.dispatch.dispatch_windowed`), so memory stays
+  flat on huge batches and a fence waits out at most a window, not a
+  batch.
 """
 
 from __future__ import annotations
@@ -45,9 +73,14 @@ import asyncio
 import queue
 import threading
 import time
+from collections import deque
 from typing import List, Optional
 
-from ..exec.dispatch import dispatch_lockstep, dispatch_relaxed
+from ..exec.dispatch import (
+    coalesce_runs,
+    dispatch_lockstep,
+    dispatch_windowed,
+)
 from ..persistence.codec import (
     StateDecoder,
     StateEncoder,
@@ -131,12 +164,24 @@ class SiteWorker:
     ``snapshot``  reply with the site's encoded state
     ``ping``      liveness probe
     ``stop``      acknowledge and exit
+
+    The optional fast-path callables mirror the blocking pair:
+    ``post`` sends a frame fire-and-forget (per-connection FIFO with
+    ``send``), ``recv_nowait`` returns a pending command or raises
+    :class:`queue.Empty`.  They only matter once a ``spawn`` negotiates
+    relaxed mode — the spawn frame's ``relaxed`` flag — where uplinks
+    stream without awaiting acks and hot-path replies skip the
+    cross-thread completion wait.  Without them the worker behaves
+    exactly as before, whatever the hub negotiates.
     """
 
-    def __init__(self, send, recv):
+    def __init__(self, send, recv, post=None, recv_nowait=None):
         self._send = send
         self._recv = recv
+        self._post = post if post is not None else send
+        self._recv_nowait = recv_nowait
         self.site = None
+        self._relaxed = False
         # Commands that arrived while this site was blocked inside a
         # protocol send (the hub pipelines runs in relaxed mode); they
         # execute after the current command completes, preserving the
@@ -146,7 +191,8 @@ class SiteWorker:
     # -- the uplink RPC (called from inside protocol handlers) -------------
 
     def uplink(self, message) -> None:
-        """Ship one report and block until the hub finished its cascade.
+        """Ship one report; in lockstep, block until the hub's cascade
+        finished.
 
         While waiting, interleaved ``deliver`` frames are serviced: the
         coordinator's re-entrant responses (downlinks, our copy of a
@@ -155,7 +201,16 @@ class SiteWorker:
         frame arriving here is the hub's *relaxed* dispatcher posting
         ahead; it is deferred until the current command finishes, so the
         local element order never changes.
+
+        In negotiated relaxed mode the hub sends no acks: the report
+        streams out fire-and-forget (TCP FIFO keeps this site's reports
+        in exact local order) after draining any pending coordinator
+        responses, so delivers keep applying at uplink boundaries.
         """
+        if self._relaxed:
+            self._drain_pending()
+            self._post({"t": "uplink", "msg": encode_message(message)})
+            return
         self._send({"t": "uplink", "msg": encode_message(message)})
         while True:
             reply = self._recv()
@@ -171,10 +226,40 @@ class SiteWorker:
             else:
                 raise ProtocolError(f"unexpected {kind!r} while awaiting ack")
 
+    def _drain_pending(self) -> None:
+        """Service every already-arrived command without blocking.
+
+        Delivers apply immediately (they may recurse into further
+        uplinks); pipelined runs are deferred behind the current one.
+        Only used on the streaming path; without a ``recv_nowait``
+        callable this is a no-op and delivers apply between commands.
+        """
+        recv_nowait = self._recv_nowait
+        if recv_nowait is None:
+            return
+        while True:
+            try:
+                command = recv_nowait()
+            except queue.Empty:
+                return
+            if command is None:
+                raise ConnectionError("hub vanished mid-run")
+            kind = command.get("t")
+            if kind == "deliver":
+                self._deliver(command)
+            elif kind == "run":
+                self._deferred.append(command)
+            else:
+                raise ProtocolError(
+                    f"unexpected {kind!r} while streaming uplinks"
+                )
+
     def _deliver(self, command) -> None:
         for encoded in command["msgs"]:
             self.site.on_message(decode_message(encoded))
-        self._send({"t": "deliver_done"})
+        # deliver_done is a pure sync token for the hub's cascade walk;
+        # on the streaming path it rides fire-and-forget.
+        (self._post if self._relaxed else self._send)({"t": "deliver_done"})
 
     # -- command loop ------------------------------------------------------
 
@@ -197,16 +282,17 @@ class SiteWorker:
                 elif kind == "run":
                     chunk = decode_chunk(command["chunk"])
                     self.site.on_elements(chunk)
-                    self._send(
-                        {
-                            "t": "run_done",
-                            "n": len(chunk),
-                            "space": self.site.space_words(),
-                            # echoed so a relaxed hub can discard
-                            # completions of an abandoned batch
-                            "e": command.get("e"),
-                        }
-                    )
+                    reply = {
+                        "t": "run_done",
+                        "n": len(chunk),
+                        "space": self.site.space_words(),
+                        # echoed so a relaxed hub can discard
+                        # completions of an abandoned batch
+                        "e": command.get("e"),
+                    }
+                    if command.get("w") is not None:
+                        reply["w"] = command["w"]  # super-run weight echo
+                    (self._post if self._relaxed else self._send)(reply)
                 elif kind == "deliver":
                     self._deliver(command)
                 elif kind == "snapshot":
@@ -240,9 +326,47 @@ class SiteWorker:
         network = _RemoteNetwork(
             self, command["k"], command.get("one_way", False)
         )
+        # The dispatch mode is negotiated here: a relaxed hub tells its
+        # sites to stream uplinks (no acks in either direction).
+        self._relaxed = bool(command.get("relaxed", False))
         self.site = scheme.make_site(
             network, command["site_id"], command["k"], command["seed"]
         )
+
+
+def _make_poster(conn, loop):
+    """A fire-and-forget frame sender for ``conn`` (any thread).
+
+    TCP connections serialize on the calling thread and hand the loop a
+    plain buffered write; loopback connections hand it a ``put_nowait``.
+    Either way the loop callback cannot block and the caller never
+    waits.  A closed loop (shutdown race) surfaces as
+    :class:`ConnectionError`, like any other dead-peer send.
+    """
+    encode = getattr(conn, "encode_frame_bytes", None)
+    if encode is not None:
+        write = conn.write_frame_nowait
+
+        def post(obj) -> None:
+            frame = encode(obj)
+            try:
+                loop.call_soon_threadsafe(write, frame)
+            except RuntimeError as exc:  # loop already closed
+                raise ConnectionError(str(exc)) from exc
+
+        return post
+
+    send_nowait = getattr(conn, "send_nowait", None)
+    if send_nowait is None:
+        return None  # exotic connection: callers fall back to send
+
+    def post(obj) -> None:
+        try:
+            loop.call_soon_threadsafe(send_nowait, obj)
+        except RuntimeError as exc:
+            raise ConnectionError(str(exc)) from exc
+
+    return post
 
 
 class SiteHost:
@@ -284,7 +408,12 @@ class SiteHost:
             except Exception as exc:
                 raise ConnectionError(str(exc)) from exc
 
-        worker = SiteWorker(send=send_threadsafe, recv=inbox.get)
+        worker = SiteWorker(
+            send=send_threadsafe,
+            recv=inbox.get,
+            post=_make_poster(conn, loop),
+            recv_nowait=inbox.get_nowait,
+        )
         thread = threading.Thread(
             target=worker.run, name="repro-site-worker", daemon=True
         )
@@ -353,6 +482,8 @@ class CoordinatorHub:
         record_transcript: bool = True,
         rpc_timeout: float = DEFAULT_RPC_TIMEOUT,
         relaxed: bool = False,
+        window: Optional[int] = None,
+        per_site_depth: Optional[int] = None,
     ):
         self.scheme = scheme
         self.num_sites = num_sites
@@ -361,6 +492,25 @@ class CoordinatorHub:
         self.uplink_drop_rate = uplink_drop_rate
         self.rpc_timeout = rpc_timeout
         self.relaxed = bool(relaxed)
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 (or None for unbounded)")
+        if per_site_depth is not None and per_site_depth < 1:
+            raise ValueError(
+                "per_site_depth must be >= 1 (or None for unbounded)"
+            )
+        # In-flight credit bounds for relaxed dispatch (None: unbounded).
+        # ``window`` counts original runs (super-run weights); its value
+        # also sets the coalescing group size, so windowed relaxed is
+        # per-site transcript-identical to unbounded relaxed.
+        self.window = window
+        self.per_site_depth = per_site_depth
+        # Streamed (ack-free) uplinks are only negotiated when the
+        # scheme declares its sites tolerant of deferred responses; a
+        # sync-uplink scheme keeps the blocking ack RPC even in relaxed
+        # mode (see TrackingScheme.sync_uplinks).
+        self._stream_uplinks = self.relaxed and not getattr(
+            scheme, "sync_uplinks", True
+        )
         # Mirrors Simulation.__init__ — same drop-seed derivation, same
         # construction order — so transcripts can match byte for byte.
         self.network = Network(
@@ -401,6 +551,20 @@ class CoordinatorHub:
         # them out of pairing order; a token that surfaces while another
         # site is engaged is banked here for its waiter.
         self._done_credits = [0] * num_sites
+        # Fire-and-forget senders (one per connection, built at connect
+        # time) and per-site FIFO weight queues: each posted super-run's
+        # original-run count, popped when its run_done lands, so the
+        # windowed dispatcher accounts in-flight credit in run units.
+        self._posters: List = [None] * num_sites
+        self._posted_weights = [deque() for _ in range(num_sites)]
+        self._inflight_weight = 0
+        # Plain-counter dispatch telemetry (owned here, bridged into the
+        # metrics registry by whoever hosts the hub — never a registry
+        # lookup on the hot path).
+        self.stat_frames_posted = 0
+        self.stat_runs_posted = 0
+        self.stat_window_stalls = 0
+        self.stat_max_inflight_runs = 0
 
     # -- wiring ------------------------------------------------------------
 
@@ -422,6 +586,7 @@ class CoordinatorHub:
         for site_id in range(self.num_sites):
             conn = await transport.connect(addresses[site_id % len(addresses)])
             self._conns[site_id] = conn
+            self._posters[site_id] = _make_poster(conn, self._loop)
             self._pumps[site_id] = asyncio.ensure_future(
                 self._pump(site_id, conn)
             )
@@ -451,6 +616,9 @@ class CoordinatorHub:
                     "k": self.num_sites,
                     "seed": self.seed,
                     "one_way": self.one_way,
+                    # negotiate the dispatch mode: streaming sites send
+                    # uplinks without awaiting acks (see SiteWorker)
+                    "relaxed": self._stream_uplinks,
                 },
             )
             self._expect_sync(site_id, "ok")
@@ -470,6 +638,26 @@ class CoordinatorHub:
         future = asyncio.run_coroutine_threadsafe(conn.send(obj), self._loop)
         try:
             future.result(self.rpc_timeout)
+        except NetError:
+            raise
+        except Exception as exc:
+            self._dead.add(site_id)
+            raise SiteUnavailableError(
+                f"site {site_id} send failed: {exc}"
+            ) from exc
+
+    def _post_fast(self, site_id: int, obj) -> None:
+        """Fire-and-forget send (relaxed hot path): serialize on this
+        thread, hand the loop one buffered write, never wait.  Falls
+        back to the blocking send for connections without a poster."""
+        if self._conns[site_id] is None or site_id in self._dead:
+            raise SiteUnavailableError(f"site {site_id} is down")
+        poster = self._posters[site_id]
+        if poster is None:
+            self._send_sync(site_id, obj)
+            return
+        try:
+            poster(obj)
         except NetError:
             raise
         except Exception as exc:
@@ -563,9 +751,13 @@ class CoordinatorHub:
         while applying are processed inline, recursing into the
         coordinator exactly like the simulator's re-entrant network.
         """
-        self._send_sync(
-            site_id, {"t": "deliver", "msgs": [encode_message(message)]}
-        )
+        frame = {"t": "deliver", "msgs": [encode_message(message)]}
+        if self._stream_uplinks:
+            # The wait below provides the synchronization; the send
+            # itself need not block a second time on the event loop.
+            self._post_fast(site_id, frame)
+        else:
+            self._send_sync(site_id, frame)
         while True:
             if self._done_credits[site_id] > 0:
                 # A nested wait already consumed this site's frame and
@@ -589,10 +781,20 @@ class CoordinatorHub:
                 )
 
     def _uplink_sync(self, site_id: int, frame: dict) -> None:
-        """Route one uplink through the real network, then release."""
+        """Route one uplink through the real network, then release.
+
+        The ack is a pure transport sync token — it never touches the
+        ``Network`` ledger.  Lockstep needs it (the site blocks until
+        the cascade finished, which is what makes transcripts
+        byte-identical); relaxed sites stream without waiting, so the
+        hub sends no ack at all and every uplink costs one frame
+        instead of two.
+        """
         self.network.send_to_coordinator(
             site_id, decode_message(frame["msg"])
         )
+        if self._stream_uplinks:
+            return  # streaming sites do not wait; no ack at all
         self._send_sync(site_id, {"t": "ack"})
 
     def _run_sync(self, site_id: int, chunk) -> int:
@@ -613,14 +815,36 @@ class CoordinatorHub:
                     f"site {site_id}: unexpected {kind!r} during run"
                 )
 
-    def _post_run(self, site_id: int, chunk) -> None:
-        """Relaxed mode: enqueue one run without waiting for its ack."""
-        self._send_sync(
-            site_id,
-            {"t": "run", "chunk": encode_chunk(chunk), "e": self._run_epoch},
-        )
+    def _post_run(self, site_id: int, chunk, weight: int = 1) -> None:
+        """Relaxed mode: post one (super-)run fire-and-forget.
+
+        ``weight`` is the number of original runs the chunk carries —
+        the unit in-flight credit is accounted in.  The weight queue is
+        per-site FIFO, matching run_done arrival order.
+        """
+        frame = {
+            "t": "run",
+            "chunk": encode_chunk(chunk),
+            "e": self._run_epoch,
+        }
+        if weight != 1:
+            frame["w"] = weight
+        if self._stream_uplinks:
+            self._post_fast(site_id, frame)
+        else:
+            # Sync-uplink schemes keep the blocking post: the relaxed
+            # accuracy envelope of a response-dependent protocol is
+            # sensitive to dispatch pacing, so their path stays exactly
+            # the pre-streaming one.
+            self._send_sync(site_id, frame)
         self._outstanding[site_id] += 1
         self._outstanding_total += 1
+        self._posted_weights[site_id].append(weight)
+        self._inflight_weight += weight
+        self.stat_frames_posted += 1
+        self.stat_runs_posted += weight
+        if self._inflight_weight > self.stat_max_inflight_runs:
+            self.stat_max_inflight_runs = self._inflight_weight
 
     def _note_run_done(self, site_id: int, message: dict) -> None:
         """Account one completed run (relaxed mode).
@@ -636,9 +860,56 @@ class CoordinatorHub:
         if self._outstanding[site_id] > 0:
             self._outstanding[site_id] -= 1
             self._outstanding_total -= 1
+            weights = self._posted_weights[site_id]
+            if weights:
+                self._inflight_weight -= weights.popleft()
         self._collected_n += message["n"]
         self.proxies[site_id].last_space = message["space"]
         self.space.record_site(site_id, message["space"])
+
+    def _service_one(self) -> None:
+        """Service exactly one pending protocol event (relaxed mode).
+
+        A deferred uplink runs first (its cascade was postponed to keep
+        an earlier one atomic); otherwise the next inbound frame is
+        taken from the shared inbox.  This is both the collect loop's
+        body and what the windowed dispatcher calls while waiting for
+        in-flight credit."""
+        if self._pending_uplinks:
+            sender, frame = self._pending_uplinks.pop(0)
+            self._uplink_sync(sender, frame)
+            return
+        try:
+            sender, message = self._inbox.get(timeout=self.rpc_timeout)
+        except queue.Empty:
+            waiting = [
+                s for s, n in enumerate(self._outstanding) if n > 0
+            ]
+            raise SiteUnavailableError(
+                f"sites {waiting} did not finish their runs within "
+                f"{self.rpc_timeout}s"
+            ) from None
+        if message is None:
+            self._dead.add(sender)
+            if self._outstanding[sender] > 0:
+                raise SiteUnavailableError(
+                    f"site {sender} closed the connection mid-run"
+                )
+            return
+        kind = message.get("t")
+        if kind == "error":
+            raise RemoteActorError(
+                f"site {sender}: {message.get('error')}"
+            )
+        if kind == "uplink":
+            self._uplink_sync(sender, message)
+        elif kind == "run_done":
+            self._note_run_done(sender, message)
+        else:
+            raise ProtocolError(
+                f"site {sender}: unexpected {kind!r} frame during "
+                "relaxed collection"
+            )
 
     def _collect_outstanding(self) -> int:
         """Relaxed mode: wait out every posted run, servicing the
@@ -650,51 +921,41 @@ class CoordinatorHub:
         arrive *after* the last run completed (a site may report, then
         finish its run; FIFO puts the report first)."""
         while self._outstanding_total > 0 or self._pending_uplinks:
-            if self._pending_uplinks:
-                sender, frame = self._pending_uplinks.pop(0)
-                self._uplink_sync(sender, frame)
-                continue
-            try:
-                sender, message = self._inbox.get(timeout=self.rpc_timeout)
-            except queue.Empty:
-                waiting = [
-                    s for s, n in enumerate(self._outstanding) if n > 0
-                ]
-                raise SiteUnavailableError(
-                    f"sites {waiting} did not finish their runs within "
-                    f"{self.rpc_timeout}s"
-                ) from None
-            if message is None:
-                self._dead.add(sender)
-                if self._outstanding[sender] > 0:
-                    raise SiteUnavailableError(
-                        f"site {sender} closed the connection mid-run"
-                    )
-                continue
-            kind = message.get("t")
-            if kind == "error":
-                raise RemoteActorError(
-                    f"site {sender}: {message.get('error')}"
-                )
-            if kind == "uplink":
-                self._uplink_sync(sender, message)
-            elif kind == "run_done":
-                self._note_run_done(sender, message)
-            else:
-                raise ProtocolError(
-                    f"site {sender}: unexpected {kind!r} frame during "
-                    "relaxed collection"
-                )
+            self._service_one()
         return self._collected_n
+
+    def _count_stall(self) -> None:
+        self.stat_window_stalls += 1
 
     def _ingest_sync(self, site_ids, items) -> int:
         runs = decompose_runs(site_ids, items)
         if self.relaxed:
             self._run_epoch += 1
             self._collected_n = 0
+            # Coalesce per site within each window of original runs:
+            # one frame and one vectorized apply per site per window,
+            # with per-site order — the relaxed contract — untouched.
+            # Sync-uplink schemes depend on timely coordinator
+            # responses, and merging a site's whole batch would push
+            # every response to the end of one giant apply; they keep
+            # their original chunking (consecutive merges only), which
+            # the ack RPC already paces.
+            super_runs = coalesce_runs(
+                runs,
+                window=self.window,
+                per_site=self._stream_uplinks,
+            )
             try:
-                total = dispatch_relaxed(
-                    runs, self._post_run, self._collect_outstanding
+                total = dispatch_windowed(
+                    super_runs,
+                    self._post_run,
+                    self._collect_outstanding,
+                    window=self.window,
+                    per_site_depth=self.per_site_depth,
+                    inflight_total=lambda: self._inflight_weight,
+                    inflight_site=self._outstanding.__getitem__,
+                    service_one=self._service_one,
+                    on_stall=self._count_stall,
                 )
             except BaseException:
                 # A failed overlapped batch leaves runs in flight; the
@@ -703,6 +964,10 @@ class CoordinatorHub:
                 self._outstanding_total = 0
                 self._pending_uplinks.clear()
                 self._done_credits = [0] * self.num_sites
+                self._posted_weights = [
+                    deque() for _ in range(self.num_sites)
+                ]
+                self._inflight_weight = 0
                 raise
         else:
             total = dispatch_lockstep(runs, self._run_sync)
@@ -783,6 +1048,36 @@ class CoordinatorHub:
     @property
     def comm(self) -> CommStats:
         return self.network.stats
+
+    @property
+    def dispatch_mode(self) -> str:
+        """``lockstep``, ``relaxed`` (unbounded) or ``windowed``."""
+        if not self.relaxed:
+            return "lockstep"
+        if self.window is not None or self.per_site_depth is not None:
+            return "windowed"
+        return "relaxed"
+
+    def dispatch_stats(self) -> dict:
+        """Dispatch-plane telemetry (plain counters, zero hot-path cost).
+
+        ``max_inflight_runs`` is the high-water mark of in-flight
+        original runs — the flat-memory witness: with a window it never
+        exceeds the window.  ``runs_per_frame`` is the lifetime mean
+        coalescing ratio."""
+        frames = self.stat_frames_posted
+        return {
+            "mode": self.dispatch_mode,
+            "window": self.window,
+            "per_site_depth": self.per_site_depth,
+            "frames_posted": frames,
+            "runs_posted": self.stat_runs_posted,
+            "runs_per_frame": (
+                self.stat_runs_posted / frames if frames else 0.0
+            ),
+            "max_inflight_runs": self.stat_max_inflight_runs,
+            "window_stalls": self.stat_window_stalls,
+        }
 
     def summary(self) -> dict:
         """Flat cost metrics, shaped like ``Simulation.summary``."""

@@ -87,7 +87,16 @@ class Cluster:
         byte-identical to :class:`~repro.runtime.Simulation`; relaxed
         mode trades that transcript determinism for latency, keeping
         per-site streams exact while the coordinator observes uplinks
-        in arrival order (see ``docs/relaxed-mode.md``).
+        in arrival order (see ``docs/relaxed-mode.md``).  Relaxed mode
+        also coalesces each site's runs into columnar super-runs and,
+        for schemes that declare stream-tolerant sites
+        (``sync_uplinks = False``), streams uplinks without per-message
+        acks.
+    window / per_site_depth:
+        Relaxed-mode in-flight bounds (``docs/relaxed-mode.md`` →
+        "Windowing"): at most ``window`` original runs in flight in
+        total and ``per_site_depth`` super-run frames per site.  None
+        (default) leaves the dimension unbounded.  Ignored in lockstep.
     """
 
     def __init__(
@@ -105,11 +114,18 @@ class Cluster:
         record_transcript: bool = True,
         op_timeout: float = DEFAULT_OP_TIMEOUT,
         relaxed: bool = False,
+        window: Optional[int] = None,
+        per_site_depth: Optional[int] = None,
         _restore_state: Optional[dict] = None,
     ):
         self.transport_kind = transport
         self.op_timeout = op_timeout
         self.relaxed = bool(relaxed)
+        if not relaxed and (window is not None or per_site_depth is not None):
+            raise ValueError(
+                "window/per_site_depth only apply to relaxed dispatch; "
+                "pass relaxed=True"
+            )
         self._host: Optional[SiteHost] = None
         self._manager: Optional[CheckpointManager] = None
         self._wal = None
@@ -131,6 +147,8 @@ class Cluster:
                 uplink_drop_rate=uplink_drop_rate,
                 record_transcript=record_transcript,
                 relaxed=relaxed,
+                window=window,
+                per_site_depth=per_site_depth,
             )
             self._call(self._start(site_addresses, _restore_state))
             if checkpoint_dir is not None:
@@ -260,6 +278,16 @@ class Cluster:
     def summary(self) -> dict:
         """Flat dict of cost metrics, shaped like ``Simulation.summary``."""
         return self.hub.summary()
+
+    @property
+    def dispatch_mode(self) -> str:
+        """``"lockstep"``, ``"relaxed"`` or ``"windowed"``."""
+        return self.hub.dispatch_mode
+
+    def dispatch_stats(self) -> dict:
+        """Hot-path dispatch counters (frames, coalescing, in-flight
+        peaks, window stalls) — see :meth:`CoordinatorHub.dispatch_stats`."""
+        return self.hub.dispatch_stats()
 
     # -- durability --------------------------------------------------------
 

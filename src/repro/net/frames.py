@@ -34,7 +34,10 @@ so :func:`decode_payload` distinguishes the two without out-of-band
 signalling, and a binary-capable peer interoperates with a JSON one).
 Packing is exact: ints ride as ``i4``/``i8`` (bigger ints stay JSON),
 floats as IEEE ``f8`` — every value round-trips bit-identically, so
-transcript equivalence is untouched.
+transcript equivalence is untouched.  Columnar super-run chunks (typed
+numpy arrays from the dispatch coalescer) take a fast path: the same
+blob layout, produced by one ``tobytes`` instead of a per-element
+``struct.pack`` walk, and decoded to the same plain Python scalars.
 """
 
 from __future__ import annotations
@@ -42,6 +45,11 @@ from __future__ import annotations
 import json
 import struct
 from typing import List, Optional, Tuple
+
+try:  # optional accelerator: columnar chunks arrive as typed arrays
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 __all__ = [
     "DEFAULT_MAX_FRAME",
@@ -230,7 +238,49 @@ def _json_length(values) -> int:
     return sum(len(repr(v)) + 1 for v in values) + 1
 
 
+#: numpy target dtype for each blob dtype tag
+_ND_TARGETS = {"u1": "u1", "i2": "<i2", "i4": "<i4", "i8": "<i8", "f8": "<f8"}
+
+
+def _pack_ndarray(arr, blobs: List[bytes]) -> Optional[dict]:
+    """Blob a 1-D numeric numpy array via ``tobytes`` — no element walk.
+
+    The blob layout is identical to the list path (smallest int width,
+    little-endian), so the decoder needs no new cases and values
+    round-trip to the same plain Python scalars.  Returns None for
+    shapes/dtypes the envelope cannot carry exactly.
+    """
+    kind = arr.dtype.kind
+    if arr.ndim != 1 or arr.size == 0 or kind not in "iuf":
+        return None
+    if kind == "f":
+        if arr.dtype.itemsize > 8:
+            return None  # long doubles would lose precision as f8
+        dtype = "f8"
+    else:
+        lo, hi = int(arr.min()), int(arr.max())
+        if hi > _I8_MAX or lo < _I8_MIN:
+            return None  # u8 values beyond i8 stay JSON (as bigints do)
+        if 0 <= lo and hi <= 0xFF:
+            dtype = "u1"
+        elif -0x8000 <= lo and hi <= 0x7FFF:
+            dtype = "i2"
+        elif -(1 << 31) <= lo and hi <= (1 << 31) - 1:
+            dtype = "i4"
+        else:
+            dtype = "i8"
+    data = arr.astype(_ND_TARGETS[dtype], copy=False)
+    index = len(blobs)
+    blobs.append(data.tobytes())
+    return {_BLOB_KEY: [index, dtype]}
+
+
 def _pack_walk(obj, blobs: List[bytes]):
+    if _np is not None and isinstance(obj, _np.ndarray):
+        packed = _pack_ndarray(obj, blobs)
+        if packed is not None:
+            return packed
+        return _pack_walk(obj.tolist(), blobs)
     if isinstance(obj, (list, tuple)):
         if len(obj) >= MIN_PACK:
             dtype = _classify(obj)
@@ -287,7 +337,13 @@ def encode_payload(obj) -> bytes:
     blobs: List[bytes] = []
     header_obj = _pack_walk(obj, blobs)
     if not blobs:
-        return json.dumps(obj, separators=(",", ":")).encode()
+        try:
+            return json.dumps(obj, separators=(",", ":")).encode()
+        except TypeError:
+            # Non-JSON leaves (e.g. an array the blob layout can't carry
+            # exactly) were normalized into header_obj by the walk; ship
+            # the envelope with zero blobs so the decoder unwraps it.
+            pass
     header = json.dumps(header_obj, separators=(",", ":")).encode()
     parts = [bytes([_BINARY_MAGIC]), _U32.pack(len(header)), header,
              _U32.pack(len(blobs))]

@@ -613,6 +613,28 @@ class Gateway:
                 "Commands posted to shard hubs but not collected (the "
                 "pending-fence depth).",
             ).set_function(lambda: self.service.pending_commands)
+        # -- windowed relaxed dispatch (facade-owned; see
+        #    docs/relaxed-mode.md → "Windowing")
+        coalesced = getattr(self.service, "coalesced_runs", None)
+        if coalesced is not None:
+            fam = r.histogram(
+                "repro_exec_coalesced_runs_per_frame",
+                "Run weight of each windowed sub-batch command posted "
+                "to a shard hub (runs riding one frame).",
+                buckets=SIZE_BUCKETS,
+            )
+            fam.attach((), coalesced)
+            r.gauge(
+                "repro_exec_inflight_runs",
+                "Runs posted under the relaxed window but not yet "
+                "collected.",
+            ).set_function(lambda: self.service.inflight_runs())
+            self.m_window_stalls = r.counter(
+                "repro_exec_window_stalls_total",
+                "Posts that collected an in-flight reply to free "
+                "window credit before proceeding.",
+            )
+            r.register_collector(self._collect_dispatch)
         transports = [
             backend._transport
             for backend in backends
@@ -686,6 +708,12 @@ class Gateway:
             self.m_shard_elements.labels(str(entry["shard"])).value = float(
                 entry["elements"]
             )
+
+    def _collect_dispatch(self) -> None:
+        """Bridge the facade's plain windowed-dispatch counters."""
+        self.m_window_stalls.labels().value = float(
+            getattr(self.service, "window_stalls", 0)
+        )
 
     def _collect_net(self) -> None:
         totals = {"sent": [0, 0], "received": [0, 0]}

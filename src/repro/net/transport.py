@@ -89,6 +89,19 @@ class _LoopbackConnection:
             raise ConnectionClosedError("loopback connection is closed")
         await self._tx.put(obj)
 
+    def send_nowait(self, obj) -> None:
+        """Enqueue without awaiting (loop thread only; unbounded queue).
+
+        The relaxed hot path posts frames fire-and-forget via
+        ``loop.call_soon_threadsafe(conn.send_nowait, obj)`` — one loop
+        wakeup, no coroutine, no completion future.  A send into a
+        closed connection is dropped silently, mirroring how an async
+        ``send`` racing a peer close surfaces: the failure is observed
+        on the next ``recv`` (EOF), not at the send site.
+        """
+        if not self._closed:
+            self._tx.put_nowait(obj)
+
     async def recv(self):
         if self._closed:
             return None
@@ -198,6 +211,35 @@ class _TcpConnection:
         except (ConnectionError, OSError) as exc:
             self._closed = True
             raise ConnectionClosedError(str(exc)) from exc
+
+    def encode_frame_bytes(self, obj) -> bytes:
+        """Serialize ``obj`` to its on-wire frame (thread-safe, no I/O).
+
+        The relaxed hot path encodes on the calling thread and ships the
+        bytes to the loop thread via :meth:`write_frame_nowait`, so the
+        loop callback does nothing but a buffered ``write``.
+        """
+        if self._binary:
+            return encode_frame(encode_payload(obj), self._max_frame)
+        return encode_json_frame(obj, self._max_frame)
+
+    def write_frame_nowait(self, frame: bytes) -> None:
+        """Write pre-encoded frame bytes without draining (loop thread).
+
+        Skipping ``drain`` removes the completion round-trip that
+        dominates per-frame cost; the OS socket buffer absorbs bursts
+        and the dispatch window bounds how much can be in flight.
+        Failures mark the connection closed and surface on the next
+        ``recv``, exactly like a peer death mid-stream.
+        """
+        if self._closed:
+            return
+        try:
+            self._stats["bytes_sent"] += len(frame)
+            self._stats["frames_sent"] += 1
+            self._writer.write(frame)
+        except (ConnectionError, OSError):
+            self._closed = True
 
     async def recv(self):
         while not self._pending:

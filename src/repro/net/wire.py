@@ -23,6 +23,11 @@ from ..persistence.codec import decode_value, encode_value
 from ..persistence.wal import _SCALAR_TYPES, decode_items
 from ..runtime.protocol import Message
 
+try:  # optional accelerator: columnar super-run chunks ride as arrays
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 __all__ = [
     "encode_message",
     "decode_message",
@@ -53,7 +58,23 @@ def encode_chunk(items) -> dict:
     wire bytes per run.  Other items ride as a plain list; the frame
     layer's binary envelope packs all-int / all-float runs into raw
     blobs on TCP.
+
+    Columnar super-runs (typed numpy arrays from
+    :func:`repro.exec.dispatch.coalesce_runs`) keep their array form:
+    the unit-run collapse becomes one vectorized comparison and the
+    frame layer packs the array via ``tobytes`` with no per-element
+    walk.  :func:`decode_chunk` normalizes arrays back to plain lists,
+    so sites see identical values on every transport.
     """
+    if _np is not None and isinstance(items, _np.ndarray):
+        kind = items.dtype.kind
+        if kind in "iu":
+            if items.size and bool((items == 1).all()):
+                return {"unit": int(items.size)}
+            return {"items": items}
+        if kind == "f":
+            return {"items": items}
+        items = items.tolist()
     if not isinstance(items, list):
         items = list(items)
     if items and all(type(v) is int and v == 1 for v in items):
@@ -79,4 +100,10 @@ def decode_chunk(obj: dict) -> list:
     if "coded" in obj:
         return decode_items(obj["items"], obj["coded"])
     items = obj["items"]
-    return items if isinstance(items, list) else list(items)
+    if isinstance(items, list):
+        return items
+    if _np is not None and isinstance(items, _np.ndarray):
+        # tolist() yields native Python scalars — schemes never see
+        # numpy types, and loopback (no serialization) matches TCP.
+        return items.tolist()
+    return list(items)

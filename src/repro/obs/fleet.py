@@ -382,6 +382,7 @@ class FleetMonitor:
             "polls": hub.polls,
             "failures": hub.failures,
             "pending": pending,
+            "dispatch_mode": stats.get("dispatch_mode", "lockstep"),
             "elements": stats.get("elements"),
             "rounds": stats.get("rounds"),
             "jobs": stats.get("jobs"),

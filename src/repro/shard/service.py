@@ -43,10 +43,16 @@ from __future__ import annotations
 import json
 import os
 import time
+from collections import deque
 from typing import Dict, Iterable, List, Optional
 
 from ..exec import EXECUTORS, make_group
 from ..exec.workers import hub_spec
+
+try:  # optional accelerator for the windowed run-count scan
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 from ..obs.metrics import DEFAULT_BUCKETS, SIZE_BUCKETS, Histogram
 from ..obs.tracing import SpanRecorder
 from ..runtime import TrackingScheme, derive_seed
@@ -125,7 +131,18 @@ class ShardedTrackingService:
         unchanged — per-hub FIFO preserves each hub's event order — so
         answers are identical to lockstep; an ingest error surfaces at
         the next fencing call instead of the posting call (see
-        ``docs/relaxed-mode.md``).
+        ``docs/relaxed-mode.md``).  Empty sub-batches are skipped
+        entirely (no command, no frame).
+    window / per_site_depth:
+        Relaxed-mode in-flight bounds (``docs/relaxed-mode.md`` →
+        "Windowing"): at most ``window`` runs (maximal same-site
+        stretches, counted per posted sub-batch) in flight across the
+        fleet and ``per_site_depth`` outstanding sub-batch commands per
+        shard hub.  When posting would exceed a credit the facade
+        collects the *oldest* outstanding reply only — never a full
+        fence — so pipelining continues while memory stays flat on
+        unbounded streams.  None (default) leaves a dimension
+        unbounded; ignored in lockstep.
     """
 
     def __init__(
@@ -143,6 +160,8 @@ class ShardedTrackingService:
         executor: str = "inline",
         hub_addresses: Optional[List[str]] = None,
         relaxed: bool = False,
+        window: Optional[int] = None,
+        per_site_depth: Optional[int] = None,
         _restore: bool = False,
     ):
         self.router = ShardRouter(num_sites, num_shards)
@@ -154,6 +173,31 @@ class ShardedTrackingService:
         self.space_budget_words = space_budget_words
         self.executor = executor
         self.relaxed = bool(relaxed)
+        if not relaxed and (window is not None or per_site_depth is not None):
+            raise ValueError(
+                "window/per_site_depth only apply to relaxed dispatch; "
+                "pass relaxed=True"
+            )
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 (or None for unbounded)")
+        if per_site_depth is not None and per_site_depth < 1:
+            raise ValueError(
+                "per_site_depth must be >= 1 (or None for unbounded)"
+            )
+        self.window = window
+        self.per_site_depth = per_site_depth
+        #: in-flight ledger for windowed posting: per shard, a FIFO of
+        #: ``(post_seq, run_weight)`` for posted-but-uncollected ingest
+        #: commands.  Reconciled lazily against ``backend.pending``
+        #: because any fencing call drains replies behind our back.
+        self._inflight: List[deque] = [deque() for _ in range(num_shards)]
+        self._inflight_runs = 0
+        self._post_seq = 0
+        self.window_stalls = 0
+        self.max_inflight_runs = 0
+        #: run weight of each windowed sub-batch actually posted — the
+        #: facade-level coalescing figure (runs per command frame)
+        self.coalesced_runs = Histogram(SIZE_BUCKETS)
         self.elements_processed = 0
         self._jobs: Dict[str, ShardJobView] = {}
         #: dispatch-plane telemetry, owned here and always on (two
@@ -186,6 +230,7 @@ class ShardedTrackingService:
                 "space_budget_words": space_budget_words,
                 "wal_segment_records": wal_segment_records,
                 "wal_sync": wal_sync,
+                "dispatch_mode": self.dispatch_mode,
             }
             if checkpoint_dir is not None:
                 shard_dir = self._shard_dir(checkpoint_dir, shard)
@@ -194,6 +239,7 @@ class ShardedTrackingService:
                         "restore_from": shard_dir,
                         "wal_segment_records": wal_segment_records,
                         "wal_sync": wal_sync,
+                        "dispatch_mode": self.dispatch_mode,
                     }
                 else:
                     config["checkpoint_dir"] = shard_dir
@@ -320,6 +366,99 @@ class ShardedTrackingService:
 
     # -- ingestion ---------------------------------------------------------
 
+    @property
+    def dispatch_mode(self) -> str:
+        """``"lockstep"``, ``"relaxed"`` or ``"windowed"``."""
+        if not self.relaxed:
+            return "lockstep"
+        if self.window is not None or self.per_site_depth is not None:
+            return "windowed"
+        return "relaxed"
+
+    def dispatch_stats(self) -> dict:
+        """Facade-level dispatch counters, shaped like
+        :meth:`~repro.net.actors.CoordinatorHub.dispatch_stats`."""
+        frames = self.coalesced_runs.count
+        runs = self.coalesced_runs.sum
+        return {
+            "mode": self.dispatch_mode,
+            "window": self.window,
+            "per_site_depth": self.per_site_depth,
+            "frames_posted": frames,
+            "runs_posted": int(runs),
+            "runs_per_frame": (runs / frames) if frames else 0.0,
+            "max_inflight_runs": self.max_inflight_runs,
+            "window_stalls": self.window_stalls,
+        }
+
+    def inflight_runs(self) -> int:
+        """Runs posted under the window but not yet collected.
+
+        Reconciles the ledger first so a read taken after a fencing
+        call (which drains replies behind the ledger's back) reports 0
+        rather than the stale pre-fence figure."""
+        self._reconcile_inflight()
+        return self._inflight_runs
+
+    def _reconcile_inflight(self) -> None:
+        """Drop ledger entries whose replies a fencing call already
+        drained (oldest first — collections are FIFO per backend)."""
+        for shard, entries in enumerate(self._inflight):
+            pending = self._group.backends[shard].pending
+            while len(entries) > pending:
+                self._inflight_runs -= entries.popleft()[1]
+
+    def _collect_oldest(self) -> bool:
+        """Collect the globally oldest outstanding sub-batch reply;
+        False when nothing is in flight.  Deferred ingest errors from
+        that sub-batch raise here, exactly as they would at a fence."""
+        best = None
+        for shard, entries in enumerate(self._inflight):
+            if entries and (
+                best is None or entries[0][0] < self._inflight[best][0][0]
+            ):
+                best = shard
+        if best is None:
+            return False
+        self._inflight_runs -= self._inflight[best].popleft()[1]
+        self._group.backends[best].collect_one()
+        return True
+
+    def _post_windowed(self, per_shard) -> None:
+        """Credit-based relaxed posting: free the oldest in-flight
+        slot(s) before a post that would exceed ``window`` total runs
+        or ``per_site_depth`` commands on one hub."""
+        self._reconcile_inflight()
+        backends = self._group.backends
+        for shard, (local_ids, shard_items) in enumerate(per_shard):
+            if len(local_ids) == 0:
+                continue
+            weight = _run_count(local_ids) if self.window is not None else 1
+            entries = self._inflight[shard]
+            while self._inflight_runs > 0:
+                if (
+                    self.window is not None
+                    and self._inflight_runs + weight > self.window
+                ):
+                    pass  # over the global run credit — collect one
+                elif (
+                    self.per_site_depth is not None
+                    and len(entries) >= self.per_site_depth
+                ):
+                    pass  # this hub's pipe at depth — collect one
+                else:
+                    break
+                self.window_stalls += 1
+                if not self._collect_oldest():
+                    break
+            backends[shard].submit("ingest", local_ids, shard_items)
+            self._post_seq += 1
+            entries.append((self._post_seq, weight))
+            self._inflight_runs += weight
+            self.coalesced_runs.observe(weight)
+            if self._inflight_runs > self.max_inflight_runs:
+                self.max_inflight_runs = self._inflight_runs
+
     def ingest(self, site_ids, items=None) -> int:
         """Route one ordered batch across the shard hubs.
 
@@ -345,13 +484,20 @@ class ShardedTrackingService:
             shards=len(parts),
             relaxed=self.relaxed,
         ):
-            if self.relaxed:
-                # The router already validated and sized the batch;
-                # counts are known without acks, so posting is the
-                # whole job.
-                self._group.map("ingest", per_shard, collect=False)
-            else:
+            if not self.relaxed:
                 total = sum(self._group.map("ingest", per_shard))
+            elif self.window is not None or self.per_site_depth is not None:
+                # The router already validated and sized the batch;
+                # counts are known without acks, so posting (under the
+                # in-flight credits) is the whole job.
+                self._post_windowed(per_shard)
+            else:
+                for shard, (local_ids, shard_items) in enumerate(per_shard):
+                    if len(local_ids) == 0:
+                        continue  # no events for this hub: no frame
+                    self._group.backends[shard].submit(
+                        "ingest", local_ids, shard_items
+                    )
         self.elements_processed += total
         return total
 
@@ -538,6 +684,9 @@ class ShardedTrackingService:
             "shards": self.num_shards,
             "executor": self.executor,
             "relaxed": self.relaxed,
+            "dispatch_mode": self.dispatch_mode,
+            "window": self.window,
+            "per_site_depth": self.per_site_depth,
             "one_way": self.one_way,
             "uplink_drop_rate": self.uplink_drop_rate,
             "elements": self.elements_processed,
@@ -652,6 +801,8 @@ class ShardedTrackingService:
         wal_sync: bool = False,
         hub_addresses: Optional[List[str]] = None,
         relaxed: bool = False,
+        window: Optional[int] = None,
+        per_site_depth: Optional[int] = None,
     ) -> "ShardedTrackingService":
         """Recover a sharded service from its checkpoint directory.
 
@@ -689,13 +840,25 @@ class ShardedTrackingService:
             executor=executor,
             hub_addresses=hub_addresses,
             relaxed=relaxed,
+            window=window,
+            per_site_depth=per_site_depth,
             _restore=True,
         )
 
     def _rebuild_from_shards(self) -> None:
-        """Reconstruct job views and counters from restored hubs."""
-        manifests = self._group.map("job_manifest", [()] * self.num_shards)
-        totals = self._group.map("elements", [()] * self.num_shards)
+        """Reconstruct job views and counters from restored hubs.
+
+        One ``multi`` round trip per hub (manifest + element counter
+        together), posted to every hub before collecting from any, so
+        placed hubs answer concurrently.
+        """
+        for backend in self._group.backends:
+            backend.submit_many([("job_manifest", ()), ("elements", ())])
+        replies = [
+            backend.drain()[-1] for backend in self._group.backends
+        ]
+        manifests = [reply[0] for reply in replies]
+        totals = [reply[1] for reply in replies]
         self.elements_processed = sum(totals)
         for entry in manifests[0]:
             per_shard_elements = sum(
@@ -750,6 +913,30 @@ class ShardedTrackingService:
             f"shards={self.num_shards}, executor={self.executor!r}, "
             f"jobs={len(self._jobs)}, elements={self.elements_processed})"
         )
+
+
+def _run_count(site_ids) -> int:
+    """Number of maximal same-site stretches in one ordered id list —
+    the unit the in-flight ``window`` is accounted in (matching the
+    hub-level run decomposition).  Numpy collapses the scan to two
+    vector ops when available."""
+    n = len(site_ids)
+    if n == 0:
+        return 0
+    if _np is not None and n >= 512:
+        try:
+            arr = _np.asarray(site_ids)
+            if arr.dtype.kind in "iu":
+                return int((arr[1:] != arr[:-1]).sum()) + 1
+        except (TypeError, ValueError):
+            pass
+    count = 1
+    last = site_ids[0]
+    for site_id in site_ids:
+        if site_id != last:
+            count += 1
+            last = site_id
+    return count
 
 
 def _sum_dicts(dicts: list) -> dict:

@@ -1,0 +1,201 @@
+"""Windowed relaxed dispatch: credit-bounded pipelining, pinned.
+
+The contract (docs/relaxed-mode.md -> "Windowing"):
+
+* ``window=N`` / ``per_site_depth=M`` require ``relaxed=True`` — a
+  lockstep cluster or facade with either knob is a ``ValueError``.
+* At every depth the windowed answers — and the protocol message
+  counts — are identical to unbounded relaxed: the window only changes
+  *when* credit is reclaimed, never what runs where.
+* Memory stays flat: the in-flight high-water mark never exceeds the
+  window on unit-run streams (each coalesced super-run fits inside one
+  window cut), no matter how many runs the batch carries.
+* The sharded facade exposes the same knobs per shard hub and reports
+  the negotiated mode via ``status()["dispatch_mode"]``.
+"""
+
+import pytest
+
+from repro import (
+    DeterministicCountScheme,
+    RandomizedRankScheme,
+    ShardedTrackingService,
+)
+from repro.net import Cluster
+from repro.runtime import batch_from_stream
+from repro.workloads import bursty_sites
+
+K = 8
+N = 12_000
+SEED = 17
+
+WINDOWS = (1, 3, 64)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return batch_from_stream(bursty_sites(N, K, burst=96, seed=SEED))
+
+
+@pytest.fixture(scope="module")
+def relaxed_reference(stream):
+    """Unbounded relaxed answer + message count, the equality anchor."""
+    site_ids, items = stream
+    with Cluster(
+        DeterministicCountScheme(0.02), K, seed=SEED, relaxed=True,
+        record_transcript=False,
+    ) as cluster:
+        cluster.ingest(site_ids, items)
+        return cluster.query(), cluster.comm.total_messages
+
+
+class TestWindowedCluster:
+    @pytest.mark.parametrize("window", WINDOWS)
+    def test_every_depth_matches_unbounded_relaxed(
+        self, stream, relaxed_reference, window
+    ):
+        site_ids, items = stream
+        with Cluster(
+            DeterministicCountScheme(0.02), K, seed=SEED, relaxed=True,
+            window=window, record_transcript=False,
+        ) as cluster:
+            cluster.ingest(site_ids, items)
+            assert (
+                cluster.query(), cluster.comm.total_messages
+            ) == relaxed_reference
+            stats = cluster.dispatch_stats()
+        assert stats["mode"] == "windowed"
+        assert stats["window"] == window
+        assert stats["runs_posted"] > 0
+
+    def test_per_site_depth_alone_matches_unbounded_relaxed(
+        self, stream, relaxed_reference
+    ):
+        site_ids, items = stream
+        with Cluster(
+            DeterministicCountScheme(0.02), K, seed=SEED, relaxed=True,
+            per_site_depth=2, record_transcript=False,
+        ) as cluster:
+            cluster.ingest(site_ids, items)
+            assert (
+                cluster.query(), cluster.comm.total_messages
+            ) == relaxed_reference
+            assert cluster.dispatch_mode == "windowed"
+
+    def test_flat_memory_on_a_wide_unit_run_batch(self):
+        # 100k unit runs (round-robin site ids): unbounded relaxed would
+        # briefly queue all of them; the window pins the high-water mark.
+        n = 100_000
+        site_ids = [i % K for i in range(n)]
+        items = [1] * n
+        with Cluster(
+            DeterministicCountScheme(0.05), K, seed=SEED, relaxed=True,
+            window=64, record_transcript=False,
+        ) as cluster:
+            cluster.ingest(site_ids, items)
+            stats = cluster.dispatch_stats()
+            assert cluster.elements_processed == n
+        assert stats["runs_posted"] == n
+        assert stats["max_inflight_runs"] <= 64
+        # Coalescing actually bites: far fewer frames than runs.
+        assert stats["frames_posted"] < n / 4
+        assert stats["runs_per_frame"] > 4
+
+    def test_dispatch_mode_names(self):
+        with Cluster(
+            DeterministicCountScheme(0.05), 2, seed=1, relaxed=False
+        ) as cluster:
+            assert cluster.dispatch_mode == "lockstep"
+        with Cluster(
+            DeterministicCountScheme(0.05), 2, seed=1, relaxed=True,
+            record_transcript=False,
+        ) as cluster:
+            assert cluster.dispatch_mode == "relaxed"
+        with Cluster(
+            DeterministicCountScheme(0.05), 2, seed=1, relaxed=True,
+            window=8, record_transcript=False,
+        ) as cluster:
+            assert cluster.dispatch_mode == "windowed"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"window": 8},
+        {"per_site_depth": 2},
+        {"window": 8, "per_site_depth": 2},
+    ])
+    def test_window_requires_relaxed(self, kwargs):
+        with pytest.raises(ValueError, match="relaxed"):
+            Cluster(DeterministicCountScheme(0.05), 2, seed=1, **kwargs)
+
+
+class TestWindowedShardedFacade:
+    @pytest.mark.parametrize(
+        "executor", ["inline", "thread", "process", "cluster"]
+    )
+    def test_every_placement_matches_lockstep(self, stream, executor):
+        site_ids, items = stream
+        lockstep = ShardedTrackingService(
+            num_sites=K, num_shards=2, seed=SEED, executor=executor
+        )
+        windowed = ShardedTrackingService(
+            num_sites=K, num_shards=2, seed=SEED, executor=executor,
+            relaxed=True, window=3, per_site_depth=2,
+        )
+        for service in (lockstep, windowed):
+            service.register("c", DeterministicCountScheme(0.02))
+            service.register("m", RandomizedRankScheme(0.05))
+        for start in range(0, N, 1024):
+            lockstep.ingest(site_ids[start:start + 1024],
+                            items[start:start + 1024])
+            windowed.ingest(site_ids[start:start + 1024],
+                            items[start:start + 1024])
+        assert windowed.elements_processed == lockstep.elements_processed
+        assert windowed.query("c") == lockstep.query("c")
+        assert windowed.query("m", "estimate_total") == lockstep.query(
+            "m", "estimate_total"
+        )
+        status = windowed.status()
+        assert status["dispatch_mode"] == "windowed"
+        assert status["window"] == 3
+        assert status["per_site_depth"] == 2
+        lockstep.close()
+        windowed.close()
+
+    def test_dispatch_stats_and_stalls(self, stream):
+        site_ids, items = stream
+        service = ShardedTrackingService(
+            num_sites=K, num_shards=2, seed=SEED, executor="thread",
+            relaxed=True, window=1,
+        )
+        service.register("c", DeterministicCountScheme(0.02))
+        for start in range(0, N, 512):
+            service.ingest(site_ids[start:start + 512],
+                           items[start:start + 512])
+        stats = service.dispatch_stats()
+        assert stats["mode"] == "windowed"
+        assert stats["frames_posted"] > 0
+        assert stats["runs_posted"] >= stats["frames_posted"]
+        # window=1 serializes sub-batches: nearly every post reclaims
+        # credit first.
+        assert stats["window_stalls"] > 0
+        assert service.query("c") > 0
+        service.close()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"window": 4},
+        {"per_site_depth": 1},
+    ])
+    def test_window_requires_relaxed(self, kwargs):
+        with pytest.raises(ValueError, match="relaxed"):
+            ShardedTrackingService(
+                num_sites=4, num_shards=2, seed=1, **kwargs
+            )
+
+    @pytest.mark.parametrize("kwargs", [
+        {"relaxed": True, "window": 0},
+        {"relaxed": True, "per_site_depth": 0},
+    ])
+    def test_bounds_must_be_positive(self, kwargs):
+        with pytest.raises(ValueError):
+            ShardedTrackingService(
+                num_sites=4, num_shards=2, seed=1, **kwargs
+            )
